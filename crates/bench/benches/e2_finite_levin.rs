@@ -1,0 +1,22 @@
+//! E2 — time for the finite universal user (classic Levin vs round-robin
+//! doubling) to solve delegation against each protocol depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goc_bench::experiments as exp;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_finite_levin");
+    g.sample_size(10);
+    for idx in [0usize, 3, 7] {
+        g.bench_with_input(BenchmarkId::new("classic", idx), &idx, |b, &idx| {
+            b.iter(|| exp::e2_rounds(idx, true));
+        });
+        g.bench_with_input(BenchmarkId::new("round_robin", idx), &idx, |b, &idx| {
+            b.iter(|| exp::e2_rounds(idx, false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

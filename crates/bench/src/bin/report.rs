@@ -1,0 +1,114 @@
+//! `goc-report` — regenerates every experiment series in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p goc-bench --bin goc-report`
+
+use goc_bench::experiments as exp;
+
+fn main() {
+    println!("# goc experiment report (deterministic; fixed seeds)\n");
+
+    // --- E1 ---------------------------------------------------------------
+    println!("## E1 — Theorem 1, compact case (printing, 12-dialect class)");
+    println!("{:>8} {:>10} {:>14}", "dialect", "settled", "settle round");
+    let n1 = exp::e1_dialects().len();
+    for idx in 0..n1 {
+        let (ok, settle) = exp::e1_settle(idx, 60_000);
+        println!("{idx:>8} {:>10} {settle:>14}", ok);
+        assert!(ok);
+    }
+
+    // --- E2 ---------------------------------------------------------------
+    println!("\n## E2 — Theorem 1, finite case (delegation, 8-protocol class)");
+    println!("{:>9} {:>16} {:>18}", "protocol", "rounds (Levin)", "rounds (RR-double)");
+    for idx in 0..exp::e2_protocols().len() {
+        let classic = exp::e2_rounds(idx, true);
+        let rr = exp::e2_rounds(idx, false);
+        println!("{idx:>9} {classic:>16} {rr:>18}");
+    }
+
+    // --- E3 ---------------------------------------------------------------
+    println!("\n## E3 — necessity of overhead (password-locked servers)");
+    println!("{:>4} {:>10} {:>12} {:>8}", "k", "informed", "universal", "ratio");
+    for k in 2..=10u32 {
+        let inf = exp::e3_rounds(k, true);
+        let uni = exp::e3_rounds(k, false);
+        println!("{k:>4} {inf:>10} {uni:>12} {:>7.0}x", uni as f64 / inf as f64);
+    }
+
+    // --- E4 ---------------------------------------------------------------
+    println!("\n## E4 — enumeration overhead vs strategy index");
+    println!("compact (triangular re-enumeration, class of 24):");
+    println!("{:>7} {:>14}", "index", "settle round");
+    for idx in [1usize, 4, 8, 12, 16, 20] {
+        println!("{idx:>7} {:>14}", exp::e4_compact_settle(idx, 24));
+    }
+    println!("finite (classic Levin, class of 16):");
+    println!("{:>7} {:>14}", "index", "rounds");
+    for shift in [0u8, 2, 4, 6, 8, 10, 12] {
+        println!("{shift:>7} {:>14}", exp::e4_levin_rounds(shift));
+    }
+
+    // --- E5 ---------------------------------------------------------------
+    println!("\n## E5 — sensing ablation (unsafe sensing, silent server)");
+    let (halted, achieved) = exp::e5_unsafe_sensing_outcome();
+    println!("halted = {halted}, achieved = {achieved}  (false halt: safety is necessary)");
+    assert!(halted && !achieved);
+
+    // --- E6 ---------------------------------------------------------------
+    println!("\n## E6 — universality tracks helpfulness exactly");
+    println!("{:>18} {:>9} {:>9} {:>11}", "server", "helpful", "achieved", "false halt");
+    for (name, expected, achieved, false_halt) in exp::e6_boundary() {
+        println!("{name:>18} {expected:>9} {achieved:>9} {false_halt:>11}");
+        assert_eq!(expected, achieved);
+        assert!(!false_halt);
+    }
+
+    // --- E10 --------------------------------------------------------------
+    println!("\n## E10 — forgivingness necessity (fragile goal, shift-3 server)");
+    let (uni, inf) = exp::e10_fragile();
+    println!("informed user achieved = {inf}; universal user achieved = {uni}");
+    assert!(inf && !uni);
+
+    // --- E7 ---------------------------------------------------------------
+    println!("\n## E7 — multi-session mistakes: enumeration (~N−1) vs halving (~log2 N)");
+    println!("{:>6} {:>13} {:>9} {:>10}", "N", "enumeration", "halving", "log2 N");
+    for exp2 in 1..=9u32 {
+        let n = 1usize << exp2;
+        let (e, h) = exp::e7_mistakes(n);
+        println!("{n:>6} {e:>13} {h:>9} {exp2:>10}");
+    }
+    println!("threshold class (structured overlap — halving's log2 N curve):");
+    println!("{:>6} {:>13} {:>9} {:>10}", "N", "enumeration", "halving", "log2 N");
+    for exp2 in [2u32, 4, 6, 8] {
+        let n = 1usize << exp2;
+        let (e, h) = exp::e7_threshold_mistakes(n);
+        println!("{n:>6} {e:>13} {h:>9} {exp2:>10}");
+    }
+    println!("bridged into the simulator (echo feedback), N = 16:");
+    let (be, bh) = exp::e7_bridge_mistakes(16);
+    println!("  enumeration = {be}, halving = {bh}");
+
+    // --- E8 ---------------------------------------------------------------
+    println!("\n## E8 — ablations");
+    let (tri, lin) = exp::e8_schedule_ablation();
+    println!("schedule under impatient sensing: triangular bad-prefixes = {tri}, linear = {lin}");
+    println!("patience sweep (deadline timeout → settle round; None = failed):");
+    for timeout in [2u64, 4, 8, 16, 32, 64, 128] {
+        println!("  timeout {timeout:>4}: {:?}", exp::e8_patience_settle(timeout));
+    }
+
+    // --- E11 --------------------------------------------------------------
+    println!("\n## E11 — quality of achievement (transmission, deep transform #5 of 7)");
+    println!("{:>9} {:>10} {:>9} {:>11}", "horizon", "informed", "learner", "universal");
+    for horizon in [1_000u64, 2_000, 4_000, 8_000] {
+        let (i, l, u) = exp::e11_transmission_quality(horizon);
+        println!("{horizon:>9} {i:>10.3} {l:>9.3} {u:>11.3}");
+    }
+
+    // --- E9 ---------------------------------------------------------------
+    println!("\n## E9 — substrate throughput (see criterion benches for timings)");
+    println!("exec rounds executed:      {}", exp::e9_exec_rounds(100_000));
+    println!("vm instructions retired:   {}", exp::e9_vm_instructions(10_000));
+
+    println!("\ndone.");
+}

@@ -1,0 +1,468 @@
+//! The synchronous execution engine.
+//!
+//! An *execution* (paper §2) is the evolution of the system formed by a user,
+//! a server and a world. Rounds are synchronous: at round *t* every party
+//! consumes the messages sent to it at round *t − 1* and emits the messages
+//! to be delivered at round *t + 1*. The engine records
+//!
+//! - the sequence of world states (the referee's input), and
+//! - the user's view (the sensing functions' input),
+//!
+//! into a [`Transcript`].
+
+use crate::msg::{Message, ServerIn, UserIn, WorldIn};
+use crate::rng::GocRng;
+use crate::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy};
+use crate::view::{UserView, ViewEvent};
+
+/// Why an execution run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The user halted (finite goals) with the contained verdict.
+    UserHalted(Halt),
+    /// The round horizon was exhausted.
+    HorizonExhausted,
+}
+
+/// The recorded outcome of a run: world-state history plus user view.
+#[derive(Clone, Debug)]
+pub struct Transcript<S> {
+    /// World states; `world_states[0]` is the initial state (before round 0)
+    /// and `world_states[t + 1]` the state after round `t`.
+    pub world_states: Vec<S>,
+    /// The user's per-round view.
+    pub view: UserView,
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+impl<S> Transcript<S> {
+    /// The user's halting verdict, if it halted.
+    pub fn halt(&self) -> Option<&Halt> {
+        match &self.stop {
+            StopReason::UserHalted(h) => Some(h),
+            StopReason::HorizonExhausted => None,
+        }
+    }
+}
+
+/// A running (user, server, world) system.
+///
+/// The engine is generic over the world (whose state type the referee needs)
+/// and takes the user and server as trait objects, mirroring the theory: the
+/// goal fixes the world, while user and server vary over classes.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::exec::Execution;
+/// use goc_core::msg::{WorldIn, WorldOut};
+/// use goc_core::rng::GocRng;
+/// use goc_core::strategy::{EchoServer, SilentUser, StepCtx, WorldStrategy};
+///
+/// /// A world that counts rounds.
+/// #[derive(Debug, Default)]
+/// struct Clock {
+///     ticks: u64,
+/// }
+///
+/// impl WorldStrategy for Clock {
+///     type State = u64;
+///     fn step(&mut self, _: &mut StepCtx<'_>, _: &WorldIn) -> WorldOut {
+///         self.ticks += 1;
+///         WorldOut::silence()
+///     }
+///     fn state(&self) -> u64 {
+///         self.ticks
+///     }
+/// }
+///
+/// let mut exec = Execution::new(
+///     Clock::default(),
+///     Box::new(EchoServer),
+///     Box::new(SilentUser),
+///     GocRng::seed_from_u64(7),
+/// );
+/// let t = exec.run(10);
+/// assert_eq!(t.rounds, 10);
+/// assert_eq!(t.world_states, (0..=10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug)]
+pub struct Execution<W: WorldStrategy> {
+    world: W,
+    server: Box<dyn ServerStrategy>,
+    user: Box<dyn UserStrategy>,
+    user_rng: GocRng,
+    server_rng: GocRng,
+    world_rng: GocRng,
+    round: u64,
+    // In-flight messages (sent last round, delivered next round).
+    user_to_server: Message,
+    user_to_world: Message,
+    server_to_user: Message,
+    server_to_world: Message,
+    world_to_user: Message,
+    world_to_server: Message,
+    world_states: Vec<W::State>,
+    view: UserView,
+}
+
+impl<W: WorldStrategy> Execution<W> {
+    /// Creates an execution. `rng` seeds three independent party streams.
+    pub fn new(
+        world: W,
+        server: Box<dyn ServerStrategy>,
+        user: Box<dyn UserStrategy>,
+        rng: GocRng,
+    ) -> Self {
+        let initial = world.state();
+        Execution {
+            world,
+            server,
+            user,
+            user_rng: rng.fork(1),
+            server_rng: rng.fork(2),
+            world_rng: rng.fork(3),
+            round: 0,
+            user_to_server: Message::silence(),
+            user_to_world: Message::silence(),
+            server_to_user: Message::silence(),
+            server_to_world: Message::silence(),
+            world_to_user: Message::silence(),
+            world_to_server: Message::silence(),
+            world_states: vec![initial],
+            view: UserView::new(),
+        }
+    }
+
+    /// The current round index (number of completed rounds).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The world-state history so far (initial state first).
+    pub fn world_states(&self) -> &[W::State] {
+        &self.world_states
+    }
+
+    /// The user's view so far.
+    pub fn view(&self) -> &UserView {
+        &self.view
+    }
+
+    /// A reference to the (running) user strategy.
+    pub fn user(&self) -> &dyn UserStrategy {
+        &*self.user
+    }
+
+    /// Replaces the user strategy mid-execution (used by experiments that
+    /// model strategy hand-off; the universal users instead switch
+    /// internally). In-flight messages are preserved: the world and server
+    /// cannot observe the swap except through subsequent behaviour.
+    pub fn swap_user(&mut self, user: Box<dyn UserStrategy>) -> Box<dyn UserStrategy> {
+        std::mem::replace(&mut self.user, user)
+    }
+
+    /// Replaces the server strategy mid-execution. Used by forgivingness
+    /// checks, which extend an arbitrary partial history with a known-good
+    /// (user, server) pair.
+    pub fn swap_server(&mut self, server: Box<dyn ServerStrategy>) -> Box<dyn ServerStrategy> {
+        std::mem::replace(&mut self.server, server)
+    }
+
+    /// Executes a single synchronous round.
+    pub fn step(&mut self) {
+        let user_in = UserIn {
+            from_server: self.server_to_user.clone(),
+            from_world: self.world_to_user.clone(),
+        };
+        let server_in = ServerIn {
+            from_user: self.user_to_server.clone(),
+            from_world: self.world_to_server.clone(),
+        };
+        let world_in = WorldIn {
+            from_user: self.user_to_world.clone(),
+            from_server: self.server_to_world.clone(),
+        };
+
+        let user_out = {
+            let mut ctx = StepCtx::new(self.round, &mut self.user_rng);
+            self.user.step(&mut ctx, &user_in)
+        };
+        let server_out = {
+            let mut ctx = StepCtx::new(self.round, &mut self.server_rng);
+            self.server.step(&mut ctx, &server_in)
+        };
+        let world_out = {
+            let mut ctx = StepCtx::new(self.round, &mut self.world_rng);
+            self.world.step(&mut ctx, &world_in)
+        };
+
+        self.view.push(ViewEvent { round: self.round, received: user_in, sent: user_out.clone() });
+        self.world_states.push(self.world.state());
+
+        self.user_to_server = user_out.to_server;
+        self.user_to_world = user_out.to_world;
+        self.server_to_user = server_out.to_user;
+        self.server_to_world = server_out.to_world;
+        self.world_to_user = world_out.to_user;
+        self.world_to_server = world_out.to_server;
+
+        self.round += 1;
+    }
+
+    /// Runs until the user halts or `horizon` **additional** rounds have
+    /// elapsed, then returns the transcript of the whole execution so far.
+    ///
+    /// The halting check runs after each round, so a user that halts in its
+    /// `step` stops the run at the end of that round.
+    pub fn run(&mut self, horizon: u64) -> Transcript<W::State> {
+        let mut stop = StopReason::HorizonExhausted;
+        if let Some(h) = self.user.halted() {
+            stop = StopReason::UserHalted(h);
+        } else {
+            for _ in 0..horizon {
+                self.step();
+                if let Some(h) = self.user.halted() {
+                    stop = StopReason::UserHalted(h);
+                    break;
+                }
+            }
+        }
+        Transcript {
+            world_states: self.world_states.clone(),
+            view: self.view.clone(),
+            rounds: self.round,
+            stop,
+        }
+    }
+
+    /// Runs exactly `horizon` additional rounds, **ignoring** user halting:
+    /// a halted user stays silent while the server and world keep evolving.
+    ///
+    /// This is the right driver for *compact* goals, where the system runs
+    /// forever regardless of what the user does; [`run`](Self::run) is the
+    /// driver for finite goals.
+    pub fn run_for(&mut self, horizon: u64) -> Transcript<W::State> {
+        for _ in 0..horizon {
+            self.step();
+        }
+        let stop = match self.user.halted() {
+            Some(h) => StopReason::UserHalted(h),
+            None => StopReason::HorizonExhausted,
+        };
+        Transcript {
+            world_states: self.world_states.clone(),
+            view: self.view.clone(),
+            rounds: self.round,
+            stop,
+        }
+    }
+
+    /// Consumes the execution and returns its final transcript without
+    /// running further rounds.
+    pub fn into_transcript(self) -> Transcript<W::State> {
+        let stop = match self.user.halted() {
+            Some(h) => StopReason::UserHalted(h),
+            None => StopReason::HorizonExhausted,
+        };
+        Transcript {
+            world_states: self.world_states,
+            view: self.view,
+            rounds: self.round,
+            stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{UserOut, WorldOut};
+    use crate::strategy::{EchoServer, FnUser, SilentServer, SilentUser, UserAction};
+
+    /// A world that records every message the user sent it.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        heard: Vec<Message>,
+    }
+
+    impl WorldStrategy for Recorder {
+        type State = Vec<Message>;
+
+        fn step(&mut self, _: &mut StepCtx<'_>, input: &WorldIn) -> WorldOut {
+            if !input.from_user.is_silence() {
+                self.heard.push(input.from_user.clone());
+            }
+            WorldOut::silence()
+        }
+
+        fn state(&self) -> Vec<Message> {
+            self.heard.clone()
+        }
+    }
+
+    #[test]
+    fn messages_take_one_round_to_arrive() {
+        // User sends "hi" to the world at round 0; the world consumes it at
+        // round 1 (synchronous delivery delay of one round).
+        let user = FnUser::new("hi-once", |ctx: &mut StepCtx<'_>, _in: &UserIn| {
+            if ctx.round == 0 {
+                UserAction::Send(UserOut::to_world("hi"))
+            } else {
+                UserAction::Send(UserOut::silence())
+            }
+        });
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(user),
+            GocRng::seed_from_u64(1),
+        );
+        exec.step();
+        assert!(exec.world_states().last().unwrap().is_empty(), "not yet delivered");
+        exec.step();
+        assert_eq!(exec.world_states().last().unwrap().as_slice(), &[Message::from("hi")]);
+    }
+
+    #[test]
+    fn echo_roundtrip_takes_two_rounds() {
+        // Round 0: user sends "ping" to server. Round 1: server consumes it
+        // and replies. Round 2: user consumes "ping" back.
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let user = FnUser::new("pinger", move |ctx: &mut StepCtx<'_>, input: &UserIn| {
+            if !input.from_server.is_silence() {
+                seen2.borrow_mut().push((ctx.round, input.from_server.clone()));
+            }
+            if ctx.round == 0 {
+                UserAction::Send(UserOut::to_server("ping"))
+            } else {
+                UserAction::Send(UserOut::silence())
+            }
+        });
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(EchoServer),
+            Box::new(user),
+            GocRng::seed_from_u64(2),
+        );
+        exec.run(4);
+        assert_eq!(seen.borrow().as_slice(), &[(2u64, Message::from("ping"))]);
+    }
+
+    #[test]
+    fn run_stops_on_halt() {
+        let user = FnUser::new("halts-at-3", |ctx: &mut StepCtx<'_>, _in: &UserIn| {
+            if ctx.round == 3 {
+                UserAction::HaltWith(UserOut::silence(), Halt::with_output("done"))
+            } else {
+                UserAction::Send(UserOut::silence())
+            }
+        });
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(user),
+            GocRng::seed_from_u64(3),
+        );
+        let t = exec.run(100);
+        assert_eq!(t.rounds, 4); // rounds 0..=3 executed
+        assert_eq!(t.stop, StopReason::UserHalted(Halt::with_output("done")));
+        assert_eq!(t.halt().unwrap().output, Message::from("done"));
+    }
+
+    #[test]
+    fn run_exhausts_horizon_for_non_halting_user() {
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(4),
+        );
+        let t = exec.run(25);
+        assert_eq!(t.rounds, 25);
+        assert_eq!(t.stop, StopReason::HorizonExhausted);
+        assert!(t.halt().is_none());
+        // Initial state + one state per round.
+        assert_eq!(t.world_states.len(), 26);
+        assert_eq!(t.view.len(), 25);
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(5),
+        );
+        exec.run(10);
+        let t = exec.run(10);
+        assert_eq!(t.rounds, 20);
+    }
+
+    #[test]
+    fn halted_user_does_not_rerun() {
+        let user = FnUser::new("halts-immediately", |_ctx: &mut StepCtx<'_>, _in: &UserIn| {
+            UserAction::HaltWith(UserOut::silence(), Halt::empty())
+        });
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(user),
+            GocRng::seed_from_u64(6),
+        );
+        let t1 = exec.run(10);
+        assert_eq!(t1.rounds, 1);
+        let t2 = exec.run(10);
+        assert_eq!(t2.rounds, 1, "a halted user must not execute further rounds");
+    }
+
+    #[test]
+    fn swap_user_preserves_round_count() {
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(7),
+        );
+        exec.run(5);
+        let old = exec.swap_user(Box::new(SilentUser));
+        assert_eq!(old.name(), "silent-user");
+        let t = exec.run(5);
+        assert_eq!(t.rounds, 10);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_transcript() {
+        let build = || {
+            Execution::new(
+                Recorder::default(),
+                Box::new(EchoServer),
+                Box::new(SilentUser),
+                GocRng::seed_from_u64(42),
+            )
+        };
+        let t1 = build().run(30);
+        let t2 = build().run(30);
+        assert_eq!(t1.view, t2.view);
+        assert_eq!(t1.world_states, t2.world_states);
+    }
+
+    #[test]
+    fn into_transcript_reports_state() {
+        let mut exec = Execution::new(
+            Recorder::default(),
+            Box::new(SilentServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(8),
+        );
+        exec.run(3);
+        let t = exec.into_transcript();
+        assert_eq!(t.rounds, 3);
+        assert_eq!(t.stop, StopReason::HorizonExhausted);
+    }
+}

@@ -1,0 +1,199 @@
+//! One-call experiment helpers: run a (goal, server, user) triple over many
+//! seeds and summarize.
+//!
+//! Most experiment code in this workspace follows the same skeleton — spawn
+//! world, build execution, run, evaluate. This module packages that skeleton
+//! so downstream experiments are one function call, with the same
+//! deterministic seed-forking discipline as [`crate::helpful`] and
+//! [`crate::validate`].
+
+use crate::exec::Execution;
+use crate::goal::{evaluate_compact, evaluate_finite, CompactGoal, FiniteGoal};
+use crate::rng::GocRng;
+use crate::strategy::{BoxedServer, BoxedUser};
+
+/// Summary of repeated runs of one pairing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuccessReport {
+    /// Trials in which the goal was achieved.
+    pub successes: u32,
+    /// Trials run.
+    pub trials: u32,
+    /// Rounds to success per successful trial (finite goals: rounds at
+    /// halt; compact goals: settle round).
+    pub rounds: Vec<u64>,
+}
+
+impl SuccessReport {
+    /// Success fraction in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// `true` if every trial succeeded.
+    pub fn always(&self) -> bool {
+        self.trials > 0 && self.successes == self.trials
+    }
+
+    /// Mean rounds-to-success over the successful trials.
+    pub fn mean_rounds(&self) -> Option<f64> {
+        if self.rounds.is_empty() {
+            return None;
+        }
+        Some(self.rounds.iter().sum::<u64>() as f64 / self.rounds.len() as f64)
+    }
+
+    /// Maximum rounds-to-success over the successful trials.
+    pub fn max_rounds(&self) -> Option<u64> {
+        self.rounds.iter().max().copied()
+    }
+}
+
+/// Runs a finite goal `trials` times with fresh server/user instances and
+/// seeds forked from `seed`; reports successes and rounds-to-halt.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::harness::finite_success;
+/// use goc_core::prelude::*;
+/// use goc_core::toy;
+///
+/// let goal = toy::MagicWordGoal::new("hi");
+/// let report = finite_success(
+///     &goal,
+///     &|| Box::new(toy::RelayServer::with_shift(2)),
+///     &|| Box::new(toy::SayThrough::compensating("hi", 2)),
+///     8,
+///     200,
+///     42,
+/// );
+/// assert!(report.always());
+/// ```
+pub fn finite_success<G: FiniteGoal>(
+    goal: &G,
+    server: &dyn Fn() -> BoxedServer,
+    user: &dyn Fn() -> BoxedUser,
+    trials: u32,
+    horizon: u64,
+    seed: u64,
+) -> SuccessReport {
+    let mut successes = 0;
+    let mut rounds = Vec::new();
+    for trial in 0..trials {
+        let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
+        let world = goal.spawn_world(&mut rng);
+        let mut exec = Execution::new(world, server(), user(), rng);
+        let t = exec.run(horizon);
+        let v = evaluate_finite(goal, &t);
+        if v.achieved {
+            successes += 1;
+            rounds.push(v.rounds);
+        }
+    }
+    SuccessReport { successes, trials, rounds }
+}
+
+/// Runs a compact goal `trials` times; success = achieved with a
+/// stabilization window of `window`; "rounds" records the settle round
+/// (last bad prefix).
+pub fn compact_success<G: CompactGoal>(
+    goal: &G,
+    server: &dyn Fn() -> BoxedServer,
+    user: &dyn Fn() -> BoxedUser,
+    trials: u32,
+    horizon: u64,
+    window: u64,
+    seed: u64,
+) -> SuccessReport {
+    let mut successes = 0;
+    let mut rounds = Vec::new();
+    for trial in 0..trials {
+        let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
+        let world = goal.spawn_world(&mut rng);
+        let mut exec = Execution::new(world, server(), user(), rng);
+        let t = exec.run_for(horizon);
+        let v = evaluate_compact(goal, &t);
+        if v.achieved(window) {
+            successes += 1;
+            rounds.push(v.last_bad_prefix.unwrap_or(0));
+        }
+    }
+    SuccessReport { successes, trials, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensing::Deadline;
+    use crate::strategy::SilentServer;
+    use crate::toy;
+    use crate::universal::CompactUniversalUser;
+
+    #[test]
+    fn finite_success_counts_and_rounds() {
+        let goal = toy::MagicWordGoal::new("hi");
+        let report = finite_success(
+            &goal,
+            &|| Box::new(toy::RelayServer::with_shift(1)),
+            &|| Box::new(toy::SayThrough::compensating("hi", 1)),
+            5,
+            100,
+            1,
+        );
+        assert!(report.always());
+        assert_eq!(report.rate(), 1.0);
+        assert_eq!(report.rounds.len(), 5);
+        assert!(report.mean_rounds().unwrap() < 10.0);
+        assert!(report.max_rounds().unwrap() < 10);
+    }
+
+    #[test]
+    fn finite_failure_is_counted() {
+        let goal = toy::MagicWordGoal::new("hi");
+        let report = finite_success(
+            &goal,
+            &|| Box::new(SilentServer),
+            &|| Box::new(toy::SayThrough::new("hi")),
+            3,
+            100,
+            2,
+        );
+        assert_eq!(report.successes, 0);
+        assert_eq!(report.rate(), 0.0);
+        assert!(!report.always());
+        assert!(report.mean_rounds().is_none());
+        assert!(report.max_rounds().is_none());
+    }
+
+    #[test]
+    fn compact_success_reports_settle_rounds() {
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+        let report = compact_success(
+            &goal,
+            &|| Box::new(toy::RelayServer::with_shift(2)),
+            &|| {
+                Box::new(CompactUniversalUser::new(
+                    Box::new(toy::caesar_class("hi", 4, true)),
+                    Box::new(Deadline::new(toy::ack_sensing(), 8)),
+                ))
+            },
+            3,
+            3_000,
+            300,
+            3,
+        );
+        assert!(report.always(), "{report:?}");
+        assert!(report.max_rounds().unwrap() < 2_700);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SuccessReport { successes: 0, trials: 0, rounds: vec![] };
+        assert_eq!(r.rate(), 0.0);
+        assert!(!r.always());
+    }
+}

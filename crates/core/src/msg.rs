@@ -1,0 +1,337 @@
+//! Messages and per-round channel profiles.
+//!
+//! The model of the paper is a synchronous system of three parties — *user*,
+//! *server* and *world* — pairwise connected by bidirectional channels. At
+//! every round each party consumes the profile of messages sent to it in the
+//! previous round and emits a profile of outgoing messages.
+//!
+//! A [`Message`] is an arbitrary finite byte string; the empty message is
+//! *silence* (the party said nothing on that channel this round).
+
+use std::fmt;
+
+/// A single message on a channel: an arbitrary finite byte string.
+///
+/// The empty message denotes silence. `Message` is deliberately unstructured:
+/// the whole point of the theory is that parties need not agree on a message
+/// format ahead of time.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::msg::Message;
+///
+/// let m = Message::from_str("PRINT hello");
+/// assert!(!m.is_silence());
+/// assert_eq!(m.as_bytes(), b"PRINT hello");
+/// assert!(Message::silence().is_silence());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Message(Vec<u8>);
+
+impl Message {
+    /// Creates the silent (empty) message.
+    pub fn silence() -> Self {
+        Message(Vec::new())
+    }
+
+    /// Creates a message from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Message(bytes.into())
+    }
+
+    /// Creates a message from a UTF-8 string.
+    ///
+    /// This is a convenience constructor, not an implementation of the
+    /// `FromStr` trait (construction is infallible).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        Message(s.as_bytes().to_vec())
+    }
+
+    /// Returns `true` if this message is silence (empty).
+    pub fn is_silence(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The message payload as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the message, returning the underlying bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// The payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the payload is empty (equivalent to
+    /// [`is_silence`](Self::is_silence)).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Interprets the payload as UTF-8 text if possible.
+    pub fn to_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.0).ok()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_silence() {
+            return write!(f, "Message(∅)");
+        }
+        match self.to_text() {
+            Some(t) if t.chars().all(|c| !c.is_control()) => {
+                write!(f, "Message({t:?})")
+            }
+            _ => write!(f, "Message(0x{})", hex(&self.0)),
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_silence() {
+            return write!(f, "∅");
+        }
+        match self.to_text() {
+            Some(t) if t.chars().all(|c| !c.is_control()) => write!(f, "{t}"),
+            _ => write!(f, "0x{}", hex(&self.0)),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Message {
+    fn from(v: Vec<u8>) -> Self {
+        Message(v)
+    }
+}
+
+impl From<&[u8]> for Message {
+    fn from(v: &[u8]) -> Self {
+        Message(v.to_vec())
+    }
+}
+
+impl From<&str> for Message {
+    fn from(s: &str) -> Self {
+        Message::from_str(s)
+    }
+}
+
+impl From<String> for Message {
+    fn from(s: String) -> Self {
+        Message(s.into_bytes())
+    }
+}
+
+impl AsRef<[u8]> for Message {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The profile of messages a **user** receives at the start of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UserIn {
+    /// Message sent by the server in the previous round.
+    pub from_server: Message,
+    /// Message sent by the world in the previous round.
+    pub from_world: Message,
+}
+
+/// The profile of messages a **user** emits at the end of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UserOut {
+    /// Message to deliver to the server next round.
+    pub to_server: Message,
+    /// Message to deliver to the world next round.
+    pub to_world: Message,
+}
+
+/// The profile of messages a **server** receives at the start of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerIn {
+    /// Message sent by the user in the previous round.
+    pub from_user: Message,
+    /// Message sent by the world in the previous round.
+    pub from_world: Message,
+}
+
+/// The profile of messages a **server** emits at the end of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerOut {
+    /// Message to deliver to the user next round.
+    pub to_user: Message,
+    /// Message to deliver to the world next round.
+    pub to_world: Message,
+}
+
+/// The profile of messages the **world** receives at the start of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorldIn {
+    /// Message sent by the user in the previous round.
+    pub from_user: Message,
+    /// Message sent by the server in the previous round.
+    pub from_server: Message,
+}
+
+/// The profile of messages the **world** emits at the end of a round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorldOut {
+    /// Message to deliver to the user next round.
+    pub to_user: Message,
+    /// Message to deliver to the server next round.
+    pub to_server: Message,
+}
+
+impl UserOut {
+    /// A fully silent outgoing profile.
+    pub fn silence() -> Self {
+        Self::default()
+    }
+
+    /// Sends only to the server.
+    pub fn to_server(msg: impl Into<Message>) -> Self {
+        UserOut { to_server: msg.into(), to_world: Message::silence() }
+    }
+
+    /// Sends only to the world.
+    pub fn to_world(msg: impl Into<Message>) -> Self {
+        UserOut { to_server: Message::silence(), to_world: msg.into() }
+    }
+}
+
+impl ServerOut {
+    /// A fully silent outgoing profile.
+    pub fn silence() -> Self {
+        Self::default()
+    }
+
+    /// Sends only to the user.
+    pub fn to_user(msg: impl Into<Message>) -> Self {
+        ServerOut { to_user: msg.into(), to_world: Message::silence() }
+    }
+
+    /// Sends only to the world.
+    pub fn to_world(msg: impl Into<Message>) -> Self {
+        ServerOut { to_user: Message::silence(), to_world: msg.into() }
+    }
+}
+
+impl WorldOut {
+    /// A fully silent outgoing profile.
+    pub fn silence() -> Self {
+        Self::default()
+    }
+
+    /// Sends only to the user.
+    pub fn to_user(msg: impl Into<Message>) -> Self {
+        WorldOut { to_user: msg.into(), to_server: Message::silence() }
+    }
+
+    /// Sends only to the server.
+    pub fn to_server(msg: impl Into<Message>) -> Self {
+        WorldOut { to_user: Message::silence(), to_server: msg.into() }
+    }
+}
+
+/// One of the three parties of a goal-oriented communication system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// The party whose goal is at stake; operates "on our behalf".
+    User,
+    /// The party whose assistance the user seeks.
+    Server,
+    /// The referee's substrate: "the rest of the system" / the environment.
+    World,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::User => write!(f, "user"),
+            Role::Server => write!(f, "server"),
+            Role::World => write!(f, "world"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silence_is_empty() {
+        assert!(Message::silence().is_silence());
+        assert!(Message::silence().is_empty());
+        assert_eq!(Message::silence().len(), 0);
+        assert_eq!(Message::default(), Message::silence());
+    }
+
+    #[test]
+    fn from_conversions_roundtrip() {
+        let m = Message::from("hello");
+        assert_eq!(m.to_text(), Some("hello"));
+        let m2 = Message::from(m.as_bytes());
+        assert_eq!(m, m2);
+        let m3: Message = m.clone().into_bytes().into();
+        assert_eq!(m, m3);
+        let m4 = Message::from(String::from("hello"));
+        assert_eq!(m, m4);
+    }
+
+    #[test]
+    fn debug_shows_text_or_hex() {
+        assert_eq!(format!("{:?}", Message::from("ok")), "Message(\"ok\")");
+        assert_eq!(format!("{:?}", Message::from_bytes(vec![0u8, 255])), "Message(0x00ff)");
+        assert_eq!(format!("{:?}", Message::silence()), "Message(∅)");
+    }
+
+    #[test]
+    fn display_shows_text_or_hex() {
+        assert_eq!(Message::from("ok").to_string(), "ok");
+        assert_eq!(Message::from_bytes(vec![1u8, 2]).to_string(), "0x0102");
+        assert_eq!(Message::silence().to_string(), "∅");
+    }
+
+    #[test]
+    fn out_profile_helpers() {
+        let u = UserOut::to_server("x");
+        assert_eq!(u.to_server, Message::from("x"));
+        assert!(u.to_world.is_silence());
+        let s = ServerOut::to_world("y");
+        assert_eq!(s.to_world, Message::from("y"));
+        assert!(s.to_user.is_silence());
+        let w = WorldOut::to_user("z");
+        assert_eq!(w.to_user, Message::from("z"));
+        assert!(w.to_server.is_silence());
+        assert_eq!(UserOut::silence(), UserOut::default());
+        assert_eq!(ServerOut::silence(), ServerOut::default());
+        assert_eq!(WorldOut::silence(), WorldOut::default());
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::User.to_string(), "user");
+        assert_eq!(Role::Server.to_string(), "server");
+        assert_eq!(Role::World.to_string(), "world");
+    }
+
+    #[test]
+    fn message_ordering_is_lexicographic() {
+        assert!(Message::from_bytes(vec![1]) < Message::from_bytes(vec![1, 0]));
+        assert!(Message::from_bytes(vec![1]) < Message::from_bytes(vec![2]));
+        assert!(Message::silence() < Message::from_bytes(vec![0]));
+    }
+}

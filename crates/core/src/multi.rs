@@ -1,0 +1,376 @@
+//! The multi-party setting, by reduction to two parties.
+//!
+//! The paper focuses on one user and one server, remarking (footnote 1) that
+//! the full version treats settings with more than two parties "primarily
+//! \[by\] a reduction to the two-party setting". This module implements that
+//! reduction:
+//!
+//! - [`CompositeServer`] bundles several servers into one. The user
+//!   addresses individual members by prefixing messages with a server index
+//!   byte; replies come back tagged with the sender's index.
+//! - [`Addressed`] lifts any single-server user strategy to talk to member
+//!   `i` of a composite.
+//! - [`addressed_class`] builds the product class {server index} × {inner
+//!   strategies}; running a universal user over it *is* the multi-party
+//!   universal user: it discovers both **which** server can help and **how**
+//!   to talk to it.
+
+use crate::enumeration::StrategyEnumerator;
+use crate::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
+use crate::strategy::{BoxedServer, BoxedUser, Halt, ServerStrategy, StepCtx, UserStrategy};
+use std::fmt;
+
+/// Frames a payload for member `index` of a composite server.
+pub fn address(index: u8, payload: &[u8]) -> Message {
+    let mut bytes = Vec::with_capacity(payload.len() + 1);
+    bytes.push(index);
+    bytes.extend_from_slice(payload);
+    Message::from_bytes(bytes)
+}
+
+/// Splits an addressed message into `(index, payload)`.
+pub fn unaddress(message: &Message) -> Option<(u8, &[u8])> {
+    let bytes = message.as_bytes();
+    let (&index, payload) = bytes.split_first()?;
+    Some((index, payload))
+}
+
+/// Several servers behind one channel.
+///
+/// Routing semantics (fixed by the reduction, documented for users):
+///
+/// - user → composite: `[i][payload]` delivers `payload` to member `i`;
+///   unaddressed or out-of-range messages are dropped.
+/// - composite → user: a member's reply `r` is delivered as `[i][r]`. If
+///   several members reply in one round, the lowest index wins and the rest
+///   are dropped (one channel, one message per round — the user can poll).
+/// - world ↔ members: the world's message is broadcast to every member;
+///   the lowest-indexed non-silent member message reaches the world.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::multi::CompositeServer;
+/// use goc_core::strategy::{EchoServer, SilentServer};
+///
+/// let composite = CompositeServer::new(vec![
+///     Box::new(SilentServer),
+///     Box::new(EchoServer),
+/// ]);
+/// assert_eq!(composite.len(), 2);
+/// ```
+pub struct CompositeServer {
+    members: Vec<BoxedServer>,
+}
+
+impl fmt::Debug for CompositeServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompositeServer").field("members", &self.members.len()).finish()
+    }
+}
+
+impl CompositeServer {
+    /// Bundles `members` (at most 256) into one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or has more than 256 members.
+    pub fn new(members: Vec<BoxedServer>) -> Self {
+        assert!(!members.is_empty(), "CompositeServer requires at least one member");
+        assert!(members.len() <= 256, "CompositeServer supports at most 256 members");
+        CompositeServer { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `false` (construction forbids empty composites); kept for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl ServerStrategy for CompositeServer {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        let target = unaddress(&input.from_user)
+            .filter(|(i, _)| (*i as usize) < self.members.len());
+        let mut to_user = Message::silence();
+        let mut to_world = Message::silence();
+        for (i, member) in self.members.iter_mut().enumerate() {
+            let member_in = ServerIn {
+                from_user: match target {
+                    Some((t, payload)) if t as usize == i => {
+                        Message::from_bytes(payload.to_vec())
+                    }
+                    _ => Message::silence(),
+                },
+                from_world: input.from_world.clone(),
+            };
+            let out = member.step(ctx, &member_in);
+            if to_user.is_silence() && !out.to_user.is_silence() {
+                to_user = address(i as u8, out.to_user.as_bytes());
+            }
+            if to_world.is_silence() && !out.to_world.is_silence() {
+                to_world = out.to_world;
+            }
+        }
+        ServerOut { to_user, to_world }
+    }
+
+    fn name(&self) -> String {
+        format!("composite(x{})", self.members.len())
+    }
+}
+
+/// Lifts a single-server user strategy to talk to member `index` of a
+/// composite: outgoing server messages are addressed, incoming replies from
+/// other members are filtered out and the tag stripped.
+#[derive(Debug)]
+pub struct Addressed {
+    index: u8,
+    inner: BoxedUser,
+}
+
+impl Addressed {
+    /// Wraps `inner` to converse with member `index`.
+    pub fn new(index: u8, inner: BoxedUser) -> Self {
+        Addressed { index, inner }
+    }
+}
+
+impl UserStrategy for Addressed {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        let from_server = match unaddress(&input.from_server) {
+            Some((i, payload)) if i == self.index => Message::from_bytes(payload.to_vec()),
+            _ => Message::silence(),
+        };
+        let inner_in = UserIn { from_server, from_world: input.from_world.clone() };
+        let mut out = self.inner.step(ctx, &inner_in);
+        if !out.to_server.is_silence() {
+            out.to_server = address(self.index, out.to_server.as_bytes());
+        }
+        out
+    }
+
+    fn halted(&self) -> Option<Halt> {
+        self.inner.halted()
+    }
+
+    fn name(&self) -> String {
+        format!("addressed({}, {})", self.index, self.inner.name())
+    }
+}
+
+/// The product class {0, …, servers−1} × `inner`: strategy `k` of the result
+/// is `Addressed::new(k / |inner|, inner[k % |inner|])`.
+///
+/// Feeding this class to a universal user yields the **multi-party universal
+/// user** of the reduction.
+pub struct AddressedClass {
+    inner: Box<dyn StrategyEnumerator>,
+    servers: usize,
+}
+
+impl fmt::Debug for AddressedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressedClass")
+            .field("inner", &self.inner.name())
+            .field("servers", &self.servers)
+            .finish()
+    }
+}
+
+/// Builds the product class (see [`AddressedClass`]).
+///
+/// # Panics
+///
+/// Panics if `servers` is 0 or exceeds 256, or if `inner` is infinite (the
+/// product of an infinite class is re-ordered; address explicitly instead).
+pub fn addressed_class(inner: Box<dyn StrategyEnumerator>, servers: usize) -> AddressedClass {
+    assert!((1..=256).contains(&servers), "servers must be in 1..=256");
+    assert!(inner.len().is_some(), "addressed_class requires a finite inner class");
+    AddressedClass { inner, servers }
+}
+
+impl StrategyEnumerator for AddressedClass {
+    fn len(&self) -> Option<usize> {
+        self.inner.len().map(|n| n * self.servers)
+    }
+
+    fn strategy(&self, index: usize) -> Option<BoxedUser> {
+        let n = self.inner.len()?;
+        if n == 0 {
+            return None;
+        }
+        let server = index / n;
+        if server >= self.servers {
+            return None;
+        }
+        let inner = self.inner.strategy(index % n)?;
+        Some(Box::new(Addressed::new(server as u8, inner)))
+    }
+
+    fn name(&self) -> String {
+        format!("{} @ {} servers", self.inner.name(), self.servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Execution;
+    use crate::goal::{evaluate_finite, Goal};
+    use crate::rng::GocRng;
+    use crate::strategy::{EchoServer, SilentServer};
+    use crate::toy;
+
+    #[test]
+    fn address_roundtrip() {
+        let m = address(3, b"hello");
+        assert_eq!(unaddress(&m), Some((3u8, b"hello".as_slice())));
+        assert_eq!(unaddress(&Message::silence()), None);
+    }
+
+    #[test]
+    fn composite_routes_to_the_addressed_member() {
+        let mut composite = CompositeServer::new(vec![
+            Box::new(SilentServer),
+            Box::new(EchoServer),
+        ]);
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        // Address member 1 (the echo server).
+        let out = composite.step(
+            &mut ctx,
+            &ServerIn { from_user: address(1, b"ping"), from_world: Message::silence() },
+        );
+        assert_eq!(unaddress(&out.to_user), Some((1u8, b"ping".as_slice())));
+        // Address member 0 (silent): no reply.
+        let mut ctx = StepCtx::new(1, &mut rng);
+        let out = composite.step(
+            &mut ctx,
+            &ServerIn { from_user: address(0, b"ping"), from_world: Message::silence() },
+        );
+        assert!(out.to_user.is_silence());
+    }
+
+    #[test]
+    fn composite_drops_out_of_range_and_unaddressed() {
+        let mut composite = CompositeServer::new(vec![Box::new(EchoServer)]);
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let out = composite.step(
+            &mut ctx,
+            &ServerIn { from_user: address(5, b"ping"), from_world: Message::silence() },
+        );
+        assert!(out.to_user.is_silence());
+        let mut ctx = StepCtx::new(1, &mut rng);
+        let out = composite.step(
+            &mut ctx,
+            &ServerIn { from_user: Message::silence(), from_world: Message::silence() },
+        );
+        assert!(out.to_user.is_silence());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_composite_panics() {
+        let _ = CompositeServer::new(vec![]);
+    }
+
+    #[test]
+    fn addressed_class_is_the_product() {
+        let class = addressed_class(Box::new(toy::caesar_class("hi", 4, false)), 3);
+        assert_eq!(class.len(), Some(12));
+        assert!(class.strategy(11).is_some());
+        assert!(class.strategy(12).is_none());
+        // Strategy 4*1 + 2 targets server 1 with inner strategy 2.
+        let s = class.strategy(6).unwrap();
+        assert!(s.name().starts_with("addressed(1,"));
+    }
+
+    #[test]
+    fn multi_party_universal_user_finds_the_helpful_member() {
+        // Three servers behind one channel: a silent one, a wrong-shift
+        // relay, and a relay with shift 2. Only members that can deliver
+        // the magic word to the world matter; the universal user must find
+        // (member, strategy) jointly.
+        let goal = toy::MagicWordGoal::new("hi");
+        let composite = || {
+            Box::new(CompositeServer::new(vec![
+                Box::new(SilentServer),
+                Box::new(EchoServer),
+                Box::new(toy::RelayServer::with_shift(2)),
+            ])) as BoxedServer
+        };
+        let class = addressed_class(Box::new(toy::caesar_class("hi", 4, false)), 3);
+        let universal = crate::universal::LevinUniversalUser::round_robin(
+            Box::new(class),
+            Box::new(toy::ack_sensing()),
+            8,
+        );
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut exec =
+            Execution::new(goal.spawn_world(&mut rng), composite(), Box::new(universal), rng);
+        let t = exec.run(50_000);
+        let v = evaluate_finite(&goal, &t);
+        assert!(v.achieved, "multi-party reduction failed: {v:?}");
+    }
+
+    #[test]
+    fn multi_party_safety_with_no_helpful_member() {
+        let goal = toy::MagicWordGoal::new("hi");
+        let composite = CompositeServer::new(vec![
+            Box::new(SilentServer),
+            Box::new(EchoServer),
+        ]);
+        let class = addressed_class(Box::new(toy::caesar_class("hi", 4, false)), 2);
+        let universal = crate::universal::LevinUniversalUser::round_robin(
+            Box::new(class),
+            Box::new(toy::ack_sensing()),
+            8,
+        );
+        let mut rng = GocRng::seed_from_u64(2);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(composite),
+            Box::new(universal),
+            rng,
+        );
+        let t = exec.run(20_000);
+        let v = evaluate_finite(&goal, &t);
+        assert!(!v.halted);
+        assert!(!v.achieved);
+    }
+
+    #[test]
+    fn addressed_halt_passes_through() {
+        let inner: BoxedUser = Box::new(toy::SayThrough::new("hi"));
+        let mut a = Addressed::new(0, inner);
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        // World ACK reaches the inner user unchanged (world channel is not
+        // addressed).
+        let input = UserIn {
+            from_server: Message::silence(),
+            from_world: Message::from(toy::ACK),
+        };
+        let _ = a.step(&mut ctx, &input);
+        assert!(UserStrategy::halted(&a).is_some());
+    }
+
+    #[test]
+    fn addressed_tags_outgoing_and_strips_incoming() {
+        let inner: BoxedUser = Box::new(toy::SayThrough::new("hi"));
+        let mut a = Addressed::new(7, inner);
+        let mut rng = GocRng::seed_from_u64(4);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let out = a.step(&mut ctx, &UserIn::default());
+        let (idx, payload) = unaddress(&out.to_server).unwrap();
+        assert_eq!(idx, 7);
+        assert_eq!(payload, b"hi");
+    }
+}

@@ -1,0 +1,284 @@
+//! Deterministic randomness for strategies and experiments.
+//!
+//! The paper's strategies are probabilistic, and the world makes a single
+//! non-deterministic choice of a probabilistic strategy (footnote 2). To keep
+//! every theorem-experiment reproducible, all randomness in `goc` flows
+//! through [`GocRng`], a seedable deterministic generator. Forking (see
+//! [`GocRng::fork`]) derives statistically independent streams for the
+//! different parties of an execution from a single experiment seed.
+
+/// The xoshiro256++ generator state (public-domain algorithm by Blackman &
+/// Vigna), seeded via SplitMix64. Implemented in-house so the generator is
+/// `Clone` and byte-for-byte stable across library upgrades — experiment
+/// outputs in EXPERIMENTS.md stay reproducible forever.
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Xoshiro256 { s }
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A seedable, forkable deterministic random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::rng::GocRng;
+///
+/// let mut a = GocRng::seed_from_u64(42);
+/// let mut b = GocRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's subsequent output.
+/// let mut child = a.fork(0);
+/// let _ = child.next_u64();
+/// ```
+#[derive(Clone, Debug)]
+pub struct GocRng {
+    inner: Xoshiro256,
+    seed: u64,
+}
+
+impl GocRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        GocRng { inner: Xoshiro256::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created from.
+    ///
+    /// Note that after [`fork`](Self::fork) the returned value is the derived
+    /// seed of the fork, not of the root generator.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent generator for stream `stream`.
+    ///
+    /// Forking is deterministic: the same parent seed and stream id always
+    /// produce the same child stream, regardless of how much output the
+    /// parent has produced.
+    pub fn fork(&self, stream: u64) -> Self {
+        // SplitMix64-style mixing of (seed, stream) into a child seed.
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(0x94d0_49bb_1331_11eb);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        GocRng::seed_from_u64(z)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "GocRng::below requires a positive bound");
+        // Rejection sampling to avoid modulo bias.
+        let rem = (u64::MAX % bound + 1) % bound;
+        let zone = u64::MAX - rem;
+        loop {
+            let x = self.inner.next_u64();
+            if x <= zone {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "GocRng::index requires a non-empty range");
+        self.below(len as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn unit(&mut self) -> f64 {
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial that succeeds with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.unit() < p
+    }
+
+    /// Uniform random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.inner.next_u32() & 0xff) as u8
+    }
+
+    /// A vector of `len` uniform random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// Chooses a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let i = self.index(items.len());
+        &items[i]
+    }
+
+    /// A uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.index(i + 1);
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+impl GocRng {
+    /// Fills `dest` with uniform random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = GocRng::seed_from_u64(7);
+        let mut b = GocRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = GocRng::seed_from_u64(1);
+        let mut b = GocRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let root = GocRng::seed_from_u64(99);
+        let mut c1 = root.fork(3);
+        let mut c2 = root.fork(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = root.fork(4);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = GocRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_panics() {
+        GocRng::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = GocRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = GocRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = GocRng::seed_from_u64(13);
+        let p = r.permutation(50);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bytes_has_requested_len() {
+        let mut r = GocRng::seed_from_u64(21);
+        assert_eq!(r.bytes(33).len(), 33);
+        assert!(r.bytes(0).is_empty());
+    }
+
+    #[test]
+    fn choose_picks_member() {
+        let mut r = GocRng::seed_from_u64(31);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(r.choose(&items)));
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Sensing: the user's feedback about progress towards the goal.
+//!
+//! Sensing (paper §3) is a predicate of the history of the portion of the
+//! system visible to the user — its [`view`](crate::view). A [`Sensing`]
+//! value consumes the view event-by-event and emits a stream of Boolean
+//! [`Indication`]s. Two properties make sensing *useful*:
+//!
+//! - **Safety** — negative (resp. non-positive) indications whenever the
+//!   current pairing does **not** lead to achieving the goal. For finite
+//!   goals: positive indications arise only on acceptable histories.
+//! - **Viability** — with *some* server/strategy that does achieve the goal,
+//!   the indications are eventually (all but finitely often) positive.
+//!
+//! Monte-Carlo validators for both properties live in
+//! [`crate::validate`]. The universal constructions in [`crate::universal`]
+//! consume sensing: Theorem 1 states that safe + viable sensing suffices for
+//! a universal user strategy to exist.
+
+use crate::view::ViewEvent;
+use std::fmt::Debug;
+
+/// A Boolean indication produced by sensing after a round, or silence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Indication {
+    /// Evidence of progress / an acceptable history.
+    Positive,
+    /// Evidence of failure — for compact goals this triggers a strategy
+    /// switch in the universal user.
+    Negative,
+    /// No indication this round.
+    #[default]
+    Silent,
+}
+
+impl Indication {
+    /// `true` for [`Indication::Positive`].
+    pub fn is_positive(self) -> bool {
+        matches!(self, Indication::Positive)
+    }
+
+    /// `true` for [`Indication::Negative`].
+    pub fn is_negative(self) -> bool {
+        matches!(self, Indication::Negative)
+    }
+}
+
+/// A sensing function: consumes the user's view, produces indications.
+///
+/// Implementations must be **local to the user's view** — they may not peek
+/// at world or server internals (that is what makes Theorem 1 non-trivial).
+pub trait Sensing: Debug {
+    /// Feeds the view event of a completed round; returns the indication for
+    /// that round.
+    fn observe(&mut self, event: &ViewEvent) -> Indication;
+
+    /// Clears accumulated state. The universal users reset sensing whenever
+    /// they switch to a fresh strategy so that stale evidence from the
+    /// previous strategy is not held against the new one.
+    fn reset(&mut self);
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> String {
+        "sensing".to_string()
+    }
+}
+
+/// Boxed sensing, as produced by [`SensingFactory`] closures.
+pub type BoxedSensing = Box<dyn Sensing>;
+
+impl Sensing for BoxedSensing {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        (**self).observe(event)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// A factory producing fresh sensing instances; the universal users take one
+/// of these so every enumerated strategy starts with pristine sensing.
+pub type SensingFactory = Box<dyn Fn() -> BoxedSensing>;
+
+/// Sensing built from a fold over view events.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::sensing::{FnSensing, Indication, Sensing};
+/// use goc_core::view::ViewEvent;
+/// use goc_core::msg::{UserIn, UserOut};
+///
+/// // Positive whenever the server says anything at all.
+/// let mut s = FnSensing::new("server-spoke", 0u32, |_count, ev: &ViewEvent| {
+///     if ev.received.from_server.is_silence() {
+///         Indication::Silent
+///     } else {
+///         Indication::Positive
+///     }
+/// });
+/// let quiet = ViewEvent { round: 0, received: UserIn::default(), sent: UserOut::silence() };
+/// assert_eq!(s.observe(&quiet), Indication::Silent);
+/// ```
+pub struct FnSensing<T, F> {
+    label: String,
+    init: T,
+    state: T,
+    f: F,
+}
+
+impl<T: Clone, F> FnSensing<T, F>
+where
+    F: FnMut(&mut T, &ViewEvent) -> Indication,
+{
+    /// Creates sensing from an initial state and a fold function.
+    pub fn new(label: impl Into<String>, init: T, f: F) -> Self {
+        let state = init.clone();
+        FnSensing { label: label.into(), init, state, f }
+    }
+}
+
+impl<T, F> Debug for FnSensing<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSensing").field("label", &self.label).finish()
+    }
+}
+
+impl<T: Clone, F> Sensing for FnSensing<T, F>
+where
+    F: FnMut(&mut T, &ViewEvent) -> Indication,
+{
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        (self.f)(&mut self.state, event)
+    }
+
+    fn reset(&mut self) {
+        self.state = self.init.clone();
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Sensing that is always positive — trivially viable, generally **unsafe**.
+/// Used by ablation experiments (E5) and safety-validator tests.
+#[derive(Clone, Debug, Default)]
+pub struct AlwaysPositive;
+
+impl Sensing for AlwaysPositive {
+    fn observe(&mut self, _event: &ViewEvent) -> Indication {
+        Indication::Positive
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "always-positive".to_string()
+    }
+}
+
+/// Sensing that is always negative — trivially safe for finite goals,
+/// **non-viable**. Used by ablation experiments (E5).
+#[derive(Clone, Debug, Default)]
+pub struct AlwaysNegative;
+
+impl Sensing for AlwaysNegative {
+    fn observe(&mut self, _event: &ViewEvent) -> Indication {
+        Indication::Negative
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "always-negative".to_string()
+    }
+}
+
+/// Wraps inner sensing with a *grace period*: for the first `grace` rounds
+/// after (re)start, negative indications are muted to `Silent`.
+///
+/// This models patience (DESIGN.md ablation 2): freshly started strategies
+/// need a few rounds before their failure is meaningful evidence.
+#[derive(Debug)]
+pub struct Grace<S> {
+    inner: S,
+    grace: u64,
+    seen: u64,
+}
+
+impl<S: Sensing> Grace<S> {
+    /// Mutes negatives for the first `grace` observed rounds.
+    pub fn new(inner: S, grace: u64) -> Self {
+        Grace { inner, grace, seen: 0 }
+    }
+}
+
+impl<S: Sensing> Sensing for Grace<S> {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let ind = self.inner.observe(event);
+        self.seen += 1;
+        if self.seen <= self.grace && ind.is_negative() {
+            Indication::Silent
+        } else {
+            ind
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.seen = 0;
+    }
+
+    fn name(&self) -> String {
+        format!("grace({}, {})", self.grace, self.inner.name())
+    }
+}
+
+/// Produces a **negative** indication if the inner sensing stays
+/// non-positive for `timeout` consecutive rounds.
+///
+/// Many natural sensing functions only ever produce *positive* evidence
+/// ("the document was printed"). `Deadline` converts their prolonged silence
+/// into the negative evidence that drives the compact universal user's
+/// switching rule.
+#[derive(Debug)]
+pub struct Deadline<S> {
+    inner: S,
+    timeout: u64,
+    quiet: u64,
+}
+
+impl<S: Sensing> Deadline<S> {
+    /// Emits `Negative` after `timeout` consecutive rounds without a
+    /// positive from `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout == 0`.
+    pub fn new(inner: S, timeout: u64) -> Self {
+        assert!(timeout > 0, "Deadline requires a positive timeout");
+        Deadline { inner, timeout, quiet: 0 }
+    }
+}
+
+impl<S: Sensing> Sensing for Deadline<S> {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let ind = self.inner.observe(event);
+        match ind {
+            Indication::Positive => {
+                self.quiet = 0;
+                Indication::Positive
+            }
+            Indication::Negative => {
+                self.quiet = 0;
+                Indication::Negative
+            }
+            Indication::Silent => {
+                self.quiet += 1;
+                if self.quiet >= self.timeout {
+                    self.quiet = 0;
+                    Indication::Negative
+                } else {
+                    Indication::Silent
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.quiet = 0;
+    }
+
+    fn name(&self) -> String {
+        format!("deadline({}, {})", self.timeout, self.inner.name())
+    }
+}
+
+/// Debounces negatives: only every `patience`-th consecutive raw negative is
+/// passed through; earlier ones are muted to `Silent`.
+///
+/// This is the "patience-δ switching" ablation (DESIGN.md §4.2): it trades
+/// switching latency for robustness against occasional spurious negatives.
+#[derive(Debug)]
+pub struct Patience<S> {
+    inner: S,
+    patience: u64,
+    streak: u64,
+}
+
+impl<S: Sensing> Patience<S> {
+    /// Requires `patience` consecutive negatives before reporting one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    pub fn new(inner: S, patience: u64) -> Self {
+        assert!(patience > 0, "Patience requires a positive threshold");
+        Patience { inner, patience, streak: 0 }
+    }
+}
+
+impl<S: Sensing> Sensing for Patience<S> {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let ind = self.inner.observe(event);
+        match ind {
+            Indication::Negative => {
+                self.streak += 1;
+                if self.streak >= self.patience {
+                    self.streak = 0;
+                    Indication::Negative
+                } else {
+                    Indication::Silent
+                }
+            }
+            other => {
+                self.streak = 0;
+                other
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.streak = 0;
+    }
+
+    fn name(&self) -> String {
+        format!("patience({}, {})", self.patience, self.inner.name())
+    }
+}
+
+/// Combines two sensing functions: positive if **either** is positive,
+/// negative if **either** is negative (positives win ties; a goal already
+/// confirmed should not be abandoned on a co-occurring negative).
+#[derive(Debug)]
+pub struct Either<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Sensing, B: Sensing> Either<A, B> {
+    /// Combines `a` and `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Either { a, b }
+    }
+}
+
+impl<A: Sensing, B: Sensing> Sensing for Either<A, B> {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let ia = self.a.observe(event);
+        let ib = self.b.observe(event);
+        if ia.is_positive() || ib.is_positive() {
+            Indication::Positive
+        } else if ia.is_negative() || ib.is_negative() {
+            Indication::Negative
+        } else {
+            Indication::Silent
+        }
+    }
+
+    fn reset(&mut self) {
+        self.a.reset();
+        self.b.reset();
+    }
+
+    fn name(&self) -> String {
+        format!("either({}, {})", self.a.name(), self.b.name())
+    }
+}
+
+/// Running counts of the indications an inner sensing produced — a
+/// diagnostics pass-through used by the validators and the report harness.
+#[derive(Debug)]
+pub struct Counted<S> {
+    inner: S,
+    positives: u64,
+    negatives: u64,
+    silents: u64,
+}
+
+impl<S: Sensing> Counted<S> {
+    /// Wraps `inner`, counting its indications.
+    pub fn new(inner: S) -> Self {
+        Counted { inner, positives: 0, negatives: 0, silents: 0 }
+    }
+
+    /// `(positives, negatives, silents)` since the last reset.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.positives, self.negatives, self.silents)
+    }
+}
+
+impl<S: Sensing> Sensing for Counted<S> {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let ind = self.inner.observe(event);
+        match ind {
+            Indication::Positive => self.positives += 1,
+            Indication::Negative => self.negatives += 1,
+            Indication::Silent => self.silents += 1,
+        }
+        ind
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.positives = 0;
+        self.negatives = 0;
+        self.silents = 0;
+    }
+
+    fn name(&self) -> String {
+        format!("counted({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{Message, UserIn, UserOut};
+
+    fn quiet_event(round: u64) -> ViewEvent {
+        ViewEvent { round, received: UserIn::default(), sent: UserOut::silence() }
+    }
+
+    fn server_says(round: u64, text: &str) -> ViewEvent {
+        ViewEvent {
+            round,
+            received: UserIn { from_server: Message::from(text), from_world: Message::silence() },
+            sent: UserOut::silence(),
+        }
+    }
+
+    fn spoke_sensing() -> impl Sensing {
+        FnSensing::new("spoke", (), |_state, ev: &ViewEvent| {
+            if ev.received.from_server.is_silence() {
+                Indication::Silent
+            } else {
+                Indication::Positive
+            }
+        })
+    }
+
+    #[test]
+    fn indication_predicates() {
+        assert!(Indication::Positive.is_positive());
+        assert!(!Indication::Positive.is_negative());
+        assert!(Indication::Negative.is_negative());
+        assert!(!Indication::Silent.is_positive());
+        assert_eq!(Indication::default(), Indication::Silent);
+    }
+
+    #[test]
+    fn fn_sensing_folds_and_resets() {
+        let mut s = FnSensing::new("count-3", 0u32, |count, _ev: &ViewEvent| {
+            *count += 1;
+            if *count >= 3 {
+                Indication::Negative
+            } else {
+                Indication::Silent
+            }
+        });
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(1)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(2)), Indication::Negative);
+        s.reset();
+        assert_eq!(s.observe(&quiet_event(3)), Indication::Silent);
+    }
+
+    #[test]
+    fn always_positive_and_negative() {
+        assert!(AlwaysPositive.observe(&quiet_event(0)).is_positive());
+        assert!(AlwaysNegative.observe(&quiet_event(0)).is_negative());
+    }
+
+    #[test]
+    fn deadline_fires_after_timeout_and_rearms() {
+        let mut s = Deadline::new(spoke_sensing(), 3);
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(1)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(2)), Indication::Negative);
+        // Re-armed after firing.
+        assert_eq!(s.observe(&quiet_event(3)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(4)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(5)), Indication::Negative);
+    }
+
+    #[test]
+    fn deadline_reset_by_positive() {
+        let mut s = Deadline::new(spoke_sensing(), 2);
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s.observe(&server_says(1, "ok")), Indication::Positive);
+        assert_eq!(s.observe(&quiet_event(2)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(3)), Indication::Negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive timeout")]
+    fn deadline_zero_panics() {
+        let _ = Deadline::new(AlwaysPositive, 0);
+    }
+
+    #[test]
+    fn grace_mutes_early_negatives() {
+        let mut s = Grace::new(AlwaysNegative, 2);
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(1)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(2)), Indication::Negative);
+        s.reset();
+        assert_eq!(s.observe(&quiet_event(3)), Indication::Silent);
+    }
+
+    #[test]
+    fn patience_debounces_negatives() {
+        let mut s = Patience::new(AlwaysNegative, 3);
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(1)), Indication::Silent);
+        assert_eq!(s.observe(&quiet_event(2)), Indication::Negative);
+        assert_eq!(s.observe(&quiet_event(3)), Indication::Silent);
+    }
+
+    #[test]
+    fn patience_streak_broken_by_non_negative() {
+        let mut inner = FnSensing::new("alt", 0u32, |n, _ev: &ViewEvent| {
+            *n += 1;
+            if *n % 2 == 0 {
+                Indication::Silent
+            } else {
+                Indication::Negative
+            }
+        });
+        inner.reset();
+        let mut s = Patience::new(inner, 2);
+        // Alternating negative/silent never reaches a streak of 2.
+        for r in 0..10 {
+            assert_ne!(s.observe(&quiet_event(r)), Indication::Negative);
+        }
+    }
+
+    #[test]
+    fn names_compose() {
+        let s = Patience::new(Deadline::new(AlwaysPositive, 5), 2);
+        assert_eq!(s.name(), "patience(2, deadline(5, always-positive))");
+    }
+
+    #[test]
+    fn either_prefers_positive_over_negative() {
+        let mut s = Either::new(AlwaysPositive, AlwaysNegative);
+        assert_eq!(s.observe(&quiet_event(0)), Indication::Positive);
+        let mut s2 = Either::new(AlwaysNegative, spoke_sensing());
+        assert_eq!(s2.observe(&quiet_event(0)), Indication::Negative);
+        // Positive wins the tie even when the other arm is negative.
+        assert_eq!(s2.observe(&server_says(1, "x")), Indication::Positive);
+        let mut s3 = Either::new(spoke_sensing(), spoke_sensing());
+        assert_eq!(s3.observe(&quiet_event(0)), Indication::Silent);
+        assert_eq!(s3.observe(&server_says(1, "x")), Indication::Positive);
+        s3.reset();
+        assert!(s3.name().starts_with("either("));
+    }
+
+    #[test]
+    fn counted_tracks_and_resets() {
+        let mut s = Counted::new(spoke_sensing());
+        let _ = s.observe(&quiet_event(0));
+        let _ = s.observe(&server_says(1, "x"));
+        let _ = s.observe(&server_says(2, "y"));
+        assert_eq!(s.counts(), (2, 0, 1));
+        s.reset();
+        assert_eq!(s.counts(), (0, 0, 0));
+        assert_eq!(s.name(), "counted(spoke)");
+    }
+
+    #[test]
+    fn boxed_sensing_delegates() {
+        let mut b: BoxedSensing = Box::new(AlwaysPositive);
+        assert!(b.observe(&quiet_event(0)).is_positive());
+        assert_eq!(b.name(), "always-positive");
+        b.reset();
+    }
+}

@@ -1,0 +1,176 @@
+//! Transcript rendering and channel statistics — diagnostics for debugging
+//! strategies, sensing functions and referees.
+
+use crate::exec::{StopReason, Transcript};
+use crate::view::UserView;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+/// Aggregate statistics of the user-visible channels of an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Rounds observed.
+    pub rounds: u64,
+    /// Non-silent messages the user sent to the server.
+    pub sent_to_server: u64,
+    /// Non-silent messages the user sent to the world.
+    pub sent_to_world: u64,
+    /// Non-silent messages received from the server.
+    pub recv_from_server: u64,
+    /// Non-silent messages received from the world.
+    pub recv_from_world: u64,
+    /// Total payload bytes sent by the user.
+    pub bytes_sent: u64,
+    /// Total payload bytes received by the user.
+    pub bytes_received: u64,
+}
+
+impl ChannelStats {
+    /// Computes statistics over a user view.
+    pub fn of(view: &UserView) -> Self {
+        let mut s = ChannelStats { rounds: view.len() as u64, ..Default::default() };
+        for ev in view {
+            if !ev.sent.to_server.is_silence() {
+                s.sent_to_server += 1;
+                s.bytes_sent += ev.sent.to_server.len() as u64;
+            }
+            if !ev.sent.to_world.is_silence() {
+                s.sent_to_world += 1;
+                s.bytes_sent += ev.sent.to_world.len() as u64;
+            }
+            if !ev.received.from_server.is_silence() {
+                s.recv_from_server += 1;
+                s.bytes_received += ev.received.from_server.len() as u64;
+            }
+            if !ev.received.from_world.is_silence() {
+                s.recv_from_world += 1;
+                s.bytes_received += ev.received.from_world.len() as u64;
+            }
+        }
+        s
+    }
+
+    /// Fraction of rounds in which the user said nothing at all.
+    pub fn user_silence_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 1.0;
+        }
+        // sent_to_* counts are per-channel; a round is silent if neither
+        // channel carried a message — approximated from totals (exact when
+        // the user never uses both channels in one round, which holds for
+        // every strategy in this workspace).
+        let speaking = (self.sent_to_server + self.sent_to_world).min(self.rounds);
+        1.0 - speaking as f64 / self.rounds as f64
+    }
+}
+
+/// Renders the first `limit` and last `limit` rounds of a transcript as a
+/// human-readable table (non-silent channels only).
+pub fn render<S: Clone + Debug>(transcript: &Transcript<S>, limit: usize) -> String {
+    let mut out = String::new();
+    let n = transcript.view.len();
+    let _ = writeln!(out, "execution: {} rounds, stop = {}", transcript.rounds, stop_str(&transcript.stop));
+    let events: Vec<usize> = if n <= 2 * limit {
+        (0..n).collect()
+    } else {
+        (0..limit).chain(n - limit..n).collect()
+    };
+    let mut last: Option<usize> = None;
+    for &i in &events {
+        if let Some(prev) = last {
+            if i > prev + 1 {
+                let _ = writeln!(out, "  … {} rounds elided …", i - prev - 1);
+            }
+        }
+        last = Some(i);
+        let ev = &transcript.view.events()[i];
+        let mut parts = Vec::new();
+        if !ev.received.from_server.is_silence() {
+            parts.push(format!("s→u {}", ev.received.from_server));
+        }
+        if !ev.received.from_world.is_silence() {
+            parts.push(format!("w→u {}", ev.received.from_world));
+        }
+        if !ev.sent.to_server.is_silence() {
+            parts.push(format!("u→s {}", ev.sent.to_server));
+        }
+        if !ev.sent.to_world.is_silence() {
+            parts.push(format!("u→w {}", ev.sent.to_world));
+        }
+        if parts.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  r{:>5}: {}", ev.round, parts.join(" | "));
+    }
+    out
+}
+
+fn stop_str(stop: &StopReason) -> String {
+    match stop {
+        StopReason::UserHalted(h) => format!("halted({})", h.output),
+        StopReason::HorizonExhausted => "horizon".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Execution;
+    use crate::goal::Goal;
+    use crate::rng::GocRng;
+    use crate::toy;
+
+    fn sample_transcript() -> Transcript<toy::MagicState> {
+        let goal = toy::MagicWordGoal::new("hi");
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::default()),
+            Box::new(toy::SayThrough::new("hi")),
+            rng,
+        );
+        exec.run(50)
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let t = sample_transcript();
+        let stats = ChannelStats::of(&t.view);
+        assert!(stats.sent_to_server >= 1);
+        assert!(stats.recv_from_world >= 1, "the ACK");
+        assert!(stats.bytes_sent >= 2);
+        assert!(stats.rounds >= 4);
+        assert!(stats.user_silence_rate() <= 1.0);
+    }
+
+    #[test]
+    fn stats_of_empty_view() {
+        let stats = ChannelStats::of(&UserView::new());
+        assert_eq!(stats, ChannelStats::default());
+        assert_eq!(stats.user_silence_rate(), 1.0);
+    }
+
+    #[test]
+    fn render_shows_traffic_and_stop() {
+        let t = sample_transcript();
+        let text = render(&t, 10);
+        assert!(text.contains("halted(heard)"), "{text}");
+        assert!(text.contains("u→s hi"), "{text}");
+        assert!(text.contains("w→u ACK"), "{text}");
+    }
+
+    #[test]
+    fn render_elides_the_middle() {
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+        let mut rng = GocRng::seed_from_u64(2);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::default()),
+            Box::new(toy::SayThrough::persistent("hi")),
+            rng,
+        );
+        let t = exec.run_for(100);
+        let text = render(&t, 3);
+        assert!(text.contains("rounds elided"), "{text}");
+    }
+}

@@ -1,0 +1,330 @@
+//! The compact-goal universal user: enumerate and switch on negatives.
+
+use super::schedule::Schedule;
+use super::SwitchRecord;
+use crate::enumeration::StrategyEnumerator;
+use crate::msg::{UserIn, UserOut};
+use crate::sensing::{BoxedSensing, Sensing};
+use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
+use crate::view::ViewEvent;
+use std::fmt;
+
+/// The universal user strategy for **compact** goals (Theorem 1, compact
+/// case).
+///
+/// Runs the currently enumerated strategy and, whenever the sensing function
+/// produces a **negative** indication, abandons it for the next strategy in
+/// the schedule (default: triangular, so every strategy recurs infinitely
+/// often). Sensing is reset at every switch so that one strategy's failures
+/// are not held against its successor.
+///
+/// Correctness under the paper's hypotheses:
+///
+/// - *Safety* ensures a pairing that fails the goal generates infinitely many
+///   negatives, so a failing strategy is always eventually abandoned.
+/// - *Viability* ensures the viable strategy suffers only finitely many
+///   negatives; since it recurs infinitely often in the schedule, the user
+///   eventually adopts it after its last spurious negative and never leaves.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::prelude::*;
+/// use goc_core::sensing::Deadline;
+/// use goc_core::toy;
+///
+/// let goal = toy::CompactMagicWordGoal::new("hi", 16);
+/// let class = toy::caesar_class("hi", 8, true);
+/// let universal = CompactUniversalUser::new(
+///     Box::new(class),
+///     Box::new(Deadline::new(toy::ack_sensing(), 8)),
+/// );
+///
+/// let mut rng = GocRng::seed_from_u64(5);
+/// let mut exec = Execution::new(
+///     goal.spawn_world(&mut rng),
+///     Box::new(toy::RelayServer::with_shift(5)),
+///     Box::new(universal),
+///     rng,
+/// );
+/// let t = exec.run(2000);
+/// assert!(evaluate_compact(&goal, &t).achieved(200));
+/// ```
+pub struct CompactUniversalUser {
+    enumerator: Box<dyn StrategyEnumerator>,
+    sensing: BoxedSensing,
+    schedule: Schedule,
+    current: BoxedUser,
+    current_index: usize,
+    switches: Vec<SwitchRecord>,
+    pending_switch: bool,
+}
+
+impl fmt::Debug for CompactUniversalUser {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompactUniversalUser")
+            .field("enumerator", &self.enumerator.name())
+            .field("sensing", &self.sensing.name())
+            .field("current_index", &self.current_index)
+            .field("switches", &self.switches.len())
+            .finish()
+    }
+}
+
+impl CompactUniversalUser {
+    /// Builds the universal user over `enumerator` with the given `sensing`,
+    /// using the (correct) triangular schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration is empty.
+    pub fn new(enumerator: Box<dyn StrategyEnumerator>, sensing: BoxedSensing) -> Self {
+        assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
+        let schedule = Schedule::triangular(enumerator.len());
+        Self::with_schedule(enumerator, sensing, schedule)
+    }
+
+    /// Builds the universal user with an explicit schedule (ablation E8 uses
+    /// [`Schedule::linear`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration is empty or the schedule yields an index the
+    /// enumeration cannot instantiate.
+    pub fn with_schedule(
+        enumerator: Box<dyn StrategyEnumerator>,
+        sensing: BoxedSensing,
+        mut schedule: Schedule,
+    ) -> Self {
+        assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
+        let first = schedule.next().expect("schedules are infinite");
+        let current = enumerator
+            .strategy(first)
+            .expect("schedule yielded an index outside the enumeration");
+        CompactUniversalUser {
+            enumerator,
+            sensing,
+            schedule,
+            current,
+            current_index: first,
+            switches: Vec::new(),
+            pending_switch: false,
+        }
+    }
+
+    /// Index (in the enumeration) of the strategy currently running.
+    pub fn current_index(&self) -> usize {
+        self.current_index
+    }
+
+    /// Number of strategy switches performed so far.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The full switch log (for the overhead experiments).
+    pub fn switch_log(&self) -> &[SwitchRecord] {
+        &self.switches
+    }
+
+    fn switch(&mut self, round: u64) {
+        let next = self.schedule.next().expect("schedules are infinite");
+        let fresh = self
+            .enumerator
+            .strategy(next)
+            .expect("schedule yielded an index outside the enumeration");
+        self.switches.push(SwitchRecord {
+            round,
+            from_index: self.current_index,
+            to_index: next,
+        });
+        self.current = fresh;
+        self.current_index = next;
+        self.sensing.reset();
+        self.pending_switch = false;
+    }
+}
+
+impl UserStrategy for CompactUniversalUser {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if self.pending_switch {
+            self.switch(ctx.round);
+        }
+        let out = self.current.step(ctx, input);
+        let event = ViewEvent { round: ctx.round, received: input.clone(), sent: out.clone() };
+        let indication = self.sensing.observe(&event);
+        if indication.is_negative() {
+            // Switch at the *start* of the next round so this round's output
+            // (already computed) stays consistent with the strategy that
+            // produced it.
+            self.pending_switch = true;
+        }
+        if self.current.halted().is_some() {
+            // A halted inner strategy is silent forever: for a compact goal
+            // that is abandonment, so move on.
+            self.pending_switch = true;
+        }
+        out
+    }
+
+    fn halted(&self) -> Option<Halt> {
+        None // compact-goal users run forever
+    }
+
+    fn name(&self) -> String {
+        format!("compact-universal({})", self.enumerator.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Execution;
+    use crate::goal::{evaluate_compact, Goal};
+    use crate::rng::GocRng;
+    use crate::sensing::Deadline;
+    use crate::toy;
+
+    fn universal(shifts: u8, timeout: u64) -> CompactUniversalUser {
+        CompactUniversalUser::new(
+            Box::new(toy::caesar_class("hi", shifts, true)),
+            Box::new(Deadline::new(toy::ack_sensing(), timeout)),
+        )
+    }
+
+    fn run_against(shift: u8, user: CompactUniversalUser, horizon: u64, seed: u64) -> bool {
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+        let mut rng = GocRng::seed_from_u64(seed);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::with_shift(shift)),
+            Box::new(user),
+            rng,
+        );
+        let t = exec.run(horizon);
+        evaluate_compact(&goal, &t).achieved(horizon / 8)
+    }
+
+    #[test]
+    fn finds_the_compatible_strategy_for_every_server() {
+        for shift in 0..8u8 {
+            assert!(
+                run_against(shift, universal(8, 8), 4000, 100 + shift as u64),
+                "failed against shift {shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn settles_and_stops_switching() {
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+        let mut rng = GocRng::seed_from_u64(7);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::with_shift(3)),
+            Box::new(universal(8, 8)),
+            rng,
+        );
+        exec.run(4000);
+        // Downcast via Debug: we can't retrieve the user from the execution
+        // generically, so instead run the universal user manually below.
+        // (Settling is asserted by the flawless tail of the verdict.)
+        let t = exec.into_transcript();
+        let v = evaluate_compact(&goal, &t);
+        assert!(v.achieved(500), "verdict: {v:?}");
+    }
+
+    #[test]
+    fn switch_log_counts_abandonments() {
+        // Drive the universal user by hand against nothing: ack never comes,
+        // so Deadline fires every `timeout` rounds and the user cycles.
+        let mut u = universal(4, 5);
+        let mut rng = GocRng::seed_from_u64(1);
+        assert_eq!(u.current_index(), 0);
+        for round in 0..100 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = u.step(&mut ctx, &UserIn::default());
+        }
+        assert!(u.switch_count() >= 10, "switches: {}", u.switch_count());
+        // Triangular over 4: indices cycle 0,0,1,0,1,2,...
+        let first: Vec<usize> = u.switch_log().iter().take(3).map(|s| s.to_index).collect();
+        assert_eq!(first, vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty strategy class")]
+    fn empty_class_panics() {
+        let _ = CompactUniversalUser::new(
+            Box::new(crate::enumeration::SliceEnumerator::new("empty")),
+            Box::new(toy::ack_sensing()),
+        );
+    }
+
+    #[test]
+    fn linear_schedule_ablation_can_strand() {
+        // With a *linear* schedule and sensing so impatient it produces a
+        // spurious negative before the correct strategy can earn its ack,
+        // the naive user abandons every strategy once and strands on the
+        // last one. The triangular user recovers because strategies recur.
+        //
+        // Deadline timeout 2 < 3 rounds needed for the first ack round-trip.
+        let mk = |schedule: Schedule| {
+            CompactUniversalUser::with_schedule(
+                Box::new(toy::caesar_class("hi", 4, true)),
+                Box::new(Deadline::new(toy::ack_sensing(), 2)),
+                schedule,
+            )
+        };
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+
+        let run = |user: CompactUniversalUser| {
+            let mut rng = GocRng::seed_from_u64(11);
+            let mut exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(toy::RelayServer::with_shift(1)),
+                Box::new(user),
+                rng,
+            );
+            let t = exec.run(3000);
+            evaluate_compact(&goal, &t)
+        };
+
+        let linear = run(mk(Schedule::linear(Some(4))));
+        let triangular = run(mk(Schedule::triangular(Some(4))));
+        // The linear user strands on index 3 (wrong shift): goal not achieved.
+        assert!(!linear.achieved(300), "linear: {linear:?}");
+        // Even the triangular user cannot *settle* (negatives keep firing
+        // with timeout 2), but it keeps revisiting the right strategy, so it
+        // outperforms linear on successes; assert it at least heard acks.
+        assert!(triangular.bad_prefixes <= linear.bad_prefixes);
+    }
+
+    #[test]
+    fn halted_inner_strategy_triggers_switch() {
+        // A class of finite (halting) users inside a compact universal user:
+        // each halts immediately, so the universal user must keep switching.
+        let class = crate::enumeration::SliceEnumerator::new("halters").with(|| {
+            Box::new(crate::strategy::FnUser::new("halter", |_ctx, _in| {
+                crate::strategy::UserAction::HaltWith(UserOut::silence(), Halt::empty())
+            })) as BoxedUser
+        });
+        let mut u = CompactUniversalUser::new(
+            Box::new(class),
+            Box::new(toy::ack_sensing()),
+        );
+        let mut rng = GocRng::seed_from_u64(2);
+        for round in 0..10 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = u.step(&mut ctx, &UserIn::default());
+        }
+        assert!(u.switch_count() >= 9);
+    }
+
+    #[test]
+    fn debug_and_name() {
+        let u = universal(4, 5);
+        assert!(format!("{u:?}").contains("CompactUniversalUser"));
+        assert!(u.name().contains("compact-universal"));
+        assert!(UserStrategy::halted(&u).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Universal user strategies — Theorem 1 as code.
+//!
+//! > *For any (compact or finite) goal and any class of server strategies for
+//! > which there exists safe and viable sensing, there exists a universal
+//! > user strategy.*
+//!
+//! The two constructions in the paper's proof sketch are:
+//!
+//! - **Compact goals** ([`CompactUniversalUser`]): enumerate the relevant
+//!   user strategies and *switch from the current strategy to the next when a
+//!   negative indication is obtained* from sensing. The enumeration must let
+//!   every strategy recur infinitely often (see
+//!   [`TriangularSchedule`](crate::enumeration::TriangularSchedule)), because
+//!   viability only bounds the number of negatives for a viable strategy.
+//!
+//! - **Finite goals** ([`LevinUniversalUser`]): enumerate strategies "in
+//!   parallel" à la Levin's universal search — candidate *i* runs with a
+//!   budget proportional to 2^(k−i) in phase *k* — and *use sensing to decide
+//!   when to stop*. Safety of sensing makes halting on a positive indication
+//!   sound; viability guarantees a positive eventually arrives with any
+//!   helpful server.
+
+mod compact;
+mod finite;
+mod schedule;
+
+pub use compact::CompactUniversalUser;
+pub use finite::LevinUniversalUser;
+pub use schedule::{BudgetSchedule, LevinSchedule, RoundRobinDoubling, Schedule};
+
+/// One strategy switch made by a universal user, for diagnostics and the
+/// overhead experiments (E3, E4).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchRecord {
+    /// Round at which the switch happened.
+    pub round: u64,
+    /// Index of the strategy abandoned.
+    pub from_index: usize,
+    /// Index of the strategy adopted.
+    pub to_index: usize,
+}

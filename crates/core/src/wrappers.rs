@@ -1,0 +1,385 @@
+//! Generic server decorators.
+//!
+//! The theory quantifies over *classes* of server strategies and over
+//! arbitrary server start states. These wrappers manufacture such classes
+//! from any base server:
+//!
+//! - [`PasswordLocked`] — unhelpful until a secret password arrives; the
+//!   instrument of the lower-bound experiment E3 ("the overhead introduced by
+//!   the enumeration is essentially necessary").
+//! - [`Delayed`] — answers lag by a configurable number of rounds.
+//! - [`Lossy`] — drops outgoing messages with probability `p`.
+//! - [`ScrambledStart`] — runs the inner server from an "arbitrary" start
+//!   state by feeding it junk warm-up rounds first.
+
+use crate::msg::{Message, ServerIn, ServerOut};
+use crate::strategy::{BoxedServer, ServerStrategy, StepCtx};
+use std::collections::VecDeque;
+
+/// A server that ignores everything until it receives the exact password
+/// from the user, then behaves as the inner server.
+///
+/// The password round itself is consumed (not forwarded). A class of
+/// password-locked servers over k-bit passwords forces any universal user to
+/// pay Ω(2^k) rounds in the worst case — the paper's "enumeration overhead is
+/// essentially necessary" phenomenon, reproduced by experiment E3.
+///
+/// # Examples
+///
+/// ```
+/// use goc_core::wrappers::PasswordLocked;
+/// use goc_core::strategy::EchoServer;
+///
+/// let locked = PasswordLocked::new(Box::new(EchoServer), "sesame");
+/// assert!(!locked.is_unlocked());
+/// ```
+#[derive(Debug)]
+pub struct PasswordLocked {
+    inner: BoxedServer,
+    password: Vec<u8>,
+    unlocked: bool,
+}
+
+impl PasswordLocked {
+    /// Locks `inner` behind `password`.
+    pub fn new(inner: BoxedServer, password: impl AsRef<[u8]>) -> Self {
+        PasswordLocked { inner, password: password.as_ref().to_vec(), unlocked: false }
+    }
+
+    /// Whether the lock has been opened.
+    pub fn is_unlocked(&self) -> bool {
+        self.unlocked
+    }
+}
+
+impl ServerStrategy for PasswordLocked {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if self.unlocked {
+            return self.inner.step(ctx, input);
+        }
+        if input.from_user.as_bytes() == self.password.as_slice() {
+            self.unlocked = true;
+        }
+        ServerOut::silence()
+    }
+
+    fn name(&self) -> String {
+        format!("password-locked({} bytes, {})", self.password.len(), self.inner.name())
+    }
+}
+
+/// A server whose incoming user messages are delayed by `delay` rounds.
+#[derive(Debug)]
+pub struct Delayed {
+    inner: BoxedServer,
+    queue: VecDeque<Message>,
+    delay: usize,
+}
+
+impl Delayed {
+    /// Delays user→server delivery by `delay` rounds.
+    pub fn new(inner: BoxedServer, delay: usize) -> Self {
+        let mut queue = VecDeque::with_capacity(delay + 1);
+        for _ in 0..delay {
+            queue.push_back(Message::silence());
+        }
+        Delayed { inner, queue, delay }
+    }
+}
+
+impl ServerStrategy for Delayed {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        self.queue.push_back(input.from_user.clone());
+        let delivered = self.queue.pop_front().unwrap_or_else(Message::silence);
+        let delayed_in = ServerIn { from_user: delivered, from_world: input.from_world.clone() };
+        self.inner.step(ctx, &delayed_in)
+    }
+
+    fn name(&self) -> String {
+        format!("delayed({}, {})", self.delay, self.inner.name())
+    }
+}
+
+/// A server whose outgoing messages are each dropped with probability `p`.
+#[derive(Debug)]
+pub struct Lossy {
+    inner: BoxedServer,
+    p: f64,
+}
+
+impl Lossy {
+    /// Drops each outgoing message independently with probability `p`
+    /// (clamped to `[0, 1]`).
+    pub fn new(inner: BoxedServer, p: f64) -> Self {
+        Lossy { inner, p: p.clamp(0.0, 1.0) }
+    }
+}
+
+impl ServerStrategy for Lossy {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        let mut out = self.inner.step(ctx, input);
+        if !out.to_user.is_silence() && ctx.rng.chance(self.p) {
+            out.to_user = Message::silence();
+        }
+        if !out.to_world.is_silence() && ctx.rng.chance(self.p) {
+            out.to_world = Message::silence();
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("lossy({}, {})", self.p, self.inner.name())
+    }
+}
+
+/// Runs the inner server from an "arbitrary initial state": before the real
+/// execution starts, the wrapper feeds the inner server `warmup` rounds of
+/// random junk input (using the server's own random stream), discarding its
+/// outputs.
+///
+/// The theorems quantify over executions started from *any* server state;
+/// `ScrambledStart` realizes that quantifier for stateful servers.
+#[derive(Debug)]
+pub struct ScrambledStart {
+    inner: BoxedServer,
+    warmup: u32,
+    done: bool,
+}
+
+impl ScrambledStart {
+    /// Scrambles `inner` with `warmup` junk rounds on first step.
+    pub fn new(inner: BoxedServer, warmup: u32) -> Self {
+        ScrambledStart { inner, warmup, done: false }
+    }
+}
+
+impl ServerStrategy for ScrambledStart {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if !self.done {
+            for _ in 0..self.warmup {
+                let junk_len = ctx.rng.index(8) + 1;
+                let junk = ServerIn {
+                    from_user: Message::from_bytes(ctx.rng.bytes(junk_len)),
+                    from_world: Message::silence(),
+                };
+                let _ = self.inner.step(ctx, &junk);
+            }
+            self.done = true;
+        }
+        self.inner.step(ctx, input)
+    }
+
+    fn name(&self) -> String {
+        format!("scrambled({}, {})", self.warmup, self.inner.name())
+    }
+}
+
+/// A server that is helpful only part of the time: it sleeps (behaves like
+/// a silent server) for `off` rounds out of every `on + off`.
+///
+/// An intermittent wrapper around a helpful server is *still helpful* for
+/// forgiving goals — persistence wins — but it stretches the viability
+/// latency, stress-testing sensing deadlines.
+#[derive(Debug)]
+pub struct Intermittent {
+    inner: BoxedServer,
+    on: u64,
+    off: u64,
+}
+
+impl Intermittent {
+    /// A server awake for `on` rounds, asleep for `off` rounds, repeating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on == 0`.
+    pub fn new(inner: BoxedServer, on: u64, off: u64) -> Self {
+        assert!(on > 0, "Intermittent requires a positive on-phase");
+        Intermittent { inner, on, off }
+    }
+}
+
+impl ServerStrategy for Intermittent {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if ctx.round % (self.on + self.off) < self.on {
+            self.inner.step(ctx, input)
+        } else {
+            ServerOut::silence()
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("intermittent({}on/{}off, {})", self.on, self.off, self.inner.name())
+    }
+}
+
+/// A server that, with probability `p` per round, replaces its outgoing
+/// messages with random garbage.
+///
+/// Used by safety experiments: garbage must never fool safe sensing into a
+/// false positive (the referee, not the channel, defines success).
+#[derive(Debug)]
+pub struct Byzantine {
+    inner: BoxedServer,
+    p: f64,
+    max_garbage: usize,
+}
+
+impl Byzantine {
+    /// Corrupts each round's output with probability `p` (clamped to
+    /// `[0, 1]`), emitting up to `max_garbage` random bytes per channel.
+    pub fn new(inner: BoxedServer, p: f64, max_garbage: usize) -> Self {
+        Byzantine { inner, p: p.clamp(0.0, 1.0), max_garbage: max_garbage.max(1) }
+    }
+}
+
+impl ServerStrategy for Byzantine {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        let out = self.inner.step(ctx, input);
+        if ctx.rng.chance(self.p) {
+            let len_u = ctx.rng.index(self.max_garbage) + 1;
+            let len_w = ctx.rng.index(self.max_garbage) + 1;
+            ServerOut {
+                to_user: Message::from_bytes(ctx.rng.bytes(len_u)),
+                to_world: Message::from_bytes(ctx.rng.bytes(len_w)),
+            }
+        } else {
+            out
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("byzantine({}, {})", self.p, self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::GocRng;
+    use crate::strategy::EchoServer;
+
+    fn ctx(rng: &mut GocRng) -> StepCtx<'_> {
+        StepCtx::new(0, rng)
+    }
+
+    fn user_says(text: &str) -> ServerIn {
+        ServerIn { from_user: Message::from(text), from_world: Message::silence() }
+    }
+
+    #[test]
+    fn password_blocks_until_unlocked() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut s = PasswordLocked::new(Box::new(EchoServer), "sesame");
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("hello")), ServerOut::silence());
+        assert!(!s.is_unlocked());
+        // Wrong password: still locked.
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("sesame!")), ServerOut::silence());
+        assert!(!s.is_unlocked());
+        // Correct password: consumed, not echoed.
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("sesame")), ServerOut::silence());
+        assert!(s.is_unlocked());
+        // Now the inner echo server works.
+        let out = s.step(&mut ctx(&mut rng), &user_says("hello"));
+        assert_eq!(out.to_user, Message::from("hello"));
+    }
+
+    #[test]
+    fn delayed_shifts_messages() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut s = Delayed::new(Box::new(EchoServer), 2);
+        assert!(s.step(&mut ctx(&mut rng), &user_says("a")).to_user.is_silence());
+        assert!(s.step(&mut ctx(&mut rng), &user_says("b")).to_user.is_silence());
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("c")).to_user, Message::from("a"));
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("d")).to_user, Message::from("b"));
+    }
+
+    #[test]
+    fn delayed_zero_is_transparent() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut s = Delayed::new(Box::new(EchoServer), 0);
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("a")).to_user, Message::from("a"));
+    }
+
+    #[test]
+    fn lossy_extremes() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut never = Lossy::new(Box::new(EchoServer), 0.0);
+        assert_eq!(never.step(&mut ctx(&mut rng), &user_says("x")).to_user, Message::from("x"));
+        let mut always = Lossy::new(Box::new(EchoServer), 1.0);
+        assert!(always.step(&mut ctx(&mut rng), &user_says("x")).to_user.is_silence());
+    }
+
+    #[test]
+    fn lossy_intermediate_drops_some() {
+        let mut rng = GocRng::seed_from_u64(9);
+        let mut s = Lossy::new(Box::new(EchoServer), 0.5);
+        let mut delivered = 0;
+        for _ in 0..200 {
+            if !s.step(&mut ctx(&mut rng), &user_says("x")).to_user.is_silence() {
+                delivered += 1;
+            }
+        }
+        assert!((50..150).contains(&delivered), "delivered = {delivered}");
+    }
+
+    #[test]
+    fn scrambled_start_still_works_for_stateless_inner() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut s = ScrambledStart::new(Box::new(EchoServer), 5);
+        assert_eq!(s.step(&mut ctx(&mut rng), &user_says("hi")).to_user, Message::from("hi"));
+    }
+
+    #[test]
+    fn names_compose() {
+        let s = PasswordLocked::new(Box::new(EchoServer), "pw");
+        assert_eq!(s.name(), "password-locked(2 bytes, echo-server)");
+        let d = Delayed::new(Box::new(EchoServer), 3);
+        assert_eq!(d.name(), "delayed(3, echo-server)");
+        let i = Intermittent::new(Box::new(EchoServer), 2, 3);
+        assert_eq!(i.name(), "intermittent(2on/3off, echo-server)");
+        let b = Byzantine::new(Box::new(EchoServer), 0.5, 4);
+        assert_eq!(b.name(), "byzantine(0.5, echo-server)");
+    }
+
+    #[test]
+    fn intermittent_sleeps_on_schedule() {
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut s = Intermittent::new(Box::new(EchoServer), 2, 3);
+        let mut awake = Vec::new();
+        for round in 0..10u64 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let out = s.step(&mut ctx, &user_says("x"));
+            awake.push(!out.to_user.is_silence());
+        }
+        assert_eq!(
+            awake,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive on-phase")]
+    fn intermittent_zero_on_panics() {
+        let _ = Intermittent::new(Box::new(EchoServer), 0, 1);
+    }
+
+    #[test]
+    fn byzantine_extremes() {
+        let mut rng = GocRng::seed_from_u64(2);
+        let mut honest = Byzantine::new(Box::new(EchoServer), 0.0, 4);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        assert_eq!(honest.step(&mut ctx, &user_says("x")).to_user, Message::from("x"));
+
+        let mut liar = Byzantine::new(Box::new(EchoServer), 1.0, 4);
+        let mut corrupted = 0;
+        for round in 0..50u64 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let out = liar.step(&mut ctx, &user_says("x"));
+            if out.to_user != Message::from("x") {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted >= 45, "corrupted = {corrupted}");
+    }
+}

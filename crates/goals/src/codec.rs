@@ -1,0 +1,93 @@
+//! Byte-level encodings shared by server dialects across goals.
+//!
+//! An [`Encoding`] is an invertible transformation of message payloads — the
+//! concrete stand-in for "the server speaks a different language". Server
+//! classes are built by crossing a small protocol surface (opcodes,
+//! greetings) with an encoding family.
+
+/// An invertible payload encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Bytes pass through unchanged.
+    Identity,
+    /// Every byte XORed with a mask.
+    Xor(u8),
+    /// Every byte rotated (Caesar) by a shift.
+    Rot(u8),
+    /// Payload bytes in reverse order.
+    Reverse,
+}
+
+impl Encoding {
+    /// Encodes a payload into the wire form.
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        match *self {
+            Encoding::Identity => payload.to_vec(),
+            Encoding::Xor(m) => payload.iter().map(|b| b ^ m).collect(),
+            Encoding::Rot(s) => payload.iter().map(|b| b.wrapping_add(s)).collect(),
+            Encoding::Reverse => payload.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Decodes wire bytes back into the payload.
+    pub fn decode(&self, wire: &[u8]) -> Vec<u8> {
+        match *self {
+            Encoding::Identity => wire.to_vec(),
+            Encoding::Xor(m) => wire.iter().map(|b| b ^ m).collect(),
+            Encoding::Rot(s) => wire.iter().map(|b| b.wrapping_sub(s)).collect(),
+            Encoding::Reverse => wire.iter().rev().copied().collect(),
+        }
+    }
+
+    /// A canonical finite family of encodings for building server classes:
+    /// identity, reverse, the given XOR masks and the given rotations.
+    pub fn family(xor_masks: &[u8], rot_shifts: &[u8]) -> Vec<Encoding> {
+        let mut out = vec![Encoding::Identity, Encoding::Reverse];
+        out.extend(xor_masks.iter().map(|&m| Encoding::Xor(m)));
+        out.extend(rot_shifts.iter().map(|&s| Encoding::Rot(s)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_encodings_roundtrip() {
+        let payload = b"payload \x00\x7f\xff bytes";
+        for enc in Encoding::family(&[0x01, 0x2a, 0xff], &[1, 128, 255]) {
+            assert_eq!(enc.decode(&enc.encode(payload)), payload.to_vec(), "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn family_has_expected_size_and_members() {
+        let fam = Encoding::family(&[9], &[4, 5]);
+        assert_eq!(fam.len(), 5);
+        assert!(fam.contains(&Encoding::Identity));
+        assert!(fam.contains(&Encoding::Reverse));
+        assert!(fam.contains(&Encoding::Xor(9)));
+        assert!(fam.contains(&Encoding::Rot(4)));
+    }
+
+    #[test]
+    fn distinct_encodings_produce_distinct_wire_forms() {
+        let payload = b"abc";
+        let fam = Encoding::family(&[1], &[1]);
+        let wires: Vec<Vec<u8>> = fam.iter().map(|e| e.encode(payload)).collect();
+        for i in 0..wires.len() {
+            for j in (i + 1)..wires.len() {
+                assert_ne!(wires[i], wires[j], "{:?} vs {:?}", fam[i], fam[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_fixed_point() {
+        for enc in Encoding::family(&[7], &[7]) {
+            assert!(enc.encode(b"").is_empty());
+            assert!(enc.decode(b"").is_empty());
+        }
+    }
+}

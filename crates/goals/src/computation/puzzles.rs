@@ -1,0 +1,254 @@
+//! Verifiable puzzles: the computational content of the delegation goal.
+//!
+//! The original Juba–Sudan delegation result concerns a PSPACE-complete
+//! problem; what the theory actually uses is the *asymmetry* that the user
+//! can cheaply **verify** a solution it could not feasibly **produce**. A
+//! [`Puzzle`] captures exactly that interface, with two concrete instances:
+//! subset-sum and modular square roots. (See DESIGN.md §1 for the
+//! substitution note.)
+
+use goc_core::rng::GocRng;
+use std::fmt::Debug;
+
+/// A family of instances the user can verify but not (feasibly) solve.
+///
+/// Instances and solutions travel as ASCII byte strings so that servers may
+/// re-encode them dialect-fashion.
+pub trait Puzzle: Debug {
+    /// Draws a fresh `(instance, solution)` pair.
+    fn generate(&self, rng: &mut GocRng) -> (Vec<u8>, Vec<u8>);
+
+    /// Cheap verification: does `candidate` solve `instance`?
+    fn verify(&self, instance: &[u8], candidate: &[u8]) -> bool;
+
+    /// Expensive reference solver (used by
+    /// [`SolverServer`](crate::computation::SolverServer) when it is not simply told the
+    /// answer). Returns `None` on malformed instances.
+    fn solve(&self, instance: &[u8]) -> Option<Vec<u8>>;
+
+    /// A short human-readable name.
+    fn name(&self) -> String;
+}
+
+/// Subset-sum: instance `v1,v2,…,vn;t`, solution = decimal bitmask `m` with
+/// `Σ_{i: bit i of m} v_i = t`.
+///
+/// Verification is a linear scan; solving is a 2^n search.
+#[derive(Clone, Debug)]
+pub struct SubsetSum {
+    n: usize,
+    value_bits: u32,
+}
+
+impl SubsetSum {
+    /// A subset-sum family with `n` values of `value_bits` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 24` and `1 <= value_bits <= 32`.
+    pub fn new(n: usize, value_bits: u32) -> Self {
+        assert!((1..=24).contains(&n), "SubsetSum supports 1..=24 values");
+        assert!((1..=32).contains(&value_bits), "value_bits must be in 1..=32");
+        SubsetSum { n, value_bits }
+    }
+
+    fn parse_instance(instance: &[u8]) -> Option<(Vec<u64>, u64)> {
+        let text = std::str::from_utf8(instance).ok()?;
+        let (values_part, target_part) = text.split_once(';')?;
+        let values: Option<Vec<u64>> =
+            values_part.split(',').map(|v| v.parse::<u64>().ok()).collect();
+        Some((values?, target_part.parse().ok()?))
+    }
+}
+
+impl Puzzle for SubsetSum {
+    fn generate(&self, rng: &mut GocRng) -> (Vec<u8>, Vec<u8>) {
+        let bound = 1u64 << self.value_bits;
+        let values: Vec<u64> = (0..self.n).map(|_| rng.below(bound)).collect();
+        // Non-empty random mask.
+        let mask = rng.below((1u64 << self.n) - 1) + 1;
+        let target: u64 = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &v)| v)
+            .sum();
+        let instance = format!(
+            "{};{target}",
+            values.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+        (instance.into_bytes(), mask.to_string().into_bytes())
+    }
+
+    fn verify(&self, instance: &[u8], candidate: &[u8]) -> bool {
+        let Some((values, target)) = Self::parse_instance(instance) else { return false };
+        let Ok(mask) = std::str::from_utf8(candidate).unwrap_or("x").parse::<u64>() else {
+            return false;
+        };
+        if mask == 0 || mask >= 1u64 << values.len() {
+            return false;
+        }
+        let sum: u64 = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &v)| v)
+            .sum();
+        sum == target
+    }
+
+    fn solve(&self, instance: &[u8]) -> Option<Vec<u8>> {
+        let (values, target) = Self::parse_instance(instance)?;
+        if values.len() > 24 {
+            return None;
+        }
+        for mask in 1u64..1u64 << values.len() {
+            let sum: u64 = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .sum();
+            if sum == target {
+                return Some(mask.to_string().into_bytes());
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        format!("subset-sum(n={}, bits={})", self.n, self.value_bits)
+    }
+}
+
+/// Modular square roots: instance `a;p`, solution `x` with `x² ≡ a (mod p)`.
+///
+/// Verification is one multiplication; the reference solver scans `1..p`.
+#[derive(Clone, Debug)]
+pub struct ModSquareRoot {
+    modulus: u64,
+}
+
+impl ModSquareRoot {
+    /// A modular-square-root family mod `modulus` (should be an odd prime;
+    /// 10007 is a good default for solvable-by-scan experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus < 3` or `modulus` is even or ≥ 2^31 (to keep
+    /// verification overflow-free in u64 arithmetic).
+    pub fn new(modulus: u64) -> Self {
+        assert!(modulus >= 3 && modulus % 2 == 1, "modulus must be an odd number ≥ 3");
+        assert!(modulus < 1 << 31, "modulus must fit in 31 bits");
+        ModSquareRoot { modulus }
+    }
+
+    fn parse_instance(instance: &[u8]) -> Option<(u64, u64)> {
+        let text = std::str::from_utf8(instance).ok()?;
+        let (a, p) = text.split_once(';')?;
+        Some((a.parse().ok()?, p.parse().ok()?))
+    }
+}
+
+impl Puzzle for ModSquareRoot {
+    fn generate(&self, rng: &mut GocRng) -> (Vec<u8>, Vec<u8>) {
+        let x = rng.below(self.modulus - 1) + 1;
+        let a = x * x % self.modulus;
+        (format!("{a};{}", self.modulus).into_bytes(), x.to_string().into_bytes())
+    }
+
+    fn verify(&self, instance: &[u8], candidate: &[u8]) -> bool {
+        let Some((a, p)) = Self::parse_instance(instance) else { return false };
+        if p != self.modulus {
+            return false;
+        }
+        let Ok(x) = std::str::from_utf8(candidate).unwrap_or("x").parse::<u64>() else {
+            return false;
+        };
+        x > 0 && x < p && x * x % p == a
+    }
+
+    fn solve(&self, instance: &[u8]) -> Option<Vec<u8>> {
+        let (a, p) = Self::parse_instance(instance)?;
+        if p != self.modulus {
+            return None;
+        }
+        (1..p).find(|x| x * x % p == a).map(|x| x.to_string().into_bytes())
+    }
+
+    fn name(&self) -> String {
+        format!("mod-sqrt(p={})", self.modulus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_sum_generate_verify() {
+        let p = SubsetSum::new(10, 16);
+        let mut rng = GocRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let (inst, sol) = p.generate(&mut rng);
+            assert!(p.verify(&inst, &sol), "{:?} / {:?}", inst, sol);
+        }
+    }
+
+    #[test]
+    fn subset_sum_rejects_bad_candidates() {
+        let p = SubsetSum::new(8, 12);
+        let mut rng = GocRng::seed_from_u64(2);
+        let (inst, sol) = p.generate(&mut rng);
+        assert!(!p.verify(&inst, b"0"));
+        assert!(!p.verify(&inst, b"garbage"));
+        assert!(!p.verify(&inst, b"99999999"));
+        assert!(!p.verify(b"not an instance", &sol));
+    }
+
+    #[test]
+    fn subset_sum_solver_finds_verified_solution() {
+        let p = SubsetSum::new(10, 10);
+        let mut rng = GocRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let (inst, _) = p.generate(&mut rng);
+            let solved = p.solve(&inst).expect("generated instances are solvable");
+            assert!(p.verify(&inst, &solved));
+        }
+    }
+
+    #[test]
+    fn mod_sqrt_generate_verify_solve() {
+        let p = ModSquareRoot::new(10007);
+        let mut rng = GocRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let (inst, sol) = p.generate(&mut rng);
+            assert!(p.verify(&inst, &sol));
+            let solved = p.solve(&inst).unwrap();
+            assert!(p.verify(&inst, &solved));
+        }
+    }
+
+    #[test]
+    fn mod_sqrt_rejects_wrong_modulus_and_garbage() {
+        let p = ModSquareRoot::new(10007);
+        assert!(!p.verify(b"4;101", b"2")); // wrong modulus
+        assert!(!p.verify(b"4;10007", b"0"));
+        assert!(!p.verify(b"nonsense", b"2"));
+        assert!(p.verify(b"4;10007", b"2"));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(std::panic::catch_unwind(|| SubsetSum::new(0, 8)).is_err());
+        assert!(std::panic::catch_unwind(|| SubsetSum::new(25, 8)).is_err());
+        assert!(std::panic::catch_unwind(|| ModSquareRoot::new(4)).is_err());
+        assert!(std::panic::catch_unwind(|| ModSquareRoot::new(1 << 32)).is_err());
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(SubsetSum::new(8, 16).name(), "subset-sum(n=8, bits=16)");
+        assert_eq!(ModSquareRoot::new(101).name(), "mod-sqrt(p=101)");
+    }
+}

@@ -1,0 +1,71 @@
+//! Sensing for the delegation goal: the world's confirmation.
+
+use super::world::GOOD;
+use goc_core::sensing::{Indication, Sensing};
+use goc_core::view::ViewEvent;
+
+/// Sensing that is **positive** exactly when the world confirms a verified
+/// answer (`GOOD`).
+///
+/// - *Safety* (finite): the world sends `GOOD` only after its own referee
+///   condition (a verified answer) became true, so a positive indication
+///   implies an acceptable history.
+/// - *Viability*: with any helpful (right-protocol-reachable) server, the
+///   matching [`DelegationUser`](super::DelegationUser) earns a `GOOD`.
+#[derive(Clone, Debug, Default)]
+pub struct ConfirmationSensing;
+
+impl Sensing for ConfirmationSensing {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        if event.received.from_world.as_bytes() == GOOD {
+            Indication::Positive
+        } else {
+            Indication::Silent
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "confirmation".to_string()
+    }
+}
+
+/// Convenience constructor for [`ConfirmationSensing`].
+pub fn confirmation_sensing() -> ConfirmationSensing {
+    ConfirmationSensing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::msg::{Message, UserIn, UserOut};
+
+    fn event(from_world: &[u8]) -> ViewEvent {
+        ViewEvent {
+            round: 0,
+            received: UserIn {
+                from_server: Message::silence(),
+                from_world: Message::from_bytes(from_world.to_vec()),
+            },
+            sent: UserOut::silence(),
+        }
+    }
+
+    #[test]
+    fn positive_only_on_good() {
+        let mut s = confirmation_sensing();
+        assert_eq!(s.observe(&event(b"GOOD")), Indication::Positive);
+        assert_eq!(s.observe(&event(b"INST:4;7")), Indication::Silent);
+        assert_eq!(s.observe(&event(b"GOOD!")), Indication::Silent);
+        assert_eq!(s.observe(&event(b"")), Indication::Silent);
+    }
+
+    #[test]
+    fn stateless_reset() {
+        let mut s = confirmation_sensing();
+        s.reset();
+        assert_eq!(s.observe(&event(b"GOOD")), Indication::Positive);
+        assert_eq!(s.name(), "confirmation");
+    }
+}

@@ -1,0 +1,238 @@
+//! Server classes for the delegation goal.
+//!
+//! A server answers queries for the solution — but only queries phrased in
+//! its own protocol: a greeting byte and a payload encoding (the
+//! "handshake nobody standardized"). Two flavours:
+//!
+//! - [`OracleServer`] — trusts the world's solution broadcast (pure
+//!   communication asymmetry).
+//! - [`SolverServer`] — ignores the broadcast and recomputes from the
+//!   instance with the puzzle's reference solver (computational asymmetry).
+
+use super::puzzles::Puzzle;
+use super::world::{INST_PREFIX, SOL_INFIX};
+use crate::codec::Encoding;
+use goc_core::msg::{Message, ServerIn, ServerOut};
+use goc_core::strategy::{ServerStrategy, StepCtx};
+use std::sync::Arc;
+
+/// A query protocol: the greeting byte that must open a query, and the
+/// encoding applied to the reply (and expected on the query payload).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryProtocol {
+    greeting: u8,
+    encoding: Encoding,
+}
+
+impl QueryProtocol {
+    /// A protocol with the given greeting byte and payload encoding.
+    pub fn new(greeting: u8, encoding: Encoding) -> Self {
+        QueryProtocol { greeting, encoding }
+    }
+
+    /// The greeting byte.
+    pub fn greeting(&self) -> u8 {
+        self.greeting
+    }
+
+    /// The payload encoding.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Frames a query for the solution.
+    pub fn frame_query(&self) -> Vec<u8> {
+        vec![self.greeting]
+    }
+
+    /// Is `wire` a well-formed query in this protocol?
+    pub fn parses_query(&self, wire: &[u8]) -> bool {
+        wire == [self.greeting]
+    }
+
+    /// Encodes a reply carrying `solution`.
+    pub fn frame_reply(&self, solution: &[u8]) -> Vec<u8> {
+        self.encoding.encode(solution)
+    }
+
+    /// Decodes a reply into a candidate solution.
+    pub fn parse_reply(&self, wire: &[u8]) -> Vec<u8> {
+        self.encoding.decode(wire)
+    }
+
+    /// The cartesian protocol class over `greetings` × `encodings`.
+    pub fn class(greetings: &[u8], encodings: &[Encoding]) -> Vec<QueryProtocol> {
+        let mut out = Vec::with_capacity(greetings.len() * encodings.len());
+        for &g in greetings {
+            for &e in encodings {
+                out.push(QueryProtocol::new(g, e));
+            }
+        }
+        out
+    }
+}
+
+/// Splits the world's server-side broadcast into `(instance, solution)`.
+fn split_broadcast(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+    let rest = bytes.strip_prefix(INST_PREFIX)?;
+    let pos = rest.windows(SOL_INFIX.len()).position(|w| w == SOL_INFIX)?;
+    Some((&rest[..pos], &rest[pos + SOL_INFIX.len()..]))
+}
+
+/// A server that relays the solution it was entrusted with, to users that
+/// greet it correctly.
+#[derive(Clone, Debug)]
+pub struct OracleServer {
+    protocol: QueryProtocol,
+    solution: Option<Vec<u8>>,
+}
+
+impl OracleServer {
+    /// An oracle speaking `protocol`.
+    pub fn new(protocol: QueryProtocol) -> Self {
+        OracleServer { protocol, solution: None }
+    }
+}
+
+impl ServerStrategy for OracleServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if let Some((_, sol)) = split_broadcast(input.from_world.as_bytes()) {
+            self.solution = Some(sol.to_vec());
+        }
+        match (&self.solution, self.protocol.parses_query(input.from_user.as_bytes())) {
+            (Some(sol), true) => {
+                ServerOut::to_user(Message::from_bytes(self.protocol.frame_reply(sol)))
+            }
+            _ => ServerOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("oracle({:#04x}, {:?})", self.protocol.greeting, self.protocol.encoding)
+    }
+}
+
+/// A server that *solves* the instance with the puzzle's reference solver,
+/// ignoring the world's hint.
+#[derive(Debug)]
+pub struct SolverServer {
+    protocol: QueryProtocol,
+    puzzle: Arc<dyn Puzzle + Send + Sync>,
+    instance: Option<Vec<u8>>,
+    solved: Option<Vec<u8>>,
+}
+
+impl SolverServer {
+    /// A solver speaking `protocol` for `puzzle`.
+    pub fn new(protocol: QueryProtocol, puzzle: Arc<dyn Puzzle + Send + Sync>) -> Self {
+        SolverServer { protocol, puzzle, instance: None, solved: None }
+    }
+}
+
+impl ServerStrategy for SolverServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if let Some((inst, _)) = split_broadcast(input.from_world.as_bytes()) {
+            if self.instance.as_deref() != Some(inst) {
+                self.instance = Some(inst.to_vec());
+                self.solved = self.puzzle.solve(inst);
+            }
+        }
+        match (&self.solved, self.protocol.parses_query(input.from_user.as_bytes())) {
+            (Some(sol), true) => {
+                ServerOut::to_user(Message::from_bytes(self.protocol.frame_reply(sol)))
+            }
+            _ => ServerOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "solver({:#04x}, {:?}, {})",
+            self.protocol.greeting,
+            self.protocol.encoding,
+            self.puzzle.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::puzzles::ModSquareRoot;
+    use super::*;
+    use goc_core::rng::GocRng;
+
+    fn broadcast(inst: &[u8], sol: &[u8]) -> Message {
+        let mut m = INST_PREFIX.to_vec();
+        m.extend_from_slice(inst);
+        m.extend_from_slice(SOL_INFIX);
+        m.extend_from_slice(sol);
+        Message::from_bytes(m)
+    }
+
+    fn step_server(
+        s: &mut dyn ServerStrategy,
+        round: u64,
+        from_user: &[u8],
+        from_world: Message,
+    ) -> ServerOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        s.step(&mut ctx, &ServerIn { from_user: Message::from_bytes(from_user.to_vec()), from_world })
+    }
+
+    #[test]
+    fn oracle_answers_correct_greeting_only() {
+        let proto = QueryProtocol::new(b'?', Encoding::Xor(0x11));
+        let mut s = OracleServer::new(proto);
+        // Learn the solution from the broadcast.
+        let out = step_server(&mut s, 0, b"?", broadcast(b"4;10007", b"2"));
+        assert_eq!(out.to_user.as_bytes(), proto.frame_reply(b"2").as_slice());
+        // Wrong greeting: silence.
+        let out2 = step_server(&mut s, 1, b"!", Message::silence());
+        assert_eq!(out2, ServerOut::silence());
+    }
+
+    #[test]
+    fn oracle_is_silent_before_broadcast() {
+        let proto = QueryProtocol::new(b'?', Encoding::Identity);
+        let mut s = OracleServer::new(proto);
+        let out = step_server(&mut s, 0, b"?", Message::silence());
+        assert_eq!(out, ServerOut::silence());
+    }
+
+    #[test]
+    fn solver_recomputes_from_instance() {
+        let proto = QueryProtocol::new(b'q', Encoding::Rot(3));
+        let puzzle = Arc::new(ModSquareRoot::new(10007));
+        let mut s = SolverServer::new(proto, puzzle.clone());
+        // Broadcast carries a *wrong* hint; the solver must ignore it.
+        let out = step_server(&mut s, 0, b"q", broadcast(b"4;10007", b"9999"));
+        let reply = proto.parse_reply(out.to_user.as_bytes());
+        assert!(puzzle.verify(b"4;10007", &reply));
+    }
+
+    #[test]
+    fn protocol_roundtrip_and_class() {
+        let proto = QueryProtocol::new(7, Encoding::Reverse);
+        assert!(proto.parses_query(&proto.frame_query()));
+        assert_eq!(proto.parse_reply(&proto.frame_reply(b"abc")), b"abc".to_vec());
+        let class = QueryProtocol::class(&[1, 2], &[Encoding::Identity, Encoding::Reverse]);
+        assert_eq!(class.len(), 4);
+    }
+
+    #[test]
+    fn split_broadcast_parses() {
+        let m = broadcast(b"i", b"s");
+        assert_eq!(split_broadcast(m.as_bytes()), Some((b"i".as_slice(), b"s".as_slice())));
+        assert_eq!(split_broadcast(b"garbage"), None);
+        assert_eq!(split_broadcast(b"INST:only"), None);
+    }
+
+    #[test]
+    fn names_describe_protocol() {
+        let proto = QueryProtocol::new(0x3f, Encoding::Identity);
+        assert!(OracleServer::new(proto).name().contains("0x3f"));
+        let solver = SolverServer::new(proto, Arc::new(ModSquareRoot::new(101)));
+        assert!(solver.name().contains("mod-sqrt"));
+    }
+}

@@ -1,0 +1,191 @@
+//! User strategies for the delegation goal, and their enumerable class.
+
+use super::puzzles::Puzzle;
+use super::servers::QueryProtocol;
+use super::world::{ANS_PREFIX, GOOD, INST_PREFIX};
+use goc_core::enumeration::SliceEnumerator;
+use goc_core::msg::{Message, UserIn, UserOut};
+use goc_core::strategy::{Halt, StepCtx, UserStrategy};
+use std::sync::Arc;
+
+/// A user that queries the server in one assumed [`QueryProtocol`], verifies
+/// replies against the posed instance, submits verified answers to the
+/// world, and halts on the world's confirmation.
+///
+/// This is the honest delegation client: it never claims success on its own
+/// judgement alone — it waits for `GOOD` (which is also what makes the
+/// natural sensing safe).
+#[derive(Debug)]
+pub struct DelegationUser {
+    protocol: QueryProtocol,
+    puzzle: Arc<dyn Puzzle + Send + Sync>,
+    instance: Option<Vec<u8>>,
+    verified_answer: Option<Vec<u8>>,
+    halt: Option<Halt>,
+}
+
+impl DelegationUser {
+    /// A delegation client speaking `protocol`, verifying with `puzzle`.
+    pub fn new(protocol: QueryProtocol, puzzle: Arc<dyn Puzzle + Send + Sync>) -> Self {
+        DelegationUser { protocol, puzzle, instance: None, verified_answer: None, halt: None }
+    }
+
+    /// The assumed protocol.
+    pub fn protocol(&self) -> QueryProtocol {
+        self.protocol
+    }
+}
+
+impl UserStrategy for DelegationUser {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if self.halt.is_some() {
+            return UserOut::silence();
+        }
+        let world_bytes = input.from_world.as_bytes();
+        if world_bytes == GOOD {
+            let output = self.verified_answer.clone().unwrap_or_default();
+            self.halt = Some(Halt::with_output(output));
+            return UserOut::silence();
+        }
+        if let Some(inst) = world_bytes.strip_prefix(INST_PREFIX) {
+            if self.instance.as_deref() != Some(inst) {
+                self.instance = Some(inst.to_vec());
+                self.verified_answer = None;
+            }
+        }
+
+        // Check any server reply against the instance.
+        if self.verified_answer.is_none() && !input.from_server.is_silence() {
+            if let Some(inst) = &self.instance {
+                let candidate = self.protocol.parse_reply(input.from_server.as_bytes());
+                if self.puzzle.verify(inst, &candidate) {
+                    self.verified_answer = Some(candidate);
+                }
+            }
+        }
+
+        match &self.verified_answer {
+            // Submit the verified answer until the world confirms.
+            Some(ans) => {
+                let mut msg = ANS_PREFIX.to_vec();
+                msg.extend_from_slice(ans);
+                UserOut::to_world(Message::from_bytes(msg))
+            }
+            // Keep querying the server.
+            None => UserOut::to_server(Message::from_bytes(self.protocol.frame_query())),
+        }
+    }
+
+    fn halted(&self) -> Option<Halt> {
+        self.halt.clone()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "delegation-user({:#04x}, {:?})",
+            self.protocol.greeting(),
+            self.protocol.encoding()
+        )
+    }
+}
+
+/// The enumerable class of delegation clients, one per protocol.
+pub fn protocol_class(
+    protocols: &[QueryProtocol],
+    puzzle: Arc<dyn Puzzle + Send + Sync>,
+) -> SliceEnumerator {
+    let mut class = SliceEnumerator::new(format!("delegation-users(x{})", protocols.len()));
+    for &protocol in protocols {
+        let puzzle = puzzle.clone();
+        class.push(move || Box::new(DelegationUser::new(protocol, puzzle.clone())));
+    }
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::puzzles::ModSquareRoot;
+    use super::*;
+    use crate::codec::Encoding;
+    use goc_core::enumeration::StrategyEnumerator;
+    use goc_core::rng::GocRng;
+
+    fn proto() -> QueryProtocol {
+        QueryProtocol::new(b'?', Encoding::Xor(5))
+    }
+
+    fn user() -> DelegationUser {
+        DelegationUser::new(proto(), Arc::new(ModSquareRoot::new(10007)))
+    }
+
+    fn step(u: &mut DelegationUser, round: u64, from_server: Message, from_world: Message) -> UserOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        u.step(&mut ctx, &UserIn { from_server, from_world })
+    }
+
+    fn inst_msg(inst: &[u8]) -> Message {
+        let mut m = INST_PREFIX.to_vec();
+        m.extend_from_slice(inst);
+        Message::from_bytes(m)
+    }
+
+    #[test]
+    fn queries_until_reply_verifies() {
+        let mut u = user();
+        // Learn the instance; keep querying.
+        let out = step(&mut u, 0, Message::silence(), inst_msg(b"4;10007"));
+        assert_eq!(out.to_server.as_bytes(), proto().frame_query().as_slice());
+        // Garbage reply: still querying.
+        let out = step(&mut u, 1, Message::from_bytes(vec![0xff, 0xfe]), inst_msg(b"4;10007"));
+        assert!(!out.to_server.is_silence());
+        // Correct (encoded) reply: switch to answering the world.
+        let reply = Message::from_bytes(proto().frame_reply(b"2"));
+        let out = step(&mut u, 2, reply, inst_msg(b"4;10007"));
+        assert_eq!(out.to_world.as_bytes(), b"ANS:2");
+        assert!(out.to_server.is_silence());
+    }
+
+    #[test]
+    fn halts_only_on_world_confirmation() {
+        let mut u = user();
+        let _ = step(&mut u, 0, Message::silence(), inst_msg(b"4;10007"));
+        let reply = Message::from_bytes(proto().frame_reply(b"2"));
+        let _ = step(&mut u, 1, reply, inst_msg(b"4;10007"));
+        assert!(UserStrategy::halted(&u).is_none());
+        let _ = step(&mut u, 2, Message::silence(), Message::from_bytes(GOOD.to_vec()));
+        let halt = UserStrategy::halted(&u).expect("halts on GOOD");
+        assert_eq!(halt.output.as_bytes(), b"2");
+    }
+
+    #[test]
+    fn wrong_protocol_reply_never_verifies() {
+        let mut u = user();
+        let _ = step(&mut u, 0, Message::silence(), inst_msg(b"4;10007"));
+        // Reply encoded with a different mask decodes to garbage.
+        let foreign = QueryProtocol::new(b'?', Encoding::Xor(99));
+        let reply = Message::from_bytes(foreign.frame_reply(b"2"));
+        let out = step(&mut u, 1, reply, inst_msg(b"4;10007"));
+        assert!(!out.to_server.is_silence(), "keeps querying");
+    }
+
+    #[test]
+    fn new_instance_resets_answer() {
+        let mut u = user();
+        let _ = step(&mut u, 0, Message::silence(), inst_msg(b"4;10007"));
+        let reply = Message::from_bytes(proto().frame_reply(b"2"));
+        let _ = step(&mut u, 1, reply, inst_msg(b"4;10007"));
+        // World poses a fresh instance: the stored answer must be dropped.
+        let out = step(&mut u, 2, Message::silence(), inst_msg(b"9;10007"));
+        assert!(out.to_world.is_silence());
+        assert!(!out.to_server.is_silence());
+    }
+
+    #[test]
+    fn class_enumerates_protocols() {
+        let protocols = QueryProtocol::class(b"?!", &[Encoding::Identity]);
+        let class = protocol_class(&protocols, Arc::new(ModSquareRoot::new(101)));
+        assert_eq!(class.len(), Some(2));
+        assert!(class.strategy(1).is_some());
+    }
+}

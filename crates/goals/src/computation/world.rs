@@ -1,0 +1,171 @@
+//! The delegation world: poses a puzzle, confirms verified answers.
+
+use super::puzzles::Puzzle;
+use goc_core::msg::{Message, WorldIn, WorldOut};
+use goc_core::strategy::{StepCtx, WorldStrategy};
+use std::sync::Arc;
+
+/// Wire prefix of the instance broadcast to the user.
+pub(crate) const INST_PREFIX: &[u8] = b"INST:";
+/// Wire separator in the server-side broadcast `INST:<i>;SOL:<s>`.
+pub(crate) const SOL_INFIX: &[u8] = b";SOL:";
+/// Wire prefix of an answer submission (user → world).
+pub(crate) const ANS_PREFIX: &[u8] = b"ANS:";
+/// Confirmation the world sends the user once the answer verified.
+pub(crate) const GOOD: &[u8] = b"GOOD";
+
+/// Referee-visible state of the delegation world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComputationState {
+    /// The posed instance (encoded).
+    pub instance: Vec<u8>,
+    /// Has a verified answer been received from the user?
+    pub verified: bool,
+    /// How many malformed or wrong answers arrived.
+    pub rejected: u64,
+    /// Rounds elapsed.
+    pub round: u64,
+}
+
+/// The delegation world strategy.
+///
+/// Protocol (fixed):
+///
+/// - world → user, every round until solved: `INST:<instance>`; after a
+///   verified answer: `GOOD` (forever — confirmations are idempotent).
+/// - world → server, every round: `INST:<instance>;SOL:<solution>` — the
+///   world *entrusts the server* with the solution, modelling the
+///   computational imbalance of delegation purely communicationally (the
+///   server is the party that can produce the answer). Solver-flavoured
+///   servers ignore the hint and recompute (see
+///   [`SolverServer`](crate::computation::SolverServer)).
+/// - user → world: `ANS:<candidate>` — verified against the instance.
+#[derive(Debug)]
+pub struct ComputationWorld {
+    puzzle: Arc<dyn Puzzle + Send + Sync>,
+    instance: Vec<u8>,
+    solution: Vec<u8>,
+    state: ComputationState,
+}
+
+impl ComputationWorld {
+    /// A world posing a fresh instance of `puzzle` drawn with `rng`.
+    pub fn new(puzzle: Arc<dyn Puzzle + Send + Sync>, rng: &mut goc_core::rng::GocRng) -> Self {
+        let (instance, solution) = puzzle.generate(rng);
+        let state = ComputationState {
+            instance: instance.clone(),
+            verified: false,
+            rejected: 0,
+            round: 0,
+        };
+        ComputationWorld { puzzle, instance, solution, state }
+    }
+
+    /// The posed instance (for tests and informed users).
+    pub fn instance(&self) -> &[u8] {
+        &self.instance
+    }
+}
+
+impl WorldStrategy for ComputationWorld {
+    type State = ComputationState;
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &WorldIn) -> WorldOut {
+        // Process an answer from the user.
+        if let Some(candidate) = input.from_user.as_bytes().strip_prefix(ANS_PREFIX) {
+            if self.puzzle.verify(&self.instance, candidate) {
+                self.state.verified = true;
+            } else {
+                self.state.rejected += 1;
+            }
+        }
+
+        // Broadcasts.
+        let to_user = if self.state.verified {
+            Message::from_bytes(GOOD.to_vec())
+        } else {
+            let mut m = INST_PREFIX.to_vec();
+            m.extend_from_slice(&self.instance);
+            Message::from_bytes(m)
+        };
+        let mut to_server = INST_PREFIX.to_vec();
+        to_server.extend_from_slice(&self.instance);
+        to_server.extend_from_slice(SOL_INFIX);
+        to_server.extend_from_slice(&self.solution);
+
+        self.state.round = ctx.round + 1;
+        WorldOut { to_user, to_server: Message::from_bytes(to_server) }
+    }
+
+    fn state(&self) -> ComputationState {
+        self.state.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::puzzles::ModSquareRoot;
+    use super::*;
+    use goc_core::rng::GocRng;
+
+    fn world() -> ComputationWorld {
+        let mut rng = GocRng::seed_from_u64(7);
+        ComputationWorld::new(Arc::new(ModSquareRoot::new(10007)), &mut rng)
+    }
+
+    fn step(w: &mut ComputationWorld, round: u64, from_user: &[u8]) -> WorldOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        w.step(
+            &mut ctx,
+            &WorldIn {
+                from_user: Message::from_bytes(from_user.to_vec()),
+                from_server: Message::silence(),
+            },
+        )
+    }
+
+    #[test]
+    fn broadcasts_instance_to_user_and_solution_to_server() {
+        let mut w = world();
+        let out = step(&mut w, 0, b"");
+        assert!(out.to_user.as_bytes().starts_with(INST_PREFIX));
+        let server_msg = out.to_server.as_bytes();
+        assert!(server_msg.starts_with(INST_PREFIX));
+        assert!(server_msg.windows(SOL_INFIX.len()).any(|w| w == SOL_INFIX));
+    }
+
+    #[test]
+    fn accepts_correct_answer_and_confirms() {
+        let mut w = world();
+        // Extract the real solution via the puzzle's solver.
+        let sol = ModSquareRoot::new(10007).solve(w.instance()).unwrap();
+        let mut ans = ANS_PREFIX.to_vec();
+        ans.extend_from_slice(&sol);
+        let out = step(&mut w, 0, &ans);
+        assert!(w.state().verified);
+        assert_eq!(out.to_user.as_bytes(), GOOD);
+        // Confirmation persists.
+        let out2 = step(&mut w, 1, b"");
+        assert_eq!(out2.to_user.as_bytes(), GOOD);
+    }
+
+    #[test]
+    fn rejects_wrong_answers_and_counts_them() {
+        let mut w = world();
+        step(&mut w, 0, b"ANS:0");
+        step(&mut w, 1, b"ANS:notanumber");
+        step(&mut w, 2, b"unprefixed");
+        let s = w.state();
+        assert!(!s.verified);
+        assert_eq!(s.rejected, 2);
+    }
+
+    #[test]
+    fn state_tracks_round() {
+        let mut w = world();
+        step(&mut w, 0, b"");
+        step(&mut w, 1, b"");
+        assert_eq!(w.state().round, 2);
+    }
+}

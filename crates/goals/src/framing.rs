@@ -1,0 +1,210 @@
+//! Chunked transfer framing: payloads split across multiple rounds.
+//!
+//! Real systems rarely fit a document in one datagram. This substrate frames
+//! a payload into numbered chunks and reassembles them on the far side —
+//! and, true to this library's theme, turns *frame size limits* into one
+//! more axis of protocol incompatibility: a receiver with a small buffer
+//! silently drops oversized frames, so the sender's chunk size becomes part
+//! of the strategy class (see
+//! [`ChunkedDriverServer`](crate::printing::ChunkedDriverServer)).
+//!
+//! Wire format of a frame (byte-safe, self-delimiting):
+//!
+//! ```text
+//! [0xF7][seq: u16 BE][total: u16 BE][chunk bytes…]
+//! ```
+
+/// Frame marker byte.
+pub const FRAME_MARKER: u8 = 0xF7;
+
+/// Header length: marker + seq + total.
+const HEADER_LEN: usize = 5;
+
+/// Splits `payload` into frames of at most `chunk_size` payload bytes.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`, `payload` is empty, or the payload needs
+/// more than `u16::MAX` frames.
+pub fn frame(payload: &[u8], chunk_size: usize) -> Vec<Vec<u8>> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    assert!(!payload.is_empty(), "cannot frame an empty payload");
+    let total = payload.len().div_ceil(chunk_size);
+    assert!(total <= u16::MAX as usize, "payload needs too many frames");
+    payload
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(seq, chunk)| {
+            let mut f = Vec::with_capacity(HEADER_LEN + chunk.len());
+            f.push(FRAME_MARKER);
+            f.extend_from_slice(&(seq as u16).to_be_bytes());
+            f.extend_from_slice(&(total as u16).to_be_bytes());
+            f.extend_from_slice(chunk);
+            f
+        })
+        .collect()
+}
+
+/// A parsed frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// 0-based sequence number.
+    pub seq: u16,
+    /// Total frames in the transfer.
+    pub total: u16,
+    /// This frame's payload bytes.
+    pub chunk: &'a [u8],
+}
+
+/// Parses a frame; `None` for anything that is not a well-formed frame.
+pub fn parse_frame(bytes: &[u8]) -> Option<Frame<'_>> {
+    if bytes.len() <= HEADER_LEN || bytes[0] != FRAME_MARKER {
+        return None;
+    }
+    let seq = u16::from_be_bytes([bytes[1], bytes[2]]);
+    let total = u16::from_be_bytes([bytes[3], bytes[4]]);
+    if total == 0 || seq >= total {
+        return None;
+    }
+    Some(Frame { seq, total, chunk: &bytes[HEADER_LEN..] })
+}
+
+/// Reassembles in-order frame streams into payloads.
+///
+/// Frames must arrive in sequence (0, 1, …, total−1); any gap, duplicate or
+/// total-mismatch resets the transfer (the next seq-0 frame starts over).
+/// This strictness is deliberate: it models an unsophisticated peripheral,
+/// and it keeps the reassembler's state bounded.
+#[derive(Clone, Debug, Default)]
+pub struct Reassembler {
+    buffer: Vec<u8>,
+    next_seq: u16,
+    total: u16,
+}
+
+impl Reassembler {
+    /// A fresh reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one message. Returns `Some(payload)` when a transfer completes.
+    /// Non-frame messages and out-of-order frames reset the transfer.
+    pub fn feed(&mut self, bytes: &[u8]) -> Option<Vec<u8>> {
+        let Some(frame) = parse_frame(bytes) else {
+            self.reset();
+            return None;
+        };
+        if frame.seq == 0 {
+            // A new transfer begins (possibly abandoning an old one).
+            self.buffer.clear();
+            self.next_seq = 0;
+            self.total = frame.total;
+        } else if frame.seq != self.next_seq || frame.total != self.total {
+            self.reset();
+            return None;
+        }
+        self.buffer.extend_from_slice(frame.chunk);
+        self.next_seq += 1;
+        if self.next_seq == self.total {
+            let payload = std::mem::take(&mut self.buffer);
+            self.reset();
+            return Some(payload);
+        }
+        None
+    }
+
+    /// Frames received towards the current (incomplete) transfer.
+    pub fn pending_frames(&self) -> u16 {
+        self.next_seq
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+        self.next_seq = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_reassemble_roundtrip() {
+        let payload = b"The quick brown fox jumps over the lazy dog";
+        for chunk_size in [1usize, 3, 7, 44, 100] {
+            let frames = frame(payload, chunk_size);
+            assert_eq!(frames.len(), payload.len().div_ceil(chunk_size));
+            let mut r = Reassembler::new();
+            let mut out = None;
+            for f in &frames {
+                out = r.feed(f);
+            }
+            assert_eq!(out.as_deref(), Some(payload.as_slice()), "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_noise() {
+        assert!(parse_frame(b"").is_none());
+        assert!(parse_frame(b"hello").is_none());
+        assert!(parse_frame(&[FRAME_MARKER, 0, 0, 0, 1]).is_none(), "no chunk bytes");
+        assert!(parse_frame(&[FRAME_MARKER, 0, 5, 0, 3, b'x']).is_none(), "seq >= total");
+        assert!(parse_frame(&[FRAME_MARKER, 0, 0, 0, 0, b'x']).is_none(), "total == 0");
+    }
+
+    #[test]
+    fn out_of_order_resets() {
+        let frames = frame(b"abcdef", 2);
+        let mut r = Reassembler::new();
+        assert!(r.feed(&frames[0]).is_none());
+        assert!(r.feed(&frames[2]).is_none(), "gap resets");
+        assert_eq!(r.pending_frames(), 0);
+        // A complete in-order pass still works afterwards.
+        for (i, f) in frames.iter().enumerate() {
+            let out = r.feed(f);
+            assert_eq!(out.is_some(), i == frames.len() - 1);
+        }
+    }
+
+    #[test]
+    fn new_transfer_preempts_old() {
+        let a = frame(b"aaaa", 2);
+        let b = frame(b"bb", 2);
+        let mut r = Reassembler::new();
+        assert!(r.feed(&a[0]).is_none());
+        // Fresh seq-0 frame of a new transfer wins.
+        let out = r.feed(&b[0]);
+        assert_eq!(out.as_deref(), Some(b"bb".as_slice()));
+    }
+
+    #[test]
+    fn noise_between_transfers_resets() {
+        let frames = frame(b"abcd", 2);
+        let mut r = Reassembler::new();
+        assert!(r.feed(&frames[0]).is_none());
+        assert!(r.feed(b"line noise").is_none());
+        assert!(r.feed(&frames[1]).is_none(), "transfer was reset by noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        let _ = frame(b"x", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_payload_panics() {
+        let _ = frame(b"", 4);
+    }
+
+    #[test]
+    fn single_frame_transfer() {
+        let frames = frame(b"tiny", 64);
+        assert_eq!(frames.len(), 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.feed(&frames[0]).as_deref(), Some(b"tiny".as_slice()));
+    }
+}

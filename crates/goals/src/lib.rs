@@ -1,0 +1,25 @@
+//! # goc-goals — concrete goals of communication
+//!
+//! Instantiations of the goal-oriented communication model for the scenarios
+//! the paper motivates:
+//!
+//! - [`printing`] — the paper's flagship example: drive a printer through a
+//!   driver whose command dialect is unknown.
+//! - [`computation`] — Juba–Sudan delegation of computation, generalized to
+//!   verifiable puzzles.
+//! - [`transmission`] — get content to the world intact through a server
+//!   applying an unknown transformation (and a *learning* user that beats
+//!   enumeration — the paper's closing remark on efficient special cases).
+//! - [`navigation`] — an embodied compact goal: steer an agent whose
+//!   actuator mapping is unknown.
+//!
+//! Each module ships a world, a referee (finite and/or compact), a server
+//! class, an enumerable user class, and safe-and-viable sensing, so Theorem
+//! 1's universal users apply off the shelf.
+
+pub mod codec;
+pub mod framing;
+pub mod computation;
+pub mod navigation;
+pub mod printing;
+pub mod transmission;

@@ -1,0 +1,99 @@
+//! Sensing for the navigation goal: arrivals at the target.
+
+use super::world::parse_sensors;
+use goc_core::sensing::{Indication, Sensing};
+use goc_core::view::ViewEvent;
+
+/// Sensing that is **positive** whenever the sensor broadcast shows the
+/// agent on (or adjacent in time to) the target — concretely, whenever the
+/// target *relocated* since the last broadcast, which happens exactly on a
+/// visit.
+///
+/// Watching relocations rather than coordinates equality matters: the world
+/// moves the target away in the same round the agent arrives, so "agent ==
+/// target" is never directly observable in the sensor stream.
+#[derive(Clone, Debug, Default)]
+pub struct VisitSensing {
+    last_target: Option<(u32, u32)>,
+}
+
+impl Sensing for VisitSensing {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let Some((_, target)) = parse_sensors(event.received.from_world.as_bytes()) else {
+            return Indication::Silent;
+        };
+        let moved = self.last_target.map(|t| t != target).unwrap_or(false);
+        self.last_target = Some(target);
+        if moved {
+            Indication::Positive
+        } else {
+            Indication::Silent
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last_target = None;
+    }
+
+    fn name(&self) -> String {
+        "visit".to_string()
+    }
+}
+
+/// Convenience constructor for [`VisitSensing`].
+pub fn visit_sensing() -> VisitSensing {
+    VisitSensing::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::msg::{Message, UserIn, UserOut};
+
+    fn event(agent: (u32, u32), target: (u32, u32)) -> ViewEvent {
+        ViewEvent {
+            round: 0,
+            received: UserIn {
+                from_server: Message::silence(),
+                from_world: Message::from(format!(
+                    "POS:{},{};TGT:{},{}",
+                    agent.0, agent.1, target.0, target.1
+                )),
+            },
+            sent: UserOut::silence(),
+        }
+    }
+
+    #[test]
+    fn positive_on_target_relocation() {
+        let mut s = visit_sensing();
+        assert_eq!(s.observe(&event((0, 0), (3, 3))), Indication::Silent);
+        assert_eq!(s.observe(&event((1, 0), (3, 3))), Indication::Silent);
+        // Target moved: a visit happened.
+        assert_eq!(s.observe(&event((3, 3), (5, 1))), Indication::Positive);
+        assert_eq!(s.observe(&event((3, 3), (5, 1))), Indication::Silent);
+    }
+
+    #[test]
+    fn reset_forgets_baseline() {
+        let mut s = visit_sensing();
+        let _ = s.observe(&event((0, 0), (3, 3)));
+        s.reset();
+        // First observation after reset cannot be positive.
+        assert_eq!(s.observe(&event((0, 0), (9, 9))), Indication::Silent);
+    }
+
+    #[test]
+    fn silent_on_noise() {
+        let mut s = visit_sensing();
+        let noise = ViewEvent {
+            round: 0,
+            received: UserIn {
+                from_server: Message::silence(),
+                from_world: Message::from("static"),
+            },
+            sent: UserOut::silence(),
+        };
+        assert_eq!(s.observe(&noise), Indication::Silent);
+    }
+}

@@ -1,0 +1,163 @@
+//! Actuator servers: map the user's buttons to directions, permuted.
+
+use super::world::Dir;
+use goc_core::msg::{Message, ServerIn, ServerOut};
+use goc_core::strategy::{ServerStrategy, StepCtx};
+
+/// The user-side control alphabet: four buttons, wire bytes `'0'..='3'`.
+pub const BUTTONS: [u8; 4] = [b'0', b'1', b'2', b'3'];
+
+/// A button→direction wiring (one of the 24 permutations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Wiring {
+    dirs: [Dir; 4],
+}
+
+impl Wiring {
+    /// The identity wiring: buttons 0..3 → N, S, E, W.
+    pub fn identity() -> Self {
+        Wiring { dirs: Dir::ALL }
+    }
+
+    /// The `index`-th of the 24 permutations (index taken modulo 24).
+    pub fn nth(index: usize) -> Self {
+        let mut pool: Vec<Dir> = Dir::ALL.to_vec();
+        let mut dirs = [Dir::North; 4];
+        let mut k = index % 24;
+        for (slot, remaining) in (0..4).rev().enumerate().map(|(i, s)| (i, s + 1)) {
+            let fact = (1..=remaining - 1).product::<usize>().max(1);
+            let pick = k / fact;
+            k %= fact;
+            dirs[slot] = pool.remove(pick);
+        }
+        Wiring { dirs }
+    }
+
+    /// All 24 wirings.
+    pub fn all() -> Vec<Wiring> {
+        (0..24).map(Wiring::nth).collect()
+    }
+
+    /// The direction a button press produces.
+    pub fn direction_of(&self, button: u8) -> Option<Dir> {
+        BUTTONS.iter().position(|&b| b == button).map(|i| self.dirs[i])
+    }
+
+    /// The button that produces `dir`.
+    pub fn button_for(&self, dir: Dir) -> u8 {
+        let i = self.dirs.iter().position(|&d| d == dir).expect("all dirs wired");
+        BUTTONS[i]
+    }
+}
+
+/// An actuator server applying one [`Wiring`]: forwards each button press as
+/// the wired direction byte; everything else is dropped.
+#[derive(Clone, Copy, Debug)]
+pub struct ActuatorServer {
+    wiring: Wiring,
+}
+
+impl ActuatorServer {
+    /// An actuator with the given wiring.
+    pub fn new(wiring: Wiring) -> Self {
+        ActuatorServer { wiring }
+    }
+
+    /// The server's wiring.
+    pub fn wiring(&self) -> Wiring {
+        self.wiring
+    }
+}
+
+impl ServerStrategy for ActuatorServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        let bytes = input.from_user.as_bytes();
+        if bytes.len() == 1 {
+            if let Some(dir) = self.wiring.direction_of(bytes[0]) {
+                return ServerOut::to_world(Message::from_bytes(vec![dir.to_byte()]));
+            }
+        }
+        ServerOut::silence()
+    }
+
+    fn name(&self) -> String {
+        format!("actuator({:?})", self.wiring.dirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::rng::GocRng;
+
+    #[test]
+    fn all_wirings_are_distinct_permutations() {
+        let all = Wiring::all();
+        assert_eq!(all.len(), 24);
+        for w in &all {
+            let mut dirs = w.dirs.to_vec();
+            dirs.sort_by_key(|d| d.to_byte());
+            let mut canon = Dir::ALL.to_vec();
+            canon.sort_by_key(|d| d.to_byte());
+            assert_eq!(dirs, canon, "{w:?} is not a permutation");
+        }
+        for i in 0..24 {
+            for j in (i + 1)..24 {
+                assert_ne!(all[i], all[j], "wirings {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn button_for_inverts_direction_of() {
+        for w in Wiring::all() {
+            for d in Dir::ALL {
+                assert_eq!(w.direction_of(w.button_for(d)), Some(d));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_wiring_order() {
+        let w = Wiring::identity();
+        assert_eq!(w.direction_of(b'0'), Some(Dir::North));
+        assert_eq!(w.direction_of(b'3'), Some(Dir::West));
+        assert_eq!(w.direction_of(b'9'), None);
+    }
+
+    #[test]
+    fn actuator_forwards_wired_direction() {
+        let mut s = ActuatorServer::new(Wiring::nth(5));
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let out = s.step(
+            &mut ctx,
+            &ServerIn { from_user: Message::from_bytes(vec![b'2']), from_world: Message::silence() },
+        );
+        let expected = Wiring::nth(5).direction_of(b'2').unwrap().to_byte();
+        assert_eq!(out.to_world.as_bytes(), &[expected]);
+    }
+
+    #[test]
+    fn actuator_drops_garbage() {
+        let mut s = ActuatorServer::new(Wiring::identity());
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        for junk in [&b"42"[..], b"x", b""] {
+            let out = s.step(
+                &mut ctx,
+                &ServerIn {
+                    from_user: Message::from_bytes(junk.to_vec()),
+                    from_world: Message::silence(),
+                },
+            );
+            assert_eq!(out, ServerOut::silence());
+        }
+    }
+
+    #[test]
+    fn nth_is_periodic() {
+        assert_eq!(Wiring::nth(0), Wiring::nth(24));
+        assert_eq!(Wiring::nth(7), Wiring::nth(31));
+    }
+}

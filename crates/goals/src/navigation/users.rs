@@ -1,0 +1,274 @@
+//! Navigators: the greedy enumeration class and the self-calibrating
+//! learner.
+
+use super::servers::{Wiring, BUTTONS};
+use super::world::{parse_sensors, Dir};
+use goc_core::enumeration::SliceEnumerator;
+use goc_core::msg::{Message, UserIn, UserOut};
+use goc_core::strategy::{StepCtx, UserStrategy};
+use std::collections::VecDeque;
+
+/// Picks a direction that reduces Manhattan distance to the target.
+fn greedy_direction(agent: (u32, u32), target: (u32, u32)) -> Option<Dir> {
+    if agent.0 < target.0 {
+        Some(Dir::East)
+    } else if agent.0 > target.0 {
+        Some(Dir::West)
+    } else if agent.1 < target.1 {
+        Some(Dir::South)
+    } else if agent.1 > target.1 {
+        Some(Dir::North)
+    } else {
+        None
+    }
+}
+
+/// A navigator that assumes one [`Wiring`] and steers greedily.
+#[derive(Clone, Copy, Debug)]
+pub struct GreedyNavigator {
+    assumed: Wiring,
+}
+
+impl GreedyNavigator {
+    /// A navigator assuming the actuator uses `assumed`.
+    pub fn new(assumed: Wiring) -> Self {
+        GreedyNavigator { assumed }
+    }
+}
+
+impl UserStrategy for GreedyNavigator {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        let Some((agent, target)) = parse_sensors(input.from_world.as_bytes()) else {
+            return UserOut::silence();
+        };
+        match greedy_direction(agent, target) {
+            Some(dir) => {
+                UserOut::to_server(Message::from_bytes(vec![self.assumed.button_for(dir)]))
+            }
+            None => UserOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("greedy-navigator({:?})", self.assumed)
+    }
+}
+
+/// The enumerable class of greedy navigators: one per wiring (24 members).
+pub fn wiring_class() -> SliceEnumerator {
+    let mut class = SliceEnumerator::new("greedy-navigators(x24)");
+    for w in Wiring::all() {
+        class.push(move || Box::new(GreedyNavigator::new(w)));
+    }
+    class
+}
+
+/// The **self-calibrating** navigator: presses buttons round-robin, watches
+/// the position deltas in the sensor stream to reconstruct the wiring, then
+/// steers greedily — no enumeration over the 24 wirings.
+///
+/// Calibration is robust to walls: a press that produced no movement (wall
+/// hit) stays unresolved and is retried later, by which time the presses
+/// that *did* move have pulled the agent off the wall.
+#[derive(Clone, Debug)]
+pub struct CalibratingNavigator {
+    /// `learned[i] = Some(dir)` once button `i`'s direction is known.
+    learned: [Option<Dir>; 4],
+    /// Presses awaiting their delta, with the position seen at press time.
+    pending: VecDeque<(u8, (u32, u32))>,
+    /// Rounds the front pending press has gone without observed movement.
+    stale: u32,
+    rr_next: usize,
+}
+
+impl CalibratingNavigator {
+    /// A fresh, uncalibrated navigator.
+    pub fn new() -> Self {
+        CalibratingNavigator { learned: [None; 4], pending: VecDeque::new(), stale: 0, rr_next: 0 }
+    }
+
+    /// Number of buttons whose direction is known.
+    pub fn calibrated(&self) -> usize {
+        self.learned.iter().filter(|l| l.is_some()).count()
+    }
+
+    fn button_for(&self, dir: Dir) -> Option<u8> {
+        self.learned
+            .iter()
+            .position(|&l| l == Some(dir))
+            .map(|i| BUTTONS[i])
+    }
+
+    fn dir_from_delta(from: (u32, u32), to: (u32, u32)) -> Option<Dir> {
+        let dx = to.0 as i64 - from.0 as i64;
+        let dy = to.1 as i64 - from.1 as i64;
+        match (dx, dy) {
+            (0, -1) => Some(Dir::North),
+            (0, 1) => Some(Dir::South),
+            (1, 0) => Some(Dir::East),
+            (-1, 0) => Some(Dir::West),
+            _ => None,
+        }
+    }
+}
+
+impl Default for CalibratingNavigator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserStrategy for CalibratingNavigator {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        let Some((agent, target)) = parse_sensors(input.from_world.as_bytes()) else {
+            return UserOut::silence();
+        };
+
+        // Attribute the freshest observable delta to the oldest pending
+        // press whose pre-press position we recorded two rounds ago.
+        if let Some(&(button, pos_at_press)) = self.pending.front() {
+            // The press moves the world two rounds after it was sent; once
+            // the reported position is *based on* a later round we can
+            // attribute. We approximate by attributing as soon as the
+            // reported position differs from the recorded one, or marking
+            // unresolved (wall) after seeing two unchanged reports.
+            if agent != pos_at_press {
+                if let Some(dir) = Self::dir_from_delta(pos_at_press, agent) {
+                    let idx = BUTTONS.iter().position(|&b| b == button).expect("known button");
+                    self.learned[idx] = Some(dir);
+                }
+                self.pending.pop_front();
+                self.stale = 0;
+            } else {
+                // No movement yet: a press resolves within 3 rounds (press →
+                // actuation → sensor report), so longer staleness means a
+                // wall hit; abandon the press for a later retry.
+                self.stale += 1;
+                if self.stale >= 3 {
+                    self.pending.pop_front();
+                    self.stale = 0;
+                }
+            }
+        }
+
+        // Fully calibrated: steer greedily.
+        if self.calibrated() == 4 {
+            return match greedy_direction(agent, target) {
+                Some(dir) => match self.button_for(dir) {
+                    Some(b) => UserOut::to_server(Message::from_bytes(vec![b])),
+                    None => UserOut::silence(),
+                },
+                None => UserOut::silence(),
+            };
+        }
+
+        // Calibration phase: press unresolved buttons round-robin, one press
+        // in flight at a time (unambiguous attribution).
+        if self.pending.is_empty() {
+            for _ in 0..4 {
+                let i = self.rr_next % 4;
+                self.rr_next += 1;
+                if self.learned[i].is_none() {
+                    self.pending.push_back((BUTTONS[i], agent));
+                    return UserOut::to_server(Message::from_bytes(vec![BUTTONS[i]]));
+                }
+            }
+        }
+        UserOut::silence()
+    }
+
+    fn name(&self) -> String {
+        format!("calibrating-navigator({}/4)", self.calibrated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::rng::GocRng;
+
+    fn sensors(agent: (u32, u32), target: (u32, u32)) -> UserIn {
+        UserIn {
+            from_server: Message::silence(),
+            from_world: Message::from(format!(
+                "POS:{},{};TGT:{},{}",
+                agent.0, agent.1, target.0, target.1
+            )),
+        }
+    }
+
+    fn step_user(u: &mut dyn UserStrategy, round: u64, input: &UserIn) -> UserOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        u.step(&mut ctx, input)
+    }
+
+    #[test]
+    fn greedy_direction_reduces_distance() {
+        assert_eq!(greedy_direction((0, 0), (3, 0)), Some(Dir::East));
+        assert_eq!(greedy_direction((3, 0), (0, 0)), Some(Dir::West));
+        assert_eq!(greedy_direction((0, 0), (0, 3)), Some(Dir::South));
+        assert_eq!(greedy_direction((0, 3), (0, 0)), Some(Dir::North));
+        assert_eq!(greedy_direction((2, 2), (2, 2)), None);
+    }
+
+    #[test]
+    fn greedy_navigator_presses_assumed_button() {
+        let w = Wiring::nth(3);
+        let mut u = GreedyNavigator::new(w);
+        let out = step_user(&mut u, 0, &sensors((0, 0), (5, 0)));
+        assert_eq!(out.to_server.as_bytes(), &[w.button_for(Dir::East)]);
+    }
+
+    #[test]
+    fn greedy_navigator_rests_on_target() {
+        let mut u = GreedyNavigator::new(Wiring::identity());
+        let out = step_user(&mut u, 0, &sensors((2, 2), (2, 2)));
+        assert!(out.to_server.is_silence());
+    }
+
+    #[test]
+    fn wiring_class_has_24_members() {
+        use goc_core::enumeration::StrategyEnumerator;
+        let class = wiring_class();
+        assert_eq!(class.len(), Some(24));
+        assert!(class.strategy(23).is_some());
+    }
+
+    #[test]
+    fn calibrator_learns_from_deltas() {
+        let mut u = CalibratingNavigator::new();
+        // Press button '0' at (5,5)…
+        let out = step_user(&mut u, 0, &sensors((5, 5), (0, 0)));
+        assert_eq!(out.to_server.as_bytes(), b"0");
+        // …observe the agent moved south: '0' must be South.
+        let _ = step_user(&mut u, 1, &sensors((5, 6), (0, 0)));
+        assert_eq!(u.learned[0], Some(Dir::South));
+        assert_eq!(u.calibrated(), 1);
+    }
+
+    #[test]
+    fn calibrator_retries_wall_hits() {
+        let mut u = CalibratingNavigator::new();
+        // Press '0' but never observe movement (wall): after 3 stale
+        // rounds the press is abandoned and the next button is tried.
+        let _ = step_user(&mut u, 0, &sensors((0, 0), (9, 9)));
+        let mut pressed = Vec::new();
+        for r in 1..8 {
+            let out = step_user(&mut u, r, &sensors((0, 0), (9, 9)));
+            if !out.to_server.is_silence() {
+                pressed.push(out.to_server.as_bytes()[0]);
+            }
+        }
+        assert!(pressed.contains(&b'1'), "moved on to another button: {pressed:?}");
+        assert_eq!(u.learned[0], None, "button 0 stays unresolved");
+    }
+
+    #[test]
+    fn fully_calibrated_navigator_steers() {
+        let mut u = CalibratingNavigator::new();
+        u.learned = [Some(Dir::North), Some(Dir::South), Some(Dir::East), Some(Dir::West)];
+        let out = step_user(&mut u, 0, &sensors((0, 0), (4, 0)));
+        assert_eq!(out.to_server.as_bytes(), b"2", "East is wired to button 2");
+    }
+}

@@ -1,0 +1,250 @@
+//! The grid world: an agent, a target, and a fixed actuation protocol.
+
+use goc_core::msg::{Message, WorldIn, WorldOut};
+use goc_core::rng::GocRng;
+use goc_core::strategy::{StepCtx, WorldStrategy};
+
+/// A cardinal direction — the world's fixed actuation alphabet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Decreasing y.
+    North,
+    /// Increasing y.
+    South,
+    /// Increasing x.
+    East,
+    /// Decreasing x.
+    West,
+}
+
+impl Dir {
+    /// All four directions in canonical order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    /// The wire byte the world understands.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Dir::North => b'N',
+            Dir::South => b'S',
+            Dir::East => b'E',
+            Dir::West => b'W',
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Option<Dir> {
+        match b {
+            b'N' => Some(Dir::North),
+            b'S' => Some(Dir::South),
+            b'E' => Some(Dir::East),
+            b'W' => Some(Dir::West),
+            _ => None,
+        }
+    }
+
+    /// The (dx, dy) displacement.
+    pub fn delta(self) -> (i64, i64) {
+        match self {
+            Dir::North => (0, -1),
+            Dir::South => (0, 1),
+            Dir::East => (1, 0),
+            Dir::West => (-1, 0),
+        }
+    }
+}
+
+/// Referee-visible state of the grid world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridState {
+    /// Agent position.
+    pub agent: (u32, u32),
+    /// Target position.
+    pub target: (u32, u32),
+    /// Number of target visits so far.
+    pub visits: u64,
+    /// Round of the most recent visit, if any.
+    pub last_visit_round: Option<u64>,
+    /// Rounds elapsed.
+    pub round: u64,
+}
+
+/// The grid world strategy.
+///
+/// Protocol (fixed):
+///
+/// - server → world: a single byte `N`/`S`/`E`/`W` moves the agent one cell
+///   (clamped at the walls); anything else is ignored.
+/// - world → user, every round: `POS:x,y;TGT:tx,ty` — the agent's sensors.
+/// - when the agent reaches the target, the visit is recorded and the target
+///   relocates to a fresh random cell (≠ the agent's).
+#[derive(Clone, Debug)]
+pub struct GridWorld {
+    width: u32,
+    height: u32,
+    state: GridState,
+}
+
+impl GridWorld {
+    /// A `width` × `height` world with random agent and target positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than two cells.
+    pub fn new(width: u32, height: u32, rng: &mut GocRng) -> Self {
+        assert!(
+            width as u64 * height as u64 >= 2,
+            "GridWorld needs at least two cells"
+        );
+        let agent = (rng.below(width as u64) as u32, rng.below(height as u64) as u32);
+        let target = Self::fresh_target(width, height, agent, rng);
+        GridWorld {
+            width,
+            height,
+            state: GridState { agent, target, visits: 0, last_visit_round: None, round: 0 },
+        }
+    }
+
+    fn fresh_target(width: u32, height: u32, avoid: (u32, u32), rng: &mut GocRng) -> (u32, u32) {
+        loop {
+            let t = (rng.below(width as u64) as u32, rng.below(height as u64) as u32);
+            if t != avoid {
+                return t;
+            }
+        }
+    }
+
+    /// The sensor broadcast for the current state.
+    fn sensors(&self) -> Message {
+        let s = &self.state;
+        Message::from(format!(
+            "POS:{},{};TGT:{},{}",
+            s.agent.0, s.agent.1, s.target.0, s.target.1
+        ))
+    }
+}
+
+impl WorldStrategy for GridWorld {
+    type State = GridState;
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &WorldIn) -> WorldOut {
+        let cmd = input.from_server.as_bytes();
+        if cmd.len() == 1 {
+            if let Some(dir) = Dir::from_byte(cmd[0]) {
+                let (dx, dy) = dir.delta();
+                let nx = (self.state.agent.0 as i64 + dx).clamp(0, self.width as i64 - 1);
+                let ny = (self.state.agent.1 as i64 + dy).clamp(0, self.height as i64 - 1);
+                self.state.agent = (nx as u32, ny as u32);
+            }
+        }
+        if self.state.agent == self.state.target {
+            self.state.visits += 1;
+            self.state.last_visit_round = Some(ctx.round);
+            self.state.target =
+                Self::fresh_target(self.width, self.height, self.state.agent, ctx.rng);
+        }
+        self.state.round = ctx.round + 1;
+        WorldOut::to_user(self.sensors())
+    }
+
+    fn state(&self) -> GridState {
+        self.state.clone()
+    }
+}
+
+/// Parses the sensor broadcast into `(agent, target)`.
+pub fn parse_sensors(bytes: &[u8]) -> Option<((u32, u32), (u32, u32))> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let rest = text.strip_prefix("POS:")?;
+    let (pos_part, tgt_part) = rest.split_once(";TGT:")?;
+    let parse_pair = |s: &str| -> Option<(u32, u32)> {
+        let (x, y) = s.split_once(',')?;
+        Some((x.parse().ok()?, y.parse().ok()?))
+    };
+    Some((parse_pair(pos_part)?, parse_pair(tgt_part)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(w: &mut GridWorld, round: u64, cmd: &[u8]) -> WorldOut {
+        let mut rng = GocRng::seed_from_u64(123);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        w.step(
+            &mut ctx,
+            &WorldIn {
+                from_user: Message::silence(),
+                from_server: Message::from_bytes(cmd.to_vec()),
+            },
+        )
+    }
+
+    #[test]
+    fn moves_respect_commands_and_walls() {
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut w = GridWorld::new(5, 5, &mut rng);
+        // Drive to the west wall.
+        for r in 0..10 {
+            step(&mut w, r, b"W");
+        }
+        assert_eq!(w.state().agent.0, 0);
+        // One step east.
+        let y = w.state().agent.1;
+        step(&mut w, 10, b"E");
+        assert_eq!(w.state().agent, (1, y));
+    }
+
+    #[test]
+    fn ignores_garbage_commands() {
+        let mut rng = GocRng::seed_from_u64(2);
+        let mut w = GridWorld::new(5, 5, &mut rng);
+        let before = w.state().agent;
+        step(&mut w, 0, b"X");
+        step(&mut w, 1, b"NN");
+        step(&mut w, 2, b"");
+        assert_eq!(w.state().agent, before);
+    }
+
+    #[test]
+    fn visiting_target_relocates_it() {
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut w = GridWorld::new(4, 1, &mut rng);
+        // Drive east then west along the line until a visit happens.
+        for r in 0..20 {
+            let dir = if w.state().agent.0 < w.state().target.0 { b"E" } else { b"W" };
+            step(&mut w, r, dir);
+            if w.state().visits > 0 {
+                break;
+            }
+        }
+        let s = w.state();
+        assert_eq!(s.visits, 1);
+        assert!(s.last_visit_round.is_some());
+        assert_ne!(s.agent, s.target, "target relocated away from agent");
+    }
+
+    #[test]
+    fn sensor_broadcast_roundtrips() {
+        let mut rng = GocRng::seed_from_u64(4);
+        let mut w = GridWorld::new(9, 7, &mut rng);
+        let out = step(&mut w, 0, b"");
+        let (agent, target) = parse_sensors(out.to_user.as_bytes()).unwrap();
+        assert_eq!(agent, w.state().agent);
+        assert_eq!(target, w.state().target);
+    }
+
+    #[test]
+    fn parse_sensors_rejects_noise() {
+        assert_eq!(parse_sensors(b"POS:1,2"), None);
+        assert_eq!(parse_sensors(b"garbage"), None);
+        assert_eq!(parse_sensors(b"POS:a,b;TGT:1,2"), None);
+    }
+
+    #[test]
+    fn dir_byte_roundtrip() {
+        for d in Dir::ALL {
+            assert_eq!(Dir::from_byte(d.to_byte()), Some(d));
+        }
+        assert_eq!(Dir::from_byte(b'Q'), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Chunked-submission printer drivers: documents arrive over several
+//! rounds, and the driver's **frame buffer size** joins the dialect as a
+//! compatibility dimension.
+
+use super::dialect::Dialect;
+use super::world::JOB_PREFIX;
+use crate::framing::{frame, Reassembler};
+use goc_core::enumeration::SliceEnumerator;
+use goc_core::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
+use goc_core::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy};
+
+/// A printer driver that accepts **framed** job submissions: each user
+/// message is `<opcode><encoded frame>`; frames are reassembled and the
+/// completed document is sent to the printer.
+///
+/// The driver drops any frame whose encoded payload exceeds its
+/// `buffer_size` — an undersized peripheral buffer, the classic silent
+/// incompatibility. A compatible user must therefore match the dialect
+/// *and* keep its chunks small enough.
+#[derive(Clone, Debug)]
+pub struct ChunkedDriverServer {
+    dialect: Dialect,
+    buffer_size: usize,
+    reassembler: Reassembler,
+}
+
+impl ChunkedDriverServer {
+    /// A chunked driver speaking `dialect` with a `buffer_size`-byte frame
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_size` cannot hold even a one-byte chunk (frames
+    /// carry a 5-byte header).
+    pub fn new(dialect: Dialect, buffer_size: usize) -> Self {
+        assert!(buffer_size >= 6, "buffer must hold a header plus at least one byte");
+        ChunkedDriverServer { dialect, buffer_size, reassembler: Reassembler::new() }
+    }
+
+    /// The driver's dialect.
+    pub fn dialect(&self) -> &Dialect {
+        &self.dialect
+    }
+
+    /// The frame buffer size in bytes.
+    pub fn buffer_size(&self) -> usize {
+        self.buffer_size
+    }
+}
+
+impl ServerStrategy for ChunkedDriverServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        let Some(frame_bytes) = self.dialect.parse_job(input.from_user.as_bytes()) else {
+            return ServerOut::silence();
+        };
+        if frame_bytes.len() > self.buffer_size {
+            return ServerOut::silence(); // silently dropped: buffer overflow
+        }
+        match self.reassembler.feed(&frame_bytes) {
+            Some(document) => {
+                let mut job = JOB_PREFIX.to_vec();
+                job.extend_from_slice(&document);
+                ServerOut::to_world(Message::from_bytes(job))
+            }
+            None => ServerOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "chunked-driver({:#04x}, {:?}, buf={})",
+            self.dialect.opcode(),
+            self.dialect.encoding(),
+            self.buffer_size
+        )
+    }
+}
+
+/// A user that submits its document as a framed chunk stream in one assumed
+/// dialect and chunk size, then watches the tray (see
+/// [`PrintingUser`](super::PrintingUser) for the single-message variant).
+#[derive(Clone, Debug)]
+pub struct ChunkedPrintingUser {
+    frames: Vec<Vec<u8>>,
+    dialect: Dialect,
+    document: Vec<u8>,
+    cursor: usize,
+    halt: Option<Halt>,
+}
+
+impl ChunkedPrintingUser {
+    /// A user printing `document` in `dialect`, chunked to `chunk_size`
+    /// payload bytes per frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `document` is empty or `chunk_size == 0`.
+    pub fn new(document: impl AsRef<[u8]>, dialect: Dialect, chunk_size: usize) -> Self {
+        let document = document.as_ref().to_vec();
+        let frames = frame(&document, chunk_size);
+        ChunkedPrintingUser { frames, dialect, document, cursor: 0, halt: None }
+    }
+}
+
+impl UserStrategy for ChunkedPrintingUser {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if self.halt.is_some() {
+            return UserOut::silence();
+        }
+        if let Some(page) = input.from_world.as_bytes().strip_prefix(super::world::TRAY_PREFIX) {
+            if page == self.document.as_slice() {
+                self.halt = Some(Halt::with_output("printed"));
+                return UserOut::silence();
+            }
+        }
+        // Stream the frames cyclically (resubmitting the whole document if
+        // a pass did not result in a tray report).
+        let frame_bytes = &self.frames[self.cursor % self.frames.len()];
+        self.cursor += 1;
+        UserOut::to_server(Message::from_bytes(self.dialect.frame_job(frame_bytes)))
+    }
+
+    fn halted(&self) -> Option<Halt> {
+        self.halt.clone()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "chunked-printing-user({:#04x}, {:?}, {} frames)",
+            self.dialect.opcode(),
+            self.dialect.encoding(),
+            self.frames.len()
+        )
+    }
+}
+
+/// The enumerable class over dialects × chunk sizes.
+pub fn chunked_class(
+    document: impl AsRef<[u8]>,
+    dialects: &[Dialect],
+    chunk_sizes: &[usize],
+) -> SliceEnumerator {
+    let document = document.as_ref().to_vec();
+    let mut class = SliceEnumerator::new(format!(
+        "chunked-printing-users(x{})",
+        dialects.len() * chunk_sizes.len()
+    ));
+    for dialect in dialects {
+        for &chunk_size in chunk_sizes {
+            let doc = document.clone();
+            let d = dialect.clone();
+            class.push(move || {
+                Box::new(ChunkedPrintingUser::new(doc.clone(), d.clone(), chunk_size))
+            });
+        }
+    }
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{PrintGoal, TraySensing};
+    use super::*;
+    use crate::codec::Encoding;
+    use goc_core::exec::Execution;
+    use goc_core::goal::{evaluate_finite, Goal};
+    use goc_core::prelude::*;
+
+    fn dialect() -> Dialect {
+        Dialect::new(0x50, Encoding::Xor(0x2a))
+    }
+
+    #[test]
+    fn chunked_informed_user_prints_long_document() {
+        let doc = "a-rather-long-document-that-will-not-fit-in-one-frame".repeat(3);
+        let goal = PrintGoal::new(doc.as_bytes());
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(ChunkedDriverServer::new(dialect(), 16)),
+            Box::new(ChunkedPrintingUser::new(doc.as_bytes(), dialect(), 8)),
+            rng,
+        );
+        let t = exec.run(200);
+        assert!(evaluate_finite(&goal, &t).achieved);
+    }
+
+    #[test]
+    fn oversized_chunks_are_silently_dropped() {
+        let doc = b"0123456789abcdef0123456789abcdef";
+        let goal = PrintGoal::new(doc);
+        let mut rng = GocRng::seed_from_u64(2);
+        // Buffer 10 < header(5) + chunk(16): every frame dropped.
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(ChunkedDriverServer::new(dialect(), 10)),
+            Box::new(ChunkedPrintingUser::new(doc, dialect(), 16)),
+            rng,
+        );
+        let t = exec.run(200);
+        assert!(!evaluate_finite(&goal, &t).achieved);
+    }
+
+    #[test]
+    fn universal_user_finds_dialect_and_chunk_size() {
+        let doc = b"chunked-universality-demo-document";
+        let goal = PrintGoal::new(doc);
+        let dialects =
+            Dialect::class(&[0x50, 0x60], &[Encoding::Identity, Encoding::Xor(0x2a)]);
+        let chunk_sizes = [4usize, 32];
+        // Server: dialect index 3, buffer 12 → only chunk size 4 fits.
+        let server = ChunkedDriverServer::new(dialects[3].clone(), 12);
+        let universal = goc_core::universal::LevinUniversalUser::round_robin(
+            Box::new(chunked_class(doc, &dialects, &chunk_sizes)),
+            Box::new(TraySensing::new(doc)),
+            32,
+        );
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(server),
+            Box::new(universal),
+            rng,
+        );
+        let t = exec.run(200_000);
+        let v = evaluate_finite(&goal, &t);
+        assert!(v.achieved, "{v:?}");
+    }
+
+    #[test]
+    fn chunked_class_size_is_the_product() {
+        use goc_core::enumeration::StrategyEnumerator;
+        let dialects = Dialect::class(&[1, 2, 3], &[Encoding::Identity]);
+        let class = chunked_class("doc", &dialects, &[4, 8]);
+        assert_eq!(class.len(), Some(6));
+    }
+
+    #[test]
+    fn driver_ignores_foreign_dialects_and_noise() {
+        let mut s = ChunkedDriverServer::new(dialect(), 64);
+        let mut rng = GocRng::seed_from_u64(4);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        for noise in [&b""[..], b"garbage", &[0x51, 1, 2, 3]] {
+            let out = s.step(
+                &mut ctx,
+                &ServerIn {
+                    from_user: Message::from_bytes(noise.to_vec()),
+                    from_world: Message::silence(),
+                },
+            );
+            assert_eq!(out, ServerOut::silence());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "header")]
+    fn tiny_buffer_panics() {
+        let _ = ChunkedDriverServer::new(dialect(), 5);
+    }
+
+    #[test]
+    fn names_describe_configuration() {
+        let s = ChunkedDriverServer::new(dialect(), 32);
+        assert!(s.name().contains("buf=32"));
+        let u = ChunkedPrintingUser::new("doc", dialect(), 1);
+        assert!(u.name().contains("3 frames"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Printer-driver dialects: the server class of the printing goal.
+//!
+//! A driver accepts job submissions from the user as
+//! `<opcode byte><encoded payload>` — but the opcode and the payload encoding
+//! vary by driver. This is the concrete form of "no initial agreement on
+//! what protocol and/or language is being used".
+
+use goc_core::msg::{Message, ServerIn, ServerOut, UserIn};
+use goc_core::strategy::{ServerStrategy, StepCtx};
+
+use super::world::JOB_PREFIX;
+
+pub use crate::codec::Encoding;
+
+/// A complete driver dialect: submission opcode plus payload encoding.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dialect {
+    opcode: u8,
+    encoding: Encoding,
+}
+
+impl Dialect {
+    /// A dialect with submission opcode `opcode` and payload `encoding`.
+    pub fn new(opcode: u8, encoding: Encoding) -> Self {
+        Dialect { opcode, encoding }
+    }
+
+    /// The submission opcode byte.
+    pub fn opcode(&self) -> u8 {
+        self.opcode
+    }
+
+    /// The payload encoding.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Frames `document` as a job submission in this dialect.
+    pub fn frame_job(&self, document: &[u8]) -> Vec<u8> {
+        let mut wire = vec![self.opcode];
+        wire.extend(self.encoding.encode(document));
+        wire
+    }
+
+    /// Parses a submission in this dialect, returning the document.
+    pub fn parse_job(&self, wire: &[u8]) -> Option<Vec<u8>> {
+        let (&op, payload) = wire.split_first()?;
+        if op != self.opcode || payload.is_empty() {
+            return None;
+        }
+        Some(self.encoding.decode(payload))
+    }
+
+    /// The full cartesian dialect class over `opcodes` × `encodings`.
+    pub fn class(opcodes: &[u8], encodings: &[Encoding]) -> Vec<Dialect> {
+        let mut out = Vec::with_capacity(opcodes.len() * encodings.len());
+        for &op in opcodes {
+            for &enc in encodings {
+                out.push(Dialect::new(op, enc));
+            }
+        }
+        out
+    }
+}
+
+/// A printer-driver server speaking one [`Dialect`].
+///
+/// Behaviour: user messages that parse as a job submission in the driver's
+/// dialect are forwarded to the printer as `JOB:<document>`; everything else
+/// is ignored. Tray reports travel directly from the world to the user, so
+/// the driver does not relay them.
+#[derive(Clone, Debug)]
+pub struct DriverServer {
+    dialect: Dialect,
+}
+
+impl DriverServer {
+    /// A driver speaking `dialect`.
+    pub fn new(dialect: Dialect) -> Self {
+        DriverServer { dialect }
+    }
+
+    /// The driver's dialect.
+    pub fn dialect(&self) -> &Dialect {
+        &self.dialect
+    }
+}
+
+impl ServerStrategy for DriverServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        match self.dialect.parse_job(input.from_user.as_bytes()) {
+            Some(document) => {
+                let mut job = JOB_PREFIX.to_vec();
+                job.extend_from_slice(&document);
+                ServerOut::to_world(Message::from_bytes(job))
+            }
+            None => ServerOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("driver({:#04x}, {:?})", self.dialect.opcode, self.dialect.encoding)
+    }
+}
+
+/// Extracts a tray report from a user's incoming world message, if present.
+pub(crate) fn tray_report(input: &UserIn) -> Option<&[u8]> {
+    let bytes = input.from_world.as_bytes();
+    bytes.strip_prefix(super::world::TRAY_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::rng::GocRng;
+
+    #[test]
+    fn frame_and_parse_roundtrip() {
+        let d = Dialect::new(0x50, Encoding::Rot(13));
+        let wire = d.frame_job(b"doc");
+        assert_eq!(d.parse_job(&wire), Some(b"doc".to_vec()));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_opcode_and_empty_payload() {
+        let d = Dialect::new(0x50, Encoding::Identity);
+        assert_eq!(d.parse_job(&[0x51, b'x']), None);
+        assert_eq!(d.parse_job(&[0x50]), None);
+        assert_eq!(d.parse_job(&[]), None);
+    }
+
+    #[test]
+    fn dialect_class_is_cartesian() {
+        let class = Dialect::class(&[1, 2], &[Encoding::Identity, Encoding::Reverse]);
+        assert_eq!(class.len(), 4);
+        assert!(class.contains(&Dialect::new(2, Encoding::Reverse)));
+    }
+
+    #[test]
+    fn driver_forwards_only_its_dialect() {
+        let d = Dialect::new(0x50, Encoding::Xor(0xff));
+        let mut s = DriverServer::new(d.clone());
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let good = ServerIn {
+            from_user: Message::from_bytes(d.frame_job(b"hi")),
+            from_world: Message::silence(),
+        };
+        let out = s.step(&mut ctx, &good);
+        assert_eq!(out.to_world.as_bytes(), b"JOB:hi");
+
+        let bad = ServerIn {
+            from_user: Message::from_bytes(vec![0x51, 0x00]),
+            from_world: Message::silence(),
+        };
+        let mut ctx = StepCtx::new(1, &mut rng);
+        assert_eq!(s.step(&mut ctx, &bad), ServerOut::silence());
+    }
+
+    #[test]
+    fn different_dialects_disagree_on_wire_form() {
+        let a = Dialect::new(0x50, Encoding::Xor(1));
+        let b = Dialect::new(0x50, Encoding::Xor(2));
+        // A job framed by `a` decodes to garbage under `b`.
+        let wire = a.frame_job(b"doc");
+        assert_ne!(b.parse_job(&wire), Some(b"doc".to_vec()));
+    }
+
+    #[test]
+    fn driver_name_mentions_dialect() {
+        let s = DriverServer::new(Dialect::new(0x10, Encoding::Reverse));
+        assert!(s.name().contains("0x10"));
+        assert!(s.name().contains("Reverse"));
+    }
+}

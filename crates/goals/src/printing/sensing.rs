@@ -1,0 +1,88 @@
+//! Sensing for the printing goal: watch the output tray.
+
+use goc_core::sensing::{Indication, Sensing};
+use goc_core::view::ViewEvent;
+
+/// Sensing that is **positive** exactly when the output tray shows the
+/// target document.
+///
+/// - *Safety* (finite): the world only reports `TRAY:<page>` after actually
+///   printing `<page>`, so a positive implies the document is in the world's
+///   print log — an acceptable history.
+/// - *Viability*: a user speaking the driver's dialect gets the document
+///   printed, hence reported.
+///
+/// For the compact constructions wrap it in
+/// [`Deadline`](goc_core::sensing::Deadline) to convert prolonged silence
+/// into negative evidence.
+#[derive(Clone, Debug)]
+pub struct TraySensing {
+    document: Vec<u8>,
+}
+
+impl TraySensing {
+    /// Sensing watching for `document` on the tray.
+    pub fn new(document: impl AsRef<[u8]>) -> Self {
+        TraySensing { document: document.as_ref().to_vec() }
+    }
+}
+
+impl Sensing for TraySensing {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        let bytes = event.received.from_world.as_bytes();
+        match bytes.strip_prefix(super::world::TRAY_PREFIX) {
+            Some(page) if page == self.document.as_slice() => Indication::Positive,
+            _ => Indication::Silent,
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "tray".to_string()
+    }
+}
+
+/// Convenience constructor for [`TraySensing`].
+pub fn tray_sensing(document: impl AsRef<[u8]>) -> TraySensing {
+    TraySensing::new(document)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::msg::{Message, UserIn, UserOut};
+
+    fn event(from_world: &[u8]) -> ViewEvent {
+        ViewEvent {
+            round: 0,
+            received: UserIn {
+                from_server: Message::silence(),
+                from_world: Message::from_bytes(from_world.to_vec()),
+            },
+            sent: UserOut::silence(),
+        }
+    }
+
+    #[test]
+    fn positive_on_matching_tray_page() {
+        let mut s = tray_sensing("doc");
+        assert_eq!(s.observe(&event(b"TRAY:doc")), Indication::Positive);
+    }
+
+    #[test]
+    fn silent_on_other_pages_and_noise() {
+        let mut s = tray_sensing("doc");
+        assert_eq!(s.observe(&event(b"TRAY:other")), Indication::Silent);
+        assert_eq!(s.observe(&event(b"doc")), Indication::Silent);
+        assert_eq!(s.observe(&event(b"")), Indication::Silent);
+    }
+
+    #[test]
+    fn reset_is_stateless() {
+        let mut s = tray_sensing("doc");
+        s.reset();
+        assert_eq!(s.observe(&event(b"TRAY:doc")), Indication::Positive);
+        assert_eq!(s.name(), "tray");
+    }
+}

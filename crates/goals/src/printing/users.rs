@@ -1,0 +1,211 @@
+//! User strategies for the printing goal, and their enumerable class.
+
+use super::dialect::{tray_report, Dialect};
+use goc_core::enumeration::SliceEnumerator;
+use goc_core::msg::{Message, UserIn, UserOut};
+use goc_core::strategy::{Halt, StepCtx, UserStrategy};
+
+/// A user that submits its document in one assumed [`Dialect`] and watches
+/// the output tray.
+///
+/// - Non-persistent (finite goal): resubmits every round until the tray
+///   shows the document, then halts.
+/// - Persistent (compact goal): keeps resubmitting forever, pacing
+///   submissions so the tray stays fresh.
+#[derive(Clone, Debug)]
+pub struct PrintingUser {
+    document: Vec<u8>,
+    dialect: Dialect,
+    persistent: bool,
+    halt: Option<Halt>,
+    resubmit_every: u64,
+}
+
+impl PrintingUser {
+    /// A finite-goal user printing `document` in `dialect`.
+    pub fn new(document: impl AsRef<[u8]>, dialect: Dialect) -> Self {
+        PrintingUser {
+            document: document.as_ref().to_vec(),
+            dialect,
+            persistent: false,
+            halt: None,
+            resubmit_every: 1,
+        }
+    }
+
+    /// A compact-goal user reprinting `document` in `dialect` forever.
+    pub fn persistent(document: impl AsRef<[u8]>, dialect: Dialect) -> Self {
+        PrintingUser {
+            document: document.as_ref().to_vec(),
+            dialect,
+            persistent: true,
+            halt: None,
+            resubmit_every: 4,
+        }
+    }
+
+    /// Sets the resubmission period of a persistent user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_resubmit_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "resubmission period must be positive");
+        self.resubmit_every = every;
+        self
+    }
+
+    /// The assumed dialect.
+    pub fn dialect(&self) -> &Dialect {
+        &self.dialect
+    }
+}
+
+impl UserStrategy for PrintingUser {
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if self.halt.is_some() {
+            return UserOut::silence();
+        }
+        if let Some(page) = tray_report(input) {
+            if page == self.document.as_slice() && !self.persistent {
+                self.halt = Some(Halt::with_output("printed"));
+                return UserOut::silence();
+            }
+        }
+        if ctx.round.is_multiple_of(self.resubmit_every) {
+            UserOut::to_server(Message::from_bytes(self.dialect.frame_job(&self.document)))
+        } else {
+            UserOut::silence()
+        }
+    }
+
+    fn halted(&self) -> Option<Halt> {
+        self.halt.clone()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "printing-user({:#04x}, {:?}{})",
+            self.dialect.opcode(),
+            self.dialect.encoding(),
+            if self.persistent { ", persistent" } else { "" }
+        )
+    }
+}
+
+/// The enumerable class of printing users, one per dialect in `dialects`.
+pub fn dialect_class(
+    document: impl AsRef<[u8]>,
+    dialects: &[Dialect],
+    persistent: bool,
+) -> SliceEnumerator {
+    let document = document.as_ref().to_vec();
+    let mut class = SliceEnumerator::new(format!("printing-users(x{})", dialects.len()));
+    for dialect in dialects {
+        let doc = document.clone();
+        let d = dialect.clone();
+        class.push(move || {
+            if persistent {
+                Box::new(PrintingUser::persistent(doc.clone(), d.clone()))
+            } else {
+                Box::new(PrintingUser::new(doc.clone(), d.clone()))
+            }
+        });
+    }
+    class
+}
+
+/// Design note (paper §3, closing remark): for *structured* dialect classes
+/// a user can do better than enumeration — e.g. binary-searching opcodes or
+/// probing encodings with a self-identifying payload. The transmission goal's
+/// [`ProbingUser`](crate::transmission::ProbingUser) demonstrates that
+/// "efficient special case"; for printing we keep the enumeration honest.
+pub fn learning_user_note() -> &'static str {
+    "see crate::transmission::ProbingUser for the learning alternative"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printing::Encoding;
+    use goc_core::enumeration::StrategyEnumerator;
+    use goc_core::rng::GocRng;
+
+    fn step(u: &mut PrintingUser, round: u64, input: &UserIn) -> UserOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        u.step(&mut ctx, input)
+    }
+
+    #[test]
+    fn submits_framed_job() {
+        let d = Dialect::new(0x50, Encoding::Xor(7));
+        let mut u = PrintingUser::new("doc", d.clone());
+        let out = step(&mut u, 0, &UserIn::default());
+        assert_eq!(out.to_server.as_bytes(), d.frame_job(b"doc").as_slice());
+    }
+
+    #[test]
+    fn halts_when_tray_shows_document() {
+        let d = Dialect::new(0x50, Encoding::Identity);
+        let mut u = PrintingUser::new("doc", d);
+        let tray = UserIn {
+            from_server: Message::silence(),
+            from_world: Message::from_bytes(b"TRAY:doc".to_vec()),
+        };
+        let _ = step(&mut u, 0, &tray);
+        assert_eq!(UserStrategy::halted(&u), Some(Halt::with_output("printed")));
+    }
+
+    #[test]
+    fn ignores_other_pages_on_tray() {
+        let d = Dialect::new(0x50, Encoding::Identity);
+        let mut u = PrintingUser::new("doc", d);
+        let tray = UserIn {
+            from_server: Message::silence(),
+            from_world: Message::from_bytes(b"TRAY:other".to_vec()),
+        };
+        let _ = step(&mut u, 0, &tray);
+        assert!(UserStrategy::halted(&u).is_none());
+    }
+
+    #[test]
+    fn persistent_user_never_halts() {
+        let d = Dialect::new(0x50, Encoding::Identity);
+        let mut u = PrintingUser::persistent("doc", d);
+        let tray = UserIn {
+            from_server: Message::silence(),
+            from_world: Message::from_bytes(b"TRAY:doc".to_vec()),
+        };
+        for round in 0..10 {
+            let _ = step(&mut u, round, &tray);
+        }
+        assert!(UserStrategy::halted(&u).is_none());
+    }
+
+    #[test]
+    fn persistent_user_paces_submissions() {
+        let d = Dialect::new(0x50, Encoding::Identity);
+        let mut u = PrintingUser::persistent("doc", d).with_resubmit_every(4);
+        let sends: Vec<bool> = (0..8)
+            .map(|r| !step(&mut u, r, &UserIn::default()).to_server.is_silence())
+            .collect();
+        assert_eq!(sends, vec![true, false, false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn class_covers_all_dialects() {
+        let dialects = Dialect::class(&[1, 2, 3], &[Encoding::Identity, Encoding::Reverse]);
+        let class = dialect_class("doc", &dialects, false);
+        assert_eq!(class.len(), Some(6));
+        assert!(class.strategy(5).is_some());
+        assert!(class.strategy(6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resubmit_period_panics() {
+        let _ = PrintingUser::persistent("d", Dialect::new(0, Encoding::Identity))
+            .with_resubmit_every(0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Sensing for the transmission goal: the world's `OK` feedback.
+
+use super::world::{parse_broadcast, Feedback};
+use goc_core::sensing::{Indication, Sensing};
+use goc_core::view::ViewEvent;
+
+/// Sensing that is **positive** on each `OK` feedback (a challenge was
+/// delivered intact).
+///
+/// - *Safety* (compact, when wrapped in
+///   [`Deadline`](goc_core::sensing::Deadline)): a failing pairing stops
+///   earning `OK`s, so the deadline keeps firing negatives.
+/// - *Viability*: a transform-matched (or fully-taught) user earns an `OK`
+///   every challenge period, silencing the deadline forever.
+#[derive(Clone, Debug, Default)]
+pub struct OkSensing;
+
+impl Sensing for OkSensing {
+    fn observe(&mut self, event: &ViewEvent) -> Indication {
+        match parse_broadcast(event.received.from_world.as_bytes()) {
+            Some((_, Feedback::Ok)) => Indication::Positive,
+            _ => Indication::Silent,
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> String {
+        "ok".to_string()
+    }
+}
+
+/// Convenience constructor for [`OkSensing`].
+pub fn ok_sensing() -> OkSensing {
+    OkSensing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::world::{CHAL_PREFIX, GOT_PREFIX, OK_TAG, SEP};
+    use super::*;
+    use goc_core::msg::{Message, UserIn, UserOut};
+
+    fn event(from_world: Vec<u8>) -> ViewEvent {
+        ViewEvent {
+            round: 0,
+            received: UserIn {
+                from_server: Message::silence(),
+                from_world: Message::from_bytes(from_world),
+            },
+            sent: UserOut::silence(),
+        }
+    }
+
+    fn broadcast(challenge: &[u8], feedback: Option<&[u8]>) -> Vec<u8> {
+        let mut m = CHAL_PREFIX.to_vec();
+        m.extend_from_slice(challenge);
+        if let Some(fb) = feedback {
+            m.push(SEP);
+            m.extend_from_slice(fb);
+        }
+        m
+    }
+
+    #[test]
+    fn positive_on_ok_only() {
+        let mut s = ok_sensing();
+        assert_eq!(s.observe(&event(broadcast(b"abc", Some(OK_TAG)))), Indication::Positive);
+        assert_eq!(s.observe(&event(broadcast(b"abc", None))), Indication::Silent);
+        let mut got = GOT_PREFIX.to_vec();
+        got.push(0x33);
+        assert_eq!(s.observe(&event(broadcast(b"abc", Some(&got)))), Indication::Silent);
+        assert_eq!(s.observe(&event(b"noise".to_vec())), Indication::Silent);
+    }
+
+    #[test]
+    fn stateless() {
+        let mut s = ok_sensing();
+        s.reset();
+        assert_eq!(s.name(), "ok");
+        assert_eq!(s.observe(&event(broadcast(b"x", Some(OK_TAG)))), Indication::Positive);
+    }
+}

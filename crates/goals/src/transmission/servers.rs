@@ -1,0 +1,176 @@
+//! Pipe servers: forward the user's bytes to the world through an unknown
+//! transformation.
+
+use crate::codec::Encoding;
+use goc_core::msg::{Message, ServerIn, ServerOut};
+use goc_core::rng::GocRng;
+use goc_core::strategy::{ServerStrategy, StepCtx};
+
+/// A byte-level channel transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transform {
+    /// One of the structured [`Encoding`]s.
+    Enc(Encoding),
+    /// An arbitrary byte permutation (seeded); the hard case for
+    /// enumeration, the showcase for the learning user.
+    Table(u64),
+}
+
+impl Transform {
+    /// Materializes the byte-substitution table of this transform.
+    ///
+    /// For [`Transform::Enc`] variants the table mirrors the encoding
+    /// applied byte-wise; note `Encoding::Reverse` is *not* byte-wise and is
+    /// therefore rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Transform::Enc(Encoding::Reverse)`.
+    pub fn table(&self) -> [u8; 256] {
+        let mut t = [0u8; 256];
+        match self {
+            Transform::Enc(Encoding::Reverse) => {
+                panic!("Reverse is not a byte-wise transform")
+            }
+            Transform::Enc(enc) => {
+                for (i, slot) in t.iter_mut().enumerate() {
+                    *slot = enc.encode(&[i as u8])[0];
+                }
+            }
+            Transform::Table(seed) => {
+                let mut rng = GocRng::seed_from_u64(*seed);
+                let perm = rng.permutation(256);
+                for (i, slot) in t.iter_mut().enumerate() {
+                    *slot = perm[i] as u8;
+                }
+            }
+        }
+        t
+    }
+
+    /// Applies the transform to a payload.
+    pub fn apply(&self, payload: &[u8]) -> Vec<u8> {
+        let t = self.table();
+        payload.iter().map(|&b| t[b as usize]).collect()
+    }
+
+    /// Applies the inverse transform.
+    pub fn invert(&self, wire: &[u8]) -> Vec<u8> {
+        let t = self.table();
+        let mut inv = [0u8; 256];
+        for (i, &o) in t.iter().enumerate() {
+            inv[o as usize] = i as u8;
+        }
+        wire.iter().map(|&b| inv[b as usize]).collect()
+    }
+
+    /// A canonical finite transform family: byte-wise encodings plus `k`
+    /// seeded permutation tables.
+    pub fn family(xor_masks: &[u8], rot_shifts: &[u8], table_seeds: &[u64]) -> Vec<Transform> {
+        let mut out = vec![Transform::Enc(Encoding::Identity)];
+        out.extend(xor_masks.iter().map(|&m| Transform::Enc(Encoding::Xor(m))));
+        out.extend(rot_shifts.iter().map(|&s| Transform::Enc(Encoding::Rot(s))));
+        out.extend(table_seeds.iter().map(|&s| Transform::Table(s)));
+        out
+    }
+}
+
+/// A server that pipes the user's bytes to the world through a
+/// [`Transform`]. It sends nothing to the user: all feedback flows directly
+/// from the world.
+#[derive(Clone, Debug)]
+pub struct PipeServer {
+    transform: Transform,
+    table: [u8; 256],
+}
+
+impl PipeServer {
+    /// A pipe applying `transform`.
+    pub fn new(transform: Transform) -> Self {
+        let table = transform.table();
+        PipeServer { transform, table }
+    }
+
+    /// The pipe's transform.
+    pub fn transform(&self) -> &Transform {
+        &self.transform
+    }
+}
+
+impl ServerStrategy for PipeServer {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
+        if input.from_user.is_silence() {
+            return ServerOut::silence();
+        }
+        let wire: Vec<u8> =
+            input.from_user.as_bytes().iter().map(|&b| self.table[b as usize]).collect();
+        ServerOut::to_world(Message::from_bytes(wire))
+    }
+
+    fn name(&self) -> String {
+        format!("pipe({:?})", self.transform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_transforms_roundtrip() {
+        for t in Transform::family(&[1, 0xaa], &[13], &[7, 8]) {
+            let data = b"hello world \x00\xff";
+            assert_eq!(t.invert(&t.apply(data)), data.to_vec(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn table_transform_is_a_permutation() {
+        let t = Transform::Table(42).table();
+        let mut seen = [false; 256];
+        for &b in t.iter() {
+            assert!(!seen[b as usize], "duplicate output {b}");
+            seen[b as usize] = true;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_table() {
+        assert_eq!(Transform::Table(1).table(), Transform::Table(1).table());
+        assert_ne!(Transform::Table(1).table(), Transform::Table(2).table());
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-wise")]
+    fn reverse_transform_rejected() {
+        let _ = Transform::Enc(Encoding::Reverse).table();
+    }
+
+    #[test]
+    fn pipe_applies_transform() {
+        let t = Transform::Enc(Encoding::Xor(0x55));
+        let mut s = PipeServer::new(t.clone());
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let out = s.step(
+            &mut ctx,
+            &ServerIn { from_user: Message::from("abc"), from_world: Message::silence() },
+        );
+        assert_eq!(out.to_world.as_bytes(), t.apply(b"abc").as_slice());
+        assert!(out.to_user.is_silence());
+    }
+
+    #[test]
+    fn pipe_is_silent_on_silence() {
+        let mut s = PipeServer::new(Transform::Enc(Encoding::Identity));
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        assert_eq!(s.step(&mut ctx, &ServerIn::default()), ServerOut::silence());
+    }
+
+    #[test]
+    fn family_size() {
+        let fam = Transform::family(&[1, 2], &[3], &[4, 5, 6]);
+        assert_eq!(fam.len(), 1 + 2 + 1 + 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! User strategies for the transmission goal: the enumeration class and the
+//! probing *learner* that beats it.
+
+use super::servers::Transform;
+use super::world::{parse_broadcast, Feedback};
+use goc_core::enumeration::SliceEnumerator;
+use goc_core::msg::{Message, UserIn, UserOut};
+use goc_core::strategy::{StepCtx, UserStrategy};
+
+/// A user that assumes one [`Transform`] and pre-inverts every challenge.
+///
+/// The member of the enumeration class: correct iff its guess matches the
+/// pipe's actual transform.
+#[derive(Clone, Debug)]
+pub struct EncoderUser {
+    guess: Transform,
+    last_challenge: Option<Vec<u8>>,
+}
+
+impl EncoderUser {
+    /// A user assuming the pipe applies `guess`.
+    pub fn new(guess: Transform) -> Self {
+        EncoderUser { guess, last_challenge: None }
+    }
+}
+
+impl UserStrategy for EncoderUser {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if let Some((challenge, _)) = parse_broadcast(input.from_world.as_bytes()) {
+            self.last_challenge = Some(challenge);
+        }
+        match &self.last_challenge {
+            Some(c) => UserOut::to_server(Message::from_bytes(self.guess.invert(c))),
+            None => UserOut::silence(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("encoder-user({:?})", self.guess)
+    }
+}
+
+/// The enumerable class of [`EncoderUser`]s over a transform family.
+pub fn transform_class(family: &[Transform]) -> SliceEnumerator {
+    let mut class = SliceEnumerator::new(format!("encoder-users(x{})", family.len()));
+    for t in family {
+        let t = t.clone();
+        class.push(move || Box::new(EncoderUser::new(t.clone())));
+    }
+    class
+}
+
+/// The **learning** user (paper §3's closing remark, and the bridge to
+/// Juba–Vempala \[5\]): instead of enumerating transforms, it *probes* the
+/// channel one byte per round and reads the world's `GOT:` echoes to
+/// reconstruct the transformation table, then inverts challenges exactly.
+///
+/// Cost: one probe per unknown byte value (≤ 256 rounds) — *independent of
+/// the size of the transform class*, while enumeration pays for every wrong
+/// class member it tries first.
+#[derive(Clone, Debug)]
+pub struct ProbingUser {
+    /// `map[b] = Some(T(b))` once byte `b` has been probed.
+    map: Vec<Option<u8>>,
+    /// Probes sent but not yet matched with an echo (FIFO).
+    pending: std::collections::VecDeque<u8>,
+    next_probe: u16,
+    last_challenge: Option<Vec<u8>>,
+}
+
+impl ProbingUser {
+    /// A fresh learner with an empty table.
+    pub fn new() -> Self {
+        ProbingUser {
+            map: vec![None; 256],
+            pending: std::collections::VecDeque::new(),
+            next_probe: 0,
+            last_challenge: None,
+        }
+    }
+
+    /// Number of byte mappings learned so far.
+    pub fn learned(&self) -> usize {
+        self.map.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Looks up the pre-image of each challenge byte, if fully known.
+    fn invert_challenge(&self, challenge: &[u8]) -> Option<Vec<u8>> {
+        challenge
+            .iter()
+            .map(|&c| {
+                self.map
+                    .iter()
+                    .position(|&m| m == Some(c))
+                    .map(|b| b as u8)
+            })
+            .collect()
+    }
+}
+
+impl Default for ProbingUser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserStrategy for ProbingUser {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if let Some((challenge, feedback)) = parse_broadcast(input.from_world.as_bytes()) {
+            self.last_challenge = Some(challenge);
+            // Match echoes with pending probes (FIFO, one byte per probe).
+            match feedback {
+                Feedback::Got(bytes) if bytes.len() == 1 => {
+                    if let Some(probe) = self.pending.pop_front() {
+                        self.map[probe as usize] = Some(bytes[0]);
+                    }
+                }
+                Feedback::Ok => {
+                    // Our probe happened to equal the challenge (len-1
+                    // challenge): learn nothing but clear the slot.
+                    self.pending.pop_front();
+                }
+                _ => {}
+            }
+        }
+
+        let Some(challenge) = self.last_challenge.clone() else {
+            return UserOut::silence();
+        };
+
+        // If the table already inverts the challenge, transmit it.
+        if let Some(word) = self.invert_challenge(&challenge) {
+            return UserOut::to_server(Message::from_bytes(word));
+        }
+
+        // Otherwise keep probing un-probed bytes, one per round.
+        while self.next_probe < 256 {
+            let b = self.next_probe as u8;
+            self.next_probe += 1;
+            if self.map[b as usize].is_none() && !self.pending.contains(&b) {
+                self.pending.push_back(b);
+                return UserOut::to_server(Message::from_bytes(vec![b]));
+            }
+        }
+        UserOut::silence()
+    }
+
+    fn name(&self) -> String {
+        format!("probing-user({} learned)", self.learned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::world::{CHAL_PREFIX, GOT_PREFIX, SEP};
+    use super::*;
+    use crate::codec::Encoding;
+    use goc_core::rng::GocRng;
+
+    fn broadcast(challenge: &[u8], feedback: Option<&[u8]>) -> Message {
+        let mut m = CHAL_PREFIX.to_vec();
+        m.extend_from_slice(challenge);
+        if let Some(fb) = feedback {
+            m.push(SEP);
+            m.extend_from_slice(fb);
+        }
+        Message::from_bytes(m)
+    }
+
+    fn step_user(u: &mut dyn UserStrategy, round: u64, from_world: Message) -> UserOut {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        u.step(&mut ctx, &UserIn { from_server: Message::silence(), from_world })
+    }
+
+    #[test]
+    fn encoder_user_inverts_challenge() {
+        let t = Transform::Enc(Encoding::Rot(5));
+        let mut u = EncoderUser::new(t.clone());
+        let out = step_user(&mut u, 0, broadcast(b"abc", None));
+        assert_eq!(t.apply(out.to_server.as_bytes()), b"abc".to_vec());
+    }
+
+    #[test]
+    fn encoder_user_silent_without_challenge() {
+        let mut u = EncoderUser::new(Transform::Enc(Encoding::Identity));
+        let out = step_user(&mut u, 0, Message::silence());
+        assert!(out.to_server.is_silence());
+    }
+
+    #[test]
+    fn transform_class_enumerates_family() {
+        use goc_core::enumeration::StrategyEnumerator;
+        let fam = Transform::family(&[1], &[2], &[3]);
+        let class = transform_class(&fam);
+        assert_eq!(class.len(), Some(4));
+    }
+
+    #[test]
+    fn probing_user_probes_and_learns() {
+        let mut u = ProbingUser::new();
+        // Challenge "ab"; user starts probing from byte 0.
+        let out = step_user(&mut u, 0, broadcast(b"ab", None));
+        assert_eq!(out.to_server.as_bytes(), &[0]);
+        // Echo: T(0) = 0x10.
+        let mut fb = GOT_PREFIX.to_vec();
+        fb.push(0x10);
+        let out2 = step_user(&mut u, 1, broadcast(b"ab", Some(&fb)));
+        assert_eq!(u.learned(), 1);
+        assert_eq!(out2.to_server.as_bytes(), &[1], "next probe");
+    }
+
+    #[test]
+    fn probing_user_transmits_once_table_covers_challenge() {
+        let mut u = ProbingUser::new();
+        // Pretend bytes 3 and 4 map onto the challenge letters.
+        u.map[3] = Some(b'h');
+        u.map[4] = Some(b'i');
+        let out = step_user(&mut u, 0, broadcast(b"hi", None));
+        assert_eq!(out.to_server.as_bytes(), &[3, 4]);
+    }
+
+    #[test]
+    fn probing_user_learns_whole_rot_table_in_simulation() {
+        // Closed-loop mini-simulation: the "server" applies Rot(7) to each
+        // probe and we feed the echo back.
+        let t = Transform::Enc(Encoding::Rot(7));
+        let mut u = ProbingUser::new();
+        let challenge = b"zz"; // forces a long probe phase ('z' + learning)
+        let mut last_sent: Option<Vec<u8>> = None;
+        for round in 0..600 {
+            let fb_msg = match &last_sent {
+                Some(bytes) if bytes.len() == 1 => {
+                    let mut fb = GOT_PREFIX.to_vec();
+                    fb.extend(t.apply(bytes));
+                    broadcast(challenge, Some(&fb))
+                }
+                _ => broadcast(challenge, None),
+            };
+            let out = step_user(&mut u, round, fb_msg);
+            let sent = out.to_server.as_bytes().to_vec();
+            if sent.len() > 1 {
+                // Transmission attempt: must invert exactly.
+                assert_eq!(t.apply(&sent), challenge.to_vec());
+                return;
+            }
+            last_sent = if sent.is_empty() { None } else { Some(sent) };
+        }
+        panic!("probing user never transmitted (learned {})", u.learned());
+    }
+}

@@ -1,0 +1,267 @@
+//! The channel world: issues challenges, echoes what it receives.
+
+use goc_core::msg::{Message, WorldIn, WorldOut};
+use goc_core::rng::GocRng;
+use goc_core::strategy::{StepCtx, WorldStrategy};
+
+/// Challenge alphabet (lowercase letters — keeps the wire format
+/// unambiguous; deliveries may still be arbitrary bytes).
+pub(crate) const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// Wire prefix of the challenge broadcast.
+pub(crate) const CHAL_PREFIX: &[u8] = b"CHAL:";
+/// Feedback separator.
+pub(crate) const SEP: u8 = b'|';
+/// Feedback when the current challenge was delivered intact.
+pub(crate) const OK_TAG: &[u8] = b"OK";
+/// Feedback prefix echoing a (mis)delivery.
+pub(crate) const GOT_PREFIX: &[u8] = b"GOT:";
+
+/// Referee-visible state of the channel world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChannelState {
+    /// The current challenge.
+    pub challenge: Vec<u8>,
+    /// Round at which the current challenge was issued.
+    pub challenge_round: u64,
+    /// Has the current challenge been delivered intact?
+    pub answered: bool,
+    /// Total challenges issued.
+    pub issued: u64,
+    /// Total challenges answered in time.
+    pub completed: u64,
+    /// Rounds elapsed.
+    pub round: u64,
+}
+
+/// The channel world strategy.
+///
+/// Protocol (fixed):
+///
+/// - world → user, every round: `CHAL:<challenge>` followed by optional
+///   feedback about the previous round's delivery: `|OK` (intact) or
+///   `|GOT:<bytes>` (an echo of what actually arrived — this echo is what
+///   lets a clever user *learn* the server's transformation).
+/// - server → world: a delivery attempt; compared byte-for-byte with the
+///   current challenge.
+/// - every `period` rounds a fresh random challenge is issued.
+#[derive(Clone, Debug)]
+pub struct ChannelWorld {
+    state: ChannelState,
+    len: usize,
+    period: u64,
+    echo: bool,
+}
+
+impl ChannelWorld {
+    /// A channel world issuing `len`-byte challenges every `period` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `period == 0`.
+    pub fn new(len: usize, period: u64, rng: &mut GocRng) -> Self {
+        Self::build(len, period, rng, true)
+    }
+
+    /// A **feedback-poor** channel world: misdeliveries are NOT echoed
+    /// (`GOT:` feedback suppressed); the user only ever learns `OK`.
+    ///
+    /// This is the bandit-information regime: without echoes the
+    /// full-information learners of `goc-learning` lose their edge and
+    /// nothing beats per-hypothesis elimination (see that crate's `bandit`
+    /// module).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `period == 0`.
+    pub fn without_echo(len: usize, period: u64, rng: &mut GocRng) -> Self {
+        Self::build(len, period, rng, false)
+    }
+
+    fn build(len: usize, period: u64, rng: &mut GocRng, echo: bool) -> Self {
+        assert!(len > 0, "ChannelWorld requires non-empty challenges");
+        assert!(period > 0, "ChannelWorld requires a positive period");
+        let challenge = Self::draw(len, rng);
+        ChannelWorld {
+            state: ChannelState {
+                challenge,
+                challenge_round: 0,
+                answered: false,
+                issued: 1,
+                completed: 0,
+                round: 0,
+            },
+            len,
+            period,
+            echo,
+        }
+    }
+
+    fn draw(len: usize, rng: &mut GocRng) -> Vec<u8> {
+        (0..len).map(|_| *rng.choose(ALPHABET)).collect()
+    }
+}
+
+impl WorldStrategy for ChannelWorld {
+    type State = ChannelState;
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, input: &WorldIn) -> WorldOut {
+        // Judge the delivery that arrived this round.
+        let delivery = input.from_server.as_bytes();
+        let mut feedback: Vec<u8> = Vec::new();
+        if !delivery.is_empty() {
+            if delivery == self.state.challenge.as_slice() {
+                if !self.state.answered {
+                    self.state.answered = true;
+                    self.state.completed += 1;
+                }
+                feedback.push(SEP);
+                feedback.extend_from_slice(OK_TAG);
+            } else if self.echo {
+                feedback.push(SEP);
+                feedback.extend_from_slice(GOT_PREFIX);
+                feedback.extend_from_slice(delivery);
+            }
+        }
+
+        // Issue a fresh challenge on schedule.
+        if (ctx.round + 1).is_multiple_of(self.period) {
+            self.state.challenge = Self::draw(self.len, ctx.rng);
+            self.state.challenge_round = ctx.round + 1;
+            self.state.answered = false;
+            self.state.issued += 1;
+        }
+
+        let mut msg = CHAL_PREFIX.to_vec();
+        msg.extend_from_slice(&self.state.challenge);
+        msg.extend_from_slice(&feedback);
+        self.state.round = ctx.round + 1;
+        WorldOut::to_user(Message::from_bytes(msg))
+    }
+
+    fn state(&self) -> ChannelState {
+        self.state.clone()
+    }
+}
+
+/// Parses the world→user broadcast into `(challenge, feedback)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Feedback {
+    /// No delivery was judged this round.
+    None,
+    /// The challenge arrived intact.
+    Ok,
+    /// Something else arrived; here is the echo.
+    Got(Vec<u8>),
+}
+
+/// Splits a world broadcast into the current challenge and the feedback.
+/// Returns `None` for non-broadcast messages.
+pub fn parse_broadcast(bytes: &[u8]) -> Option<(Vec<u8>, Feedback)> {
+    let rest = bytes.strip_prefix(CHAL_PREFIX)?;
+    match rest.iter().position(|&b| b == SEP) {
+        None => Some((rest.to_vec(), Feedback::None)),
+        Some(pos) => {
+            let challenge = rest[..pos].to_vec();
+            let fb = &rest[pos + 1..];
+            if fb == OK_TAG {
+                Some((challenge, Feedback::Ok))
+            } else if let Some(got) = fb.strip_prefix(GOT_PREFIX) {
+                Some((challenge, Feedback::Got(got.to_vec())))
+            } else {
+                Some((challenge, Feedback::None))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(w: &mut ChannelWorld, round: u64, delivery: &[u8]) -> WorldOut {
+        let mut rng = GocRng::seed_from_u64(99);
+        let mut ctx = StepCtx::new(round, &mut rng);
+        w.step(
+            &mut ctx,
+            &WorldIn {
+                from_user: Message::silence(),
+                from_server: Message::from_bytes(delivery.to_vec()),
+            },
+        )
+    }
+
+    #[test]
+    fn broadcasts_current_challenge() {
+        let mut rng = GocRng::seed_from_u64(1);
+        let mut w = ChannelWorld::new(4, 50, &mut rng);
+        let challenge = w.state().challenge.clone();
+        let out = step(&mut w, 0, b"");
+        let (c, fb) = parse_broadcast(out.to_user.as_bytes()).unwrap();
+        assert_eq!(c, challenge);
+        assert_eq!(fb, Feedback::None);
+    }
+
+    #[test]
+    fn intact_delivery_earns_ok() {
+        let mut rng = GocRng::seed_from_u64(2);
+        let mut w = ChannelWorld::new(3, 50, &mut rng);
+        let challenge = w.state().challenge.clone();
+        let out = step(&mut w, 0, &challenge);
+        let (_, fb) = parse_broadcast(out.to_user.as_bytes()).unwrap();
+        assert_eq!(fb, Feedback::Ok);
+        assert!(w.state().answered);
+        assert_eq!(w.state().completed, 1);
+    }
+
+    #[test]
+    fn misdelivery_is_echoed() {
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut w = ChannelWorld::new(3, 50, &mut rng);
+        let out = step(&mut w, 0, b"\xff\x01");
+        let (_, fb) = parse_broadcast(out.to_user.as_bytes()).unwrap();
+        assert_eq!(fb, Feedback::Got(vec![0xff, 0x01]));
+        assert!(!w.state().answered);
+    }
+
+    #[test]
+    fn challenges_rotate_on_schedule() {
+        let mut rng = GocRng::seed_from_u64(4);
+        let mut w = ChannelWorld::new(4, 10, &mut rng);
+        let first = w.state().challenge.clone();
+        for r in 0..10 {
+            step(&mut w, r, b"");
+        }
+        let second = w.state().challenge.clone();
+        assert_ne!(first, second);
+        assert_eq!(w.state().issued, 2);
+        assert_eq!(w.state().challenge_round, 10);
+    }
+
+    #[test]
+    fn parse_broadcast_rejects_foreign_messages() {
+        assert_eq!(parse_broadcast(b"HELLO"), None);
+        assert_eq!(parse_broadcast(b""), None);
+    }
+
+    #[test]
+    fn echoless_world_stays_silent_on_misses() {
+        let mut rng = GocRng::seed_from_u64(6);
+        let mut w = ChannelWorld::without_echo(3, 50, &mut rng);
+        let out = step(&mut w, 0, b"wrong");
+        let (_, fb) = parse_broadcast(out.to_user.as_bytes()).unwrap();
+        assert_eq!(fb, Feedback::None, "no echo in the bandit regime");
+        // OK feedback still flows.
+        let challenge = w.state().challenge.clone();
+        let out = step(&mut w, 1, &challenge);
+        let (_, fb) = parse_broadcast(out.to_user.as_bytes()).unwrap();
+        assert_eq!(fb, Feedback::Ok);
+    }
+
+    #[test]
+    fn challenges_use_restricted_alphabet() {
+        let mut rng = GocRng::seed_from_u64(5);
+        let w = ChannelWorld::new(16, 10, &mut rng);
+        assert!(w.state().challenge.iter().all(|b| ALPHABET.contains(b)));
+    }
+}

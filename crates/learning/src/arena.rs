@@ -1,0 +1,155 @@
+//! The abstract multi-session arena: repeated challenges against a hidden
+//! concept, with full-information feedback.
+
+use crate::class::HypothesisClass;
+use crate::policy::SessionPolicy;
+use goc_core::rng::GocRng;
+
+/// The outcome of a multi-session run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArenaReport {
+    /// Sessions played.
+    pub sessions: u64,
+    /// Sessions the policy's committed response was wrong.
+    pub mistakes: u64,
+    /// Session index of the last mistake, if any.
+    pub last_mistake: Option<u64>,
+}
+
+impl ArenaReport {
+    /// `true` if the policy stopped erring at some point.
+    pub fn converged(&self) -> bool {
+        match self.last_mistake {
+            None => true,
+            Some(last) => last + 1 < self.sessions,
+        }
+    }
+}
+
+/// Runs `sessions` rounds of the on-line game: draw a challenge, let the
+/// policy commit to a response, compare with the hidden concept's response,
+/// reveal per-hypothesis correctness.
+///
+/// `challenge_len` bytes are drawn uniformly per session.
+///
+/// # Panics
+///
+/// Panics if `concept` is out of range for `class`.
+pub fn run_arena(
+    class: &dyn HypothesisClass,
+    concept: usize,
+    policy: &mut dyn SessionPolicy,
+    sessions: u64,
+    challenge_len: usize,
+    rng: &mut GocRng,
+) -> ArenaReport {
+    assert!(concept < class.len(), "concept index out of range");
+    let mut mistakes = 0;
+    let mut last_mistake = None;
+    for session in 0..sessions {
+        let challenge = rng.bytes(challenge_len);
+        let responses: Vec<Vec<u8>> =
+            (0..class.len()).map(|h| class.respond(h, &challenge)).collect();
+        let truth = responses[concept].clone();
+        let prediction = policy.predict(&responses);
+        if prediction != truth {
+            mistakes += 1;
+            last_mistake = Some(session);
+        }
+        let correct: Vec<bool> = responses.iter().map(|r| *r == truth).collect();
+        policy.update(&responses, &correct);
+    }
+    ArenaReport { sessions, mistakes, last_mistake }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ThresholdClass, TransformClass};
+    use crate::policy::{EnumerationPolicy, HalvingPolicy, WeightedMajorityPolicy};
+    use goc_goals::transmission::Transform;
+
+    fn transform_class(n: usize) -> TransformClass {
+        TransformClass::new((0..n).map(|i| Transform::Table(i as u64)).collect())
+    }
+
+    #[test]
+    fn enumeration_converges_with_linear_mistakes() {
+        let class = transform_class(12);
+        let concept = 9;
+        let mut policy = EnumerationPolicy::new(class.len());
+        let mut rng = GocRng::seed_from_u64(1);
+        let report = run_arena(&class, concept, &mut policy, 100, 4, &mut rng);
+        assert!(report.converged(), "{report:?}");
+        // Distinct tables almost surely disagree on random 4-byte
+        // challenges, so every hypothesis before the concept errs once.
+        assert_eq!(report.mistakes, concept as u64);
+    }
+
+    #[test]
+    fn halving_converges_with_log_mistakes() {
+        let class = transform_class(64);
+        let mut policy = HalvingPolicy::new(class.len());
+        let mut rng = GocRng::seed_from_u64(2);
+        let report = run_arena(&class, 63, &mut policy, 100, 4, &mut rng);
+        assert!(report.converged());
+        assert!(report.mistakes <= 7, "expected ≤ log2(64)+1, got {}", report.mistakes);
+    }
+
+    #[test]
+    fn halving_beats_enumeration_on_every_concept() {
+        let class = transform_class(16);
+        for concept in [3usize, 8, 15] {
+            let rng = GocRng::seed_from_u64(3 + concept as u64);
+            let mut e = EnumerationPolicy::new(class.len());
+            let re = run_arena(&class, concept, &mut e, 80, 4, &mut rng.fork(0));
+            let mut h = HalvingPolicy::new(class.len());
+            let rh = run_arena(&class, concept, &mut h, 80, 4, &mut rng.fork(1));
+            assert!(
+                rh.mistakes <= re.mistakes,
+                "concept {concept}: halving {} vs enumeration {}",
+                rh.mistakes,
+                re.mistakes
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_majority_matches_halving_on_clean_data() {
+        let class = transform_class(32);
+        let mut policy = WeightedMajorityPolicy::new(class.len(), 0.5);
+        let mut rng = GocRng::seed_from_u64(4);
+        let report = run_arena(&class, 20, &mut policy, 100, 4, &mut rng);
+        assert!(report.converged());
+        assert!(report.mistakes <= 8, "mistakes = {}", report.mistakes);
+    }
+
+    #[test]
+    fn threshold_class_halving_demo() {
+        let class = ThresholdClass::evenly_spaced(128);
+        let mut policy = HalvingPolicy::new(class.len());
+        let mut rng = GocRng::seed_from_u64(5);
+        let report = run_arena(&class, 100, &mut policy, 400, 1, &mut rng);
+        assert!(report.converged());
+        assert!(report.mistakes <= 8, "mistakes = {}", report.mistakes);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_concept_panics() {
+        let class = transform_class(4);
+        let mut policy = EnumerationPolicy::new(4);
+        let mut rng = GocRng::seed_from_u64(6);
+        let _ = run_arena(&class, 4, &mut policy, 10, 2, &mut rng);
+    }
+
+    #[test]
+    fn report_convergence_logic() {
+        let r = ArenaReport { sessions: 10, mistakes: 0, last_mistake: None };
+        assert!(r.converged());
+        let r = ArenaReport { sessions: 10, mistakes: 1, last_mistake: Some(9) };
+        assert!(!r.converged());
+        let r = ArenaReport { sessions: 10, mistakes: 1, last_mistake: Some(5) };
+        assert!(r.converged());
+    }
+}

@@ -1,0 +1,310 @@
+//! Bandit (partial-information) feedback: the regime Theorem 1's universal
+//! user actually lives in.
+//!
+//! In a single execution, the user only observes the consequences of the
+//! strategy it is *currently running* — bandit feedback. The halving
+//! algorithm's log₂N bound needs *full information* (every hypothesis's
+//! counterfactual correctness), which multi-session goals with rich echoes
+//! provide (see [`crate::bridge`]). This module plays the bandit variant and
+//! shows the gap: with bandit feedback, eliminating one hypothesis per
+//! mistake (≈ N−1 total) is essentially the best any learner can do against
+//! an adversarial concept, which is exactly the enumeration overhead of the
+//! paper's universal construction.
+
+use crate::class::HypothesisClass;
+use goc_core::rng::GocRng;
+use std::fmt::Debug;
+
+/// A policy for the bandit game: pick a hypothesis, observe only whether
+/// *that* hypothesis's response succeeded.
+pub trait BanditPolicy: Debug {
+    /// Chooses the hypothesis index to play this session.
+    fn choose(&mut self, rng: &mut GocRng) -> usize;
+
+    /// Observes the played hypothesis's success.
+    fn observe(&mut self, played: usize, success: bool);
+
+    /// A short human-readable name.
+    fn name(&self) -> String;
+}
+
+/// Sequential elimination — the bandit form of Theorem 1's enumeration:
+/// stay while succeeding, advance on failure. Mistakes ≤ N − 1 on
+/// consistent data; optimal up to constants under bandit feedback.
+#[derive(Debug)]
+pub struct SequentialElimination {
+    n: usize,
+    current: usize,
+}
+
+impl SequentialElimination {
+    /// A policy over `n` hypotheses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "SequentialElimination requires a non-empty class");
+        SequentialElimination { n, current: 0 }
+    }
+}
+
+impl BanditPolicy for SequentialElimination {
+    fn choose(&mut self, _rng: &mut GocRng) -> usize {
+        self.current
+    }
+
+    fn observe(&mut self, played: usize, success: bool) {
+        if played == self.current && !success {
+            self.current = (self.current + 1) % self.n;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("sequential-elimination(x{})", self.n)
+    }
+}
+
+/// ε-greedy exploration: mostly exploit the best empirical hypothesis,
+/// explore uniformly with probability ε. Included as the classic bandit
+/// baseline; against a *deterministic* consistent concept it has no edge
+/// over sequential elimination, illustrating the full-info/bandit gap.
+#[derive(Debug)]
+pub struct EpsilonGreedy {
+    epsilon: f64,
+    successes: Vec<u64>,
+    plays: Vec<u64>,
+}
+
+impl EpsilonGreedy {
+    /// A policy over `n` hypotheses exploring with probability `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `epsilon` is outside `[0, 1]`.
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(n > 0, "EpsilonGreedy requires a non-empty class");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        EpsilonGreedy { epsilon, successes: vec![0; n], plays: vec![0; n] }
+    }
+
+    fn best(&self) -> usize {
+        let score = |i: usize| {
+            if self.plays[i] == 0 {
+                // Optimistic initialization: unplayed arms look perfect.
+                1.0
+            } else {
+                self.successes[i] as f64 / self.plays[i] as f64
+            }
+        };
+        // Ties break toward the lowest index (a deterministic sweep order).
+        let mut best = 0;
+        for i in 1..self.successes.len() {
+            if score(i) > score(best) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl BanditPolicy for EpsilonGreedy {
+    fn choose(&mut self, rng: &mut GocRng) -> usize {
+        if rng.chance(self.epsilon) {
+            rng.index(self.successes.len())
+        } else {
+            self.best()
+        }
+    }
+
+    fn observe(&mut self, played: usize, success: bool) {
+        self.plays[played] += 1;
+        if success {
+            self.successes[played] += 1;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("epsilon-greedy(ε={})", self.epsilon)
+    }
+}
+
+/// Outcome of a bandit run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BanditReport {
+    /// Sessions played.
+    pub sessions: u64,
+    /// Failed sessions.
+    pub mistakes: u64,
+    /// Session of the last mistake, if any.
+    pub last_mistake: Option<u64>,
+}
+
+impl BanditReport {
+    /// `true` if the policy stopped erring at some point.
+    pub fn converged(&self) -> bool {
+        match self.last_mistake {
+            None => true,
+            Some(last) => last + 1 < self.sessions,
+        }
+    }
+}
+
+/// Plays a bandit game whose hidden concept **drifts**: the active concept
+/// is `concepts[t / phase_len]` (clamped to the last entry). Static learners
+/// that lock on (sequential elimination) are broken by the first drift;
+/// exploring learners (EXP3, ε-greedy) recover.
+///
+/// Returns per-phase mistake counts.
+///
+/// # Panics
+///
+/// Panics if `concepts` is empty, any index is out of range, or
+/// `phase_len == 0`.
+pub fn run_drifting_bandit(
+    class: &dyn HypothesisClass,
+    concepts: &[usize],
+    phase_len: u64,
+    policy: &mut dyn BanditPolicy,
+    challenge_len: usize,
+    rng: &mut GocRng,
+) -> Vec<u64> {
+    assert!(!concepts.is_empty(), "need at least one concept phase");
+    assert!(phase_len > 0, "phase_len must be positive");
+    assert!(concepts.iter().all(|&c| c < class.len()), "concept index out of range");
+    let mut per_phase = vec![0u64; concepts.len()];
+    for session in 0..concepts.len() as u64 * phase_len {
+        let phase = (session / phase_len) as usize;
+        let concept = concepts[phase];
+        let challenge = rng.bytes(challenge_len);
+        let truth = class.respond(concept, &challenge);
+        let played = policy.choose(rng);
+        let success = class.respond(played, &challenge) == truth;
+        if !success {
+            per_phase[phase] += 1;
+        }
+        policy.observe(played, success);
+    }
+    per_phase
+}
+
+/// Plays `sessions` rounds of the bandit game: the policy picks a
+/// hypothesis, plays its response, and learns only that response's success.
+///
+/// # Panics
+///
+/// Panics if `concept` is out of range.
+pub fn run_bandit(
+    class: &dyn HypothesisClass,
+    concept: usize,
+    policy: &mut dyn BanditPolicy,
+    sessions: u64,
+    challenge_len: usize,
+    rng: &mut GocRng,
+) -> BanditReport {
+    assert!(concept < class.len(), "concept index out of range");
+    let mut mistakes = 0;
+    let mut last_mistake = None;
+    for session in 0..sessions {
+        let challenge = rng.bytes(challenge_len);
+        let truth = class.respond(concept, &challenge);
+        let played = policy.choose(rng);
+        let response = class.respond(played, &challenge);
+        let success = response == truth;
+        if !success {
+            mistakes += 1;
+            last_mistake = Some(session);
+        }
+        policy.observe(played, success);
+    }
+    BanditReport { sessions, mistakes, last_mistake }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::TransformClass;
+    use goc_goals::transmission::Transform;
+
+    fn table_class(n: usize) -> TransformClass {
+        TransformClass::new((0..n).map(|i| Transform::Table(2_000 + i as u64)).collect())
+    }
+
+    #[test]
+    fn sequential_elimination_pays_linear_mistakes() {
+        let n = 20;
+        let class = table_class(n);
+        let mut p = SequentialElimination::new(n);
+        let r = run_bandit(&class, n - 1, &mut p, 200, 4, &mut GocRng::seed_from_u64(1));
+        assert!(r.converged(), "{r:?}");
+        assert_eq!(r.mistakes as usize, n - 1);
+    }
+
+    #[test]
+    fn sequential_elimination_with_concept_zero_is_free() {
+        let class = table_class(8);
+        let mut p = SequentialElimination::new(8);
+        let r = run_bandit(&class, 0, &mut p, 50, 4, &mut GocRng::seed_from_u64(2));
+        assert_eq!(r.mistakes, 0);
+    }
+
+    #[test]
+    fn epsilon_greedy_zero_eps_converges() {
+        // Pure exploitation with optimistic initialization sweeps the arms
+        // once, then locks onto the concept.
+        let n = 12;
+        let class = table_class(n);
+        let mut p = EpsilonGreedy::new(n, 0.0);
+        let r = run_bandit(&class, n - 1, &mut p, 200, 4, &mut GocRng::seed_from_u64(3));
+        assert!(r.converged(), "{r:?}");
+        // Must try each wrong arm at least once: the bandit lower bound.
+        assert!(r.mistakes as usize >= n - 1, "{r:?}");
+    }
+
+    #[test]
+    fn exploring_epsilon_greedy_keeps_erring() {
+        // With ε > 0 the policy keeps exploring (and erring) forever —
+        // exploration is wasted against a deterministic concept.
+        let n = 8;
+        let class = table_class(n);
+        let mut p = EpsilonGreedy::new(n, 0.3);
+        let r = run_bandit(&class, 0, &mut p, 400, 4, &mut GocRng::seed_from_u64(4));
+        assert!(r.mistakes > 20, "{r:?}");
+    }
+
+    #[test]
+    fn bandit_gap_versus_full_information() {
+        // The headline: same class, same adversarial concept — bandit
+        // learners pay ~N−1 while the full-information halving learner pays
+        // ~log2 N (see crate::arena). This is why Theorem 1's in-execution
+        // enumeration overhead is unavoidable *within* one execution.
+        let n = 64;
+        let class = table_class(n);
+        let mut bandit = SequentialElimination::new(n);
+        let rb = run_bandit(&class, n - 1, &mut bandit, 400, 4, &mut GocRng::seed_from_u64(5));
+        let mut halving = crate::policy::HalvingPolicy::new(n);
+        let rf = crate::arena::run_arena(
+            &class,
+            n - 1,
+            &mut halving,
+            400,
+            4,
+            &mut GocRng::seed_from_u64(6),
+        );
+        assert!(rb.mistakes as usize >= n - 1);
+        assert!(rf.mistakes <= 7);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(std::panic::catch_unwind(|| SequentialElimination::new(0)).is_err());
+        assert!(std::panic::catch_unwind(|| EpsilonGreedy::new(0, 0.1)).is_err());
+        assert!(std::panic::catch_unwind(|| EpsilonGreedy::new(4, 1.5)).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert!(SequentialElimination::new(2).name().contains("sequential"));
+        assert!(EpsilonGreedy::new(2, 0.25).name().contains("0.25"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Hypothesis classes for the multi-session (online-learning) setting.
+//!
+//! In the Juba–Vempala correspondence, the class of candidate user
+//! strategies plays the role of a *hypothesis class*: each hypothesis maps a
+//! session's challenge to the response that strategy would produce. The
+//! hidden "concept" is the hypothesis matching the actual server.
+
+use goc_goals::transmission::Transform;
+use std::fmt::Debug;
+
+/// A finite hypothesis class over byte-string challenges.
+pub trait HypothesisClass: Debug {
+    /// Number of hypotheses.
+    fn len(&self) -> usize;
+
+    /// `true` if the class is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The response hypothesis `h` gives to `challenge`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `h >= len()`.
+    fn respond(&self, h: usize, challenge: &[u8]) -> Vec<u8>;
+
+    /// A short human-readable name.
+    fn name(&self) -> String {
+        "hypothesis-class".to_string()
+    }
+}
+
+/// The transform class of the transmission goal: hypothesis `h` responds
+/// with `T_h⁻¹(challenge)` (the message that, piped through `T_h`, delivers
+/// the challenge intact).
+#[derive(Debug)]
+pub struct TransformClass {
+    transforms: Vec<Transform>,
+}
+
+impl TransformClass {
+    /// A class over the given transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transforms` is empty.
+    pub fn new(transforms: Vec<Transform>) -> Self {
+        assert!(!transforms.is_empty(), "TransformClass requires at least one transform");
+        TransformClass { transforms }
+    }
+
+    /// The underlying transforms.
+    pub fn transforms(&self) -> &[Transform] {
+        &self.transforms
+    }
+
+    /// Applies the *true* transform `t` to a response (what the world would
+    /// receive) — used by arenas to judge predictions.
+    pub fn apply(&self, t: usize, response: &[u8]) -> Vec<u8> {
+        self.transforms[t].apply(response)
+    }
+}
+
+impl HypothesisClass for TransformClass {
+    fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    fn respond(&self, h: usize, challenge: &[u8]) -> Vec<u8> {
+        self.transforms[h].invert(challenge)
+    }
+
+    fn name(&self) -> String {
+        format!("transforms(x{})", self.transforms.len())
+    }
+}
+
+/// The classic threshold class over single-byte challenges: hypothesis `h`
+/// answers `1` iff the challenge byte is at least `h`'s threshold.
+///
+/// A textbook halving-algorithm example: each mistake bisects the version
+/// space, giving exactly ⌈log₂ N⌉ mistakes against the worst sequence.
+#[derive(Debug)]
+pub struct ThresholdClass {
+    thresholds: Vec<u8>,
+}
+
+impl ThresholdClass {
+    /// A class with one hypothesis per threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty.
+    pub fn new(thresholds: Vec<u8>) -> Self {
+        assert!(!thresholds.is_empty(), "ThresholdClass requires at least one threshold");
+        ThresholdClass { thresholds }
+    }
+
+    /// An evenly spaced class of `n` thresholds over `0..=255`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 256`.
+    pub fn evenly_spaced(n: usize) -> Self {
+        assert!((1..=256).contains(&n), "n must be in 1..=256");
+        let thresholds = (0..n).map(|i| ((i * 256) / n) as u8).collect();
+        ThresholdClass::new(thresholds)
+    }
+}
+
+impl HypothesisClass for ThresholdClass {
+    fn len(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    fn respond(&self, h: usize, challenge: &[u8]) -> Vec<u8> {
+        let x = challenge.first().copied().unwrap_or(0);
+        if x >= self.thresholds[h] {
+            vec![1]
+        } else {
+            vec![0]
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("thresholds(x{})", self.thresholds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_goals::codec::Encoding;
+
+    #[test]
+    fn transform_class_responds_with_inverse() {
+        let class = TransformClass::new(vec![
+            Transform::Enc(Encoding::Identity),
+            Transform::Enc(Encoding::Xor(0x0f)),
+        ]);
+        assert_eq!(class.len(), 2);
+        let challenge = b"abc";
+        let resp = class.respond(1, challenge);
+        assert_eq!(class.apply(1, &resp), challenge.to_vec());
+        assert_ne!(resp, challenge.to_vec());
+    }
+
+    #[test]
+    fn threshold_class_labels() {
+        let class = ThresholdClass::new(vec![10, 200]);
+        assert_eq!(class.respond(0, &[10]), vec![1]);
+        assert_eq!(class.respond(0, &[9]), vec![0]);
+        assert_eq!(class.respond(1, &[199]), vec![0]);
+        assert_eq!(class.respond(1, &[200]), vec![1]);
+    }
+
+    #[test]
+    fn evenly_spaced_covers_range() {
+        let class = ThresholdClass::evenly_spaced(4);
+        assert_eq!(class.len(), 4);
+        assert_eq!(class.respond(0, &[0]), vec![1], "threshold 0 accepts everything");
+    }
+
+    #[test]
+    fn empty_classes_panic() {
+        assert!(std::panic::catch_unwind(|| TransformClass::new(vec![])).is_err());
+        assert!(std::panic::catch_unwind(|| ThresholdClass::new(vec![])).is_err());
+        assert!(std::panic::catch_unwind(|| ThresholdClass::evenly_spaced(0)).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ThresholdClass::evenly_spaced(8).name(), "thresholds(x8)");
+        let c = TransformClass::new(vec![Transform::Enc(Encoding::Identity)]);
+        assert_eq!(c.name(), "transforms(x1)");
+        assert!(!c.is_empty());
+    }
+}

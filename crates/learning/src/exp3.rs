@@ -1,0 +1,219 @@
+//! EXP3 — exponential-weights exploration for the adversarial bandit
+//! setting.
+//!
+//! Completes the bandit picture of [`crate::bandit`]: where
+//! [`SequentialElimination`](crate::bandit::SequentialElimination) exploits
+//! consistency (deterministic concepts), EXP3 handles *adversarial* reward
+//! sequences — servers whose helpfulness drifts over time (e.g. an
+//! intermittently-helpful composite). Regret O(√(T·N·ln N)) instead of a
+//! mistake bound.
+
+use crate::bandit::BanditPolicy;
+use goc_core::rng::GocRng;
+
+/// The EXP3 algorithm (Auer–Cesa-Bianchi–Freund–Schapire) over `n` arms.
+///
+/// With a non-zero mixing rate ([`Exp3::with_mixing`]) this becomes EXP3.S,
+/// which *tracks* drifting concepts: a little uniform weight is folded in
+/// after every update, so no arm's weight ever becomes irrecoverably small
+/// relative to the others.
+#[derive(Debug)]
+pub struct Exp3 {
+    weights: Vec<f64>,
+    gamma: f64,
+    alpha: f64,
+    last_probs: Vec<f64>,
+    last_played: usize,
+}
+
+impl Exp3 {
+    /// An EXP3 learner with exploration rate `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `gamma` is outside `(0, 1]`.
+    pub fn new(n: usize, gamma: f64) -> Self {
+        Self::with_mixing(n, gamma, 0.0)
+    }
+
+    /// EXP3.S: like [`new`](Self::new) but folds `alpha` of the total weight
+    /// back in uniformly after each update, enabling recovery from concept
+    /// drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `gamma` is outside `(0, 1]`, or `alpha` is
+    /// outside `[0, 1)`.
+    pub fn with_mixing(n: usize, gamma: f64, alpha: f64) -> Self {
+        assert!(n > 0, "Exp3 requires a non-empty class");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must lie in (0, 1]");
+        assert!((0.0..1.0).contains(&alpha), "alpha must lie in [0, 1)");
+        Exp3 {
+            weights: vec![1.0; n],
+            gamma,
+            alpha,
+            last_probs: vec![1.0 / n as f64; n],
+            last_played: 0,
+        }
+    }
+
+    /// The current sampling distribution.
+    pub fn distribution(&self) -> Vec<f64> {
+        let n = self.weights.len() as f64;
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .map(|w| (1.0 - self.gamma) * (w / total) + self.gamma / n)
+            .collect()
+    }
+
+    fn renormalize(&mut self) {
+        let max = self.weights.iter().cloned().fold(f64::MIN, f64::max);
+        if max > 1e100 {
+            for w in &mut self.weights {
+                *w /= max;
+            }
+        }
+    }
+}
+
+impl BanditPolicy for Exp3 {
+    fn choose(&mut self, rng: &mut GocRng) -> usize {
+        let probs = self.distribution();
+        self.last_probs = probs.clone();
+        let mut x = rng.unit();
+        for (i, p) in probs.iter().enumerate() {
+            if x < *p {
+                self.last_played = i;
+                return i;
+            }
+            x -= p;
+        }
+        self.last_played = probs.len() - 1;
+        self.last_played
+    }
+
+    fn observe(&mut self, played: usize, success: bool) {
+        if played != self.last_played {
+            return; // out-of-band observation; EXP3 only learns its own play
+        }
+        let reward = if success { 1.0 } else { 0.0 };
+        let p = self.last_probs[played].max(1e-12);
+        let estimated = reward / p; // importance-weighted reward estimate
+        let n = self.weights.len() as f64;
+        self.weights[played] *= (self.gamma * estimated / n).exp();
+        if self.alpha > 0.0 {
+            // EXP3.S mixing: keep every arm recoverable.
+            let total: f64 = self.weights.iter().sum();
+            for w in &mut self.weights {
+                *w = (1.0 - self.alpha) * *w + self.alpha * total / n;
+            }
+        }
+        self.renormalize();
+    }
+
+    fn name(&self) -> String {
+        format!("exp3(γ={})", self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandit::run_bandit;
+    use crate::class::TransformClass;
+    use goc_goals::transmission::Transform;
+
+    fn table_class(n: usize) -> TransformClass {
+        TransformClass::new((0..n).map(|i| Transform::Table(3_000 + i as u64)).collect())
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let e = Exp3::new(8, 0.2);
+        let d = e.distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn concentrates_on_the_concept() {
+        let n = 8;
+        let class = table_class(n);
+        let mut e = Exp3::new(n, 0.15);
+        let _ = run_bandit(&class, 3, &mut e, 2_000, 4, &mut GocRng::seed_from_u64(1));
+        let d = e.distribution();
+        let best = d
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 3, "distribution: {d:?}");
+        assert!(d[3] > 0.5, "should concentrate: {d:?}");
+    }
+
+    #[test]
+    fn late_mistake_rate_is_bounded_by_exploration() {
+        let n = 4;
+        let class = table_class(n);
+        let mut e = Exp3::new(n, 0.1);
+        let report = run_bandit(&class, 1, &mut e, 3_000, 4, &mut GocRng::seed_from_u64(2));
+        // Can't converge exactly (γ-exploration keeps erring), but the
+        // mistake fraction should approach γ·(n−1)/n plus learning cost.
+        let rate = report.mistakes as f64 / report.sessions as f64;
+        assert!(rate < 0.25, "mistake rate {rate}");
+    }
+
+    #[test]
+    fn exp3_recovers_from_concept_drift() {
+        use crate::bandit::{run_drifting_bandit, SequentialElimination};
+        let n = 6;
+        let class = table_class(n);
+        // Concept switches 2 -> 5 halfway through.
+        let concepts = [2usize, 5];
+        let phase_len = 1_500;
+
+        // Plain EXP3 cannot forget phase 1's accumulated weight, so its
+        // phase-2 recovery is slow; EXP3.S (mixing) tracks the drift.
+        let mut plain = Exp3::new(n, 0.2);
+        let plain_phases = run_drifting_bandit(
+            &class, &concepts, phase_len, &mut plain, 4, &mut GocRng::seed_from_u64(31),
+        );
+        let mut tracking = Exp3::with_mixing(n, 0.1, 0.002);
+        let tracking_phases = run_drifting_bandit(
+            &class, &concepts, phase_len, &mut tracking, 4, &mut GocRng::seed_from_u64(31),
+        );
+        let mut seq = SequentialElimination::new(n);
+        let seq_phases = run_drifting_bandit(
+            &class, &concepts, phase_len, &mut seq, 4, &mut GocRng::seed_from_u64(32),
+        );
+
+        let chance = phase_len as f64 * (n as f64 - 1.0) / n as f64;
+        // Plain EXP3's phase-2 recovery is nearly as bad as chance…
+        assert!((plain_phases[1] as f64) > 0.8 * chance, "plain: {plain_phases:?}");
+        // …while mixing recovers to well under half of chance…
+        assert!((tracking_phases[1] as f64) < 0.5 * chance, "exp3.s: {tracking_phases:?}");
+        assert!(tracking_phases[1] < plain_phases[1]);
+        // …and sequential elimination is near-perfect against deterministic
+        // concepts (one failed session per abandoned hypothesis).
+        assert!(seq_phases[1] < 10, "seq: {seq_phases:?}");
+    }
+
+    #[test]
+    fn ignores_out_of_band_observations() {
+        let mut e = Exp3::new(4, 0.2);
+        let w = e.distribution();
+        e.observe(2, true); // never played arm 2 via choose()
+        assert_eq!(e.distribution(), w, "foreign observations must not corrupt weights");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(std::panic::catch_unwind(|| Exp3::new(0, 0.1)).is_err());
+        assert!(std::panic::catch_unwind(|| Exp3::new(4, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Exp3::new(4, 1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| Exp3::with_mixing(4, 0.2, 1.0)).is_err());
+        assert!(Exp3::new(4, 0.3).name().contains("0.3"));
+    }
+}

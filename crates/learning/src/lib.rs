@@ -1,0 +1,33 @@
+//! # goc-learning — multi-session goals and on-line learning
+//!
+//! The closing remark of *A Theory of Goal-Oriented Communication* points at
+//! efficient universal users for broad special classes; Juba–Vempala
+//! (reference \[5\] of the paper) make this precise for **simple multi-session
+//! goals**: choosing a user strategy session-by-session with per-session
+//! success feedback *is* on-line learning over the strategy class. This
+//! crate reproduces that correspondence:
+//!
+//! - [`class`] — hypothesis classes (the transform class of the transmission
+//!   goal, plus a textbook threshold class).
+//! - [`policy`] — the learners: [`EnumerationPolicy`] (what Theorem 1's
+//!   universal user amounts to, mistake bound N−1), [`HalvingPolicy`]
+//!   (⌈log₂ N⌉), [`WeightedMajorityPolicy`] (noise-tolerant).
+//! - [`arena`] — the abstract full-information game.
+//! - [`bridge`] — the same game played **inside the real simulator**, with
+//!   feedback extracted from the transmission world's echoes only.
+//!
+//! Experiment E7 (EXPERIMENTS.md) charts the N−1 vs log₂N mistake curves.
+
+pub mod arena;
+pub mod bandit;
+pub mod bridge;
+pub mod class;
+pub mod exp3;
+pub mod policy;
+
+pub use arena::{run_arena, ArenaReport};
+pub use bandit::{run_bandit, run_drifting_bandit, BanditPolicy, BanditReport, EpsilonGreedy, SequentialElimination};
+pub use exp3::Exp3;
+pub use bridge::{run_bandit_bridge, run_bridge, BridgeReport};
+pub use class::{HypothesisClass, ThresholdClass, TransformClass};
+pub use policy::{EnumerationPolicy, HalvingPolicy, SessionPolicy, WeightedMajorityPolicy};

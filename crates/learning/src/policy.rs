@@ -1,0 +1,332 @@
+//! Session policies: how a multi-session user picks its next strategy.
+//!
+//! These are the on-line learners of the Juba–Vempala correspondence \[5\]:
+//!
+//! - [`EnumerationPolicy`] — what Theorem 1's universal user does, session-
+//!   ized: stick with the current hypothesis until it errs, then advance to
+//!   the next still-consistent one. Mistake bound **N − 1**.
+//! - [`HalvingPolicy`] — predict with the majority of the version space,
+//!   eliminate everyone who was wrong. Mistake bound **⌈log₂ N⌉**.
+//! - [`WeightedMajorityPolicy`] — multiplicative weights; tolerates
+//!   *noisy/inconsistent* feedback that would wipe out the version space.
+//!
+//! All three consume the same full-information signal: after each session
+//! the policy learns, for every hypothesis, whether its response would have
+//! succeeded (derived from the world's echo — see [`crate::bridge`]).
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// A strategy-selection policy for multi-session goals.
+pub trait SessionPolicy: Debug {
+    /// The hypothesis responses for this session's challenge, one per class
+    /// member; returns the response the policy commits to.
+    fn predict(&mut self, responses: &[Vec<u8>]) -> Vec<u8>;
+
+    /// Full-information update: `correct[h]` says whether hypothesis `h`'s
+    /// response would have succeeded this session.
+    fn update(&mut self, responses: &[Vec<u8>], correct: &[bool]);
+
+    /// A short human-readable name.
+    fn name(&self) -> String;
+}
+
+/// The enumeration learner (Theorem 1's construction, per session).
+#[derive(Debug)]
+pub struct EnumerationPolicy {
+    n: usize,
+    current: usize,
+    eliminated: Vec<bool>,
+}
+
+impl EnumerationPolicy {
+    /// A policy over a class of `n` hypotheses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "EnumerationPolicy requires a non-empty class");
+        EnumerationPolicy { n, current: 0, eliminated: vec![false; n] }
+    }
+
+    /// The hypothesis currently followed.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+}
+
+impl SessionPolicy for EnumerationPolicy {
+    fn predict(&mut self, responses: &[Vec<u8>]) -> Vec<u8> {
+        responses[self.current].clone()
+    }
+
+    fn update(&mut self, _responses: &[Vec<u8>], correct: &[bool]) {
+        if !correct[self.current] {
+            self.eliminated[self.current] = true;
+            // Advance to the next non-eliminated hypothesis (wrapping scan;
+            // stays put if everyone is eliminated — inconsistent feedback).
+            for step in 1..=self.n {
+                let cand = (self.current + step) % self.n;
+                if !self.eliminated[cand] {
+                    self.current = cand;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("enumeration(x{})", self.n)
+    }
+}
+
+/// The halving learner: majority vote over the version space.
+#[derive(Debug)]
+pub struct HalvingPolicy {
+    alive: Vec<bool>,
+}
+
+impl HalvingPolicy {
+    /// A policy over a class of `n` hypotheses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "HalvingPolicy requires a non-empty class");
+        HalvingPolicy { alive: vec![true; n] }
+    }
+
+    /// Number of hypotheses still in the version space.
+    pub fn version_space(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+}
+
+impl SessionPolicy for HalvingPolicy {
+    fn predict(&mut self, responses: &[Vec<u8>]) -> Vec<u8> {
+        // Majority response among alive hypotheses (ties broken by first
+        // occurrence, deterministically).
+        let mut votes: HashMap<&[u8], usize> = HashMap::new();
+        for (h, resp) in responses.iter().enumerate() {
+            if self.alive[h] {
+                *votes.entry(resp.as_slice()).or_insert(0) += 1;
+            }
+        }
+        let mut best: Option<(&[u8], usize)> = None;
+        for (h, resp) in responses.iter().enumerate() {
+            if !self.alive[h] {
+                continue;
+            }
+            let count = votes[resp.as_slice()];
+            match best {
+                Some((_, c)) if c >= count => {}
+                _ => best = Some((resp.as_slice(), count)),
+            }
+        }
+        best.map(|(r, _)| r.to_vec()).unwrap_or_default()
+    }
+
+    fn update(&mut self, _responses: &[Vec<u8>], correct: &[bool]) {
+        // Keep at least the consistent hypotheses; if feedback would empty
+        // the space (inconsistency), keep it unchanged.
+        if correct.iter().zip(&self.alive).any(|(&c, &a)| c && a) {
+            for (slot, &c) in self.alive.iter_mut().zip(correct) {
+                if !c {
+                    *slot = false;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("halving(|V|={})", self.version_space())
+    }
+}
+
+/// The weighted-majority learner (Littlestone–Warmuth): multiplies the
+/// weight of every erring hypothesis by `beta`.
+#[derive(Debug)]
+pub struct WeightedMajorityPolicy {
+    weights: Vec<f64>,
+    beta: f64,
+}
+
+impl WeightedMajorityPolicy {
+    /// A policy over `n` hypotheses with learning parameter `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `beta` is not in `(0, 1)`.
+    pub fn new(n: usize, beta: f64) -> Self {
+        assert!(n > 0, "WeightedMajorityPolicy requires a non-empty class");
+        assert!(beta > 0.0 && beta < 1.0, "beta must lie in (0, 1)");
+        WeightedMajorityPolicy { weights: vec![1.0; n], beta }
+    }
+
+    /// The current weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl SessionPolicy for WeightedMajorityPolicy {
+    fn predict(&mut self, responses: &[Vec<u8>]) -> Vec<u8> {
+        let mut mass: HashMap<&[u8], f64> = HashMap::new();
+        for (h, resp) in responses.iter().enumerate() {
+            *mass.entry(resp.as_slice()).or_insert(0.0) += self.weights[h];
+        }
+        let mut best: Option<(&[u8], f64)> = None;
+        for resp in responses {
+            let m = mass[resp.as_slice()];
+            match best {
+                Some((_, bm)) if bm >= m => {}
+                _ => best = Some((resp.as_slice(), m)),
+            }
+        }
+        best.map(|(r, _)| r.to_vec()).unwrap_or_default()
+    }
+
+    fn update(&mut self, _responses: &[Vec<u8>], correct: &[bool]) {
+        for (w, &c) in self.weights.iter_mut().zip(correct) {
+            if !c {
+                *w *= self.beta;
+            }
+        }
+        // Renormalize to dodge underflow on long runs.
+        let total: f64 = self.weights.iter().sum();
+        if total > 0.0 && total < 1e-100 {
+            for w in &mut self.weights {
+                *w /= total;
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("weighted-majority(β={})", self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn responses_for(n: usize, x: u8) -> Vec<Vec<u8>> {
+        // Threshold-style responses: hypothesis h says 1 iff x >= h * 16.
+        (0..n).map(|h| if x as usize >= h * 16 { vec![1] } else { vec![0] }).collect()
+    }
+
+    fn correct_for(responses: &[Vec<u8>], truth: &[u8]) -> Vec<bool> {
+        responses.iter().map(|r| r.as_slice() == truth).collect()
+    }
+
+    #[test]
+    fn enumeration_advances_only_on_mistake() {
+        let mut p = EnumerationPolicy::new(4);
+        let rs = responses_for(4, 40); // truth: hyp 2 (40 >= 32)
+        let truth = rs[2].clone();
+        let pred = p.predict(&rs);
+        let correct = correct_for(&rs, &truth);
+        p.update(&rs, &correct);
+        if pred == truth {
+            assert_eq!(p.current(), 0);
+        } else {
+            assert_ne!(p.current(), 0);
+        }
+    }
+
+    #[test]
+    fn enumeration_mistake_bound_n_minus_1() {
+        // Adversarial full-info game where hypothesis `n-1` is the concept.
+        let n = 16;
+        let mut p = EnumerationPolicy::new(n);
+        let mut mistakes = 0;
+        for session in 0..200 {
+            let x = (session % 256) as u8;
+            let rs: Vec<Vec<u8>> = (0..n).map(|h| vec![h as u8, x]).collect();
+            let truth = rs[n - 1].clone();
+            let pred = p.predict(&rs);
+            if pred != truth {
+                mistakes += 1;
+            }
+            p.update(&rs, &correct_for(&rs, &truth));
+        }
+        assert_eq!(mistakes, n - 1);
+    }
+
+    #[test]
+    fn halving_mistake_bound_log_n() {
+        let n = 64;
+        let mut p = HalvingPolicy::new(n);
+        let mut mistakes = 0;
+        // Distinct-response game: every hypothesis responds differently, so
+        // each mistake eliminates everyone who voted with the majority.
+        for session in 0..500 {
+            let x = (session * 37 % 256) as u8;
+            let rs: Vec<Vec<u8>> = (0..n).map(|h| vec![h as u8, x]).collect();
+            let truth = rs[n - 1].clone();
+            if p.predict(&rs) != truth {
+                mistakes += 1;
+            }
+            p.update(&rs, &correct_for(&rs, &truth));
+        }
+        // With all-distinct responses each mistake removes ≥ the majority
+        // block; the bound ⌈log₂ n⌉ is loose here but must hold.
+        assert!(mistakes <= (n as f64).log2().ceil() as usize + 1, "mistakes = {mistakes}");
+        assert_eq!(p.version_space(), 1);
+    }
+
+    #[test]
+    fn halving_survives_inconsistent_feedback() {
+        let mut p = HalvingPolicy::new(4);
+        let rs: Vec<Vec<u8>> = (0..4).map(|h| vec![h]).collect();
+        p.update(&rs, &[false, false, false, false]);
+        assert_eq!(p.version_space(), 4, "version space preserved on inconsistency");
+    }
+
+    #[test]
+    fn weighted_majority_downweights_errers() {
+        let mut p = WeightedMajorityPolicy::new(3, 0.5);
+        let rs: Vec<Vec<u8>> = (0..3).map(|h| vec![h]).collect();
+        p.update(&rs, &[true, false, true]);
+        assert_eq!(p.weights(), &[1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn weighted_majority_converges_under_noise() {
+        // Concept = hyp 0, but 10% of sessions give flipped feedback.
+        let n = 8;
+        let mut p = WeightedMajorityPolicy::new(n, 0.5);
+        let mut late_mistakes = 0;
+        for session in 0..400 {
+            let x = (session % 256) as u8;
+            let rs: Vec<Vec<u8>> = (0..n).map(|h| vec![h as u8 ^ x]).collect();
+            let truth = rs[0].clone();
+            let noisy = session % 10 == 9;
+            let pred = p.predict(&rs);
+            if session >= 200 && pred != truth {
+                late_mistakes += 1;
+            }
+            let correct: Vec<bool> =
+                rs.iter().map(|r| (r == &truth) != noisy).collect();
+            p.update(&rs, &correct);
+        }
+        assert!(late_mistakes <= 40, "late mistakes = {late_mistakes}");
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(std::panic::catch_unwind(|| EnumerationPolicy::new(0)).is_err());
+        assert!(std::panic::catch_unwind(|| HalvingPolicy::new(0)).is_err());
+        assert!(std::panic::catch_unwind(|| WeightedMajorityPolicy::new(4, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| WeightedMajorityPolicy::new(4, 0.0)).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert!(EnumerationPolicy::new(3).name().contains("enumeration"));
+        assert!(HalvingPolicy::new(3).name().contains("halving"));
+        assert!(WeightedMajorityPolicy::new(3, 0.5).name().contains("β=0.5"));
+    }
+}

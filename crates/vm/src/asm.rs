@@ -1,0 +1,254 @@
+//! A text assembler for the strategy VM — the inverse of
+//! [`Program::disassemble`](crate::program::Program::disassemble).
+//!
+//! Accepts one instruction per line in the disassembler's syntax; blank
+//! lines and `;`-comments are ignored. Useful for writing strategies by
+//! hand, for tests, and for round-trip checking.
+//!
+//! ```text
+//! ; greet the peer, then wait for the world
+//! const r0, 0x68
+//! emit.a r0
+//! emit.a 0x69
+//! end
+//! ```
+
+use crate::instr::{Chan, Instr, Reg};
+use crate::program::Program;
+use std::fmt;
+
+/// An assembly error with its line number (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+/// Assembles VM assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands, or out-of-range values.
+///
+/// # Examples
+///
+/// ```
+/// use goc_vm::asm::assemble;
+///
+/// let p = assemble("emit.a 0x68\nemit.a 0x69\nend").unwrap();
+/// assert_eq!(p.disassemble(), "emit.a 0x68\nemit.a 0x69\nend");
+/// ```
+pub fn assemble(source: &str) -> Result<Program, ParseAsmError> {
+    let mut instrs = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        instrs.push(parse_line(line).map_err(|message| ParseAsmError { line: line_no, message })?);
+    }
+    Ok(Program::assemble(&instrs))
+}
+
+fn parse_line(line: &str) -> Result<Instr, String> {
+    let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (line, ""),
+    };
+    let ops: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let expect = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("expected {n} operand(s), found {}", ops.len()))
+        }
+    };
+    match mnemonic {
+        "halt" => {
+            expect(0)?;
+            Ok(Instr::Halt)
+        }
+        "end" => {
+            expect(0)?;
+            Ok(Instr::EndRound)
+        }
+        "emit.a" => {
+            expect(1)?;
+            Ok(match parse_reg(ops[0]) {
+                Some(r) => Instr::EmitAReg(r),
+                None => Instr::EmitA(parse_byte(ops[0])?),
+            })
+        }
+        "emit.b" => {
+            expect(1)?;
+            Ok(match parse_reg(ops[0]) {
+                Some(r) => Instr::EmitBReg(r),
+                None => Instr::EmitB(parse_byte(ops[0])?),
+            })
+        }
+        "read.a" => {
+            expect(1)?;
+            Ok(Instr::ReadA(require_reg(ops[0])?))
+        }
+        "read.b" => {
+            expect(1)?;
+            Ok(Instr::ReadB(require_reg(ops[0])?))
+        }
+        "const" => {
+            expect(2)?;
+            Ok(Instr::Const(require_reg(ops[0])?, parse_byte(ops[1])?))
+        }
+        "add" => {
+            expect(2)?;
+            Ok(Instr::Add(require_reg(ops[0])?, require_reg(ops[1])?))
+        }
+        "addc" => {
+            expect(2)?;
+            Ok(Instr::AddConst(require_reg(ops[0])?, parse_byte(ops[1])?))
+        }
+        "inc" => {
+            expect(1)?;
+            Ok(Instr::Inc(require_reg(ops[0])?))
+        }
+        "jz" => {
+            expect(2)?;
+            Ok(Instr::JmpIfZero(require_reg(ops[0])?, parse_disp(ops[1])?))
+        }
+        "jmp" => {
+            expect(1)?;
+            Ok(Instr::Jmp(parse_disp(ops[0])?))
+        }
+        "copy.a" => Ok(Instr::CopyA(parse_copy_dest(rest)?)),
+        "copy.b" => Ok(Instr::CopyB(parse_copy_dest(rest)?)),
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+fn parse_reg(token: &str) -> Option<Reg> {
+    let idx = token.strip_prefix('r')?.parse::<u8>().ok()?;
+    (idx < 8).then(|| Reg::new(idx))
+}
+
+fn require_reg(token: &str) -> Result<Reg, String> {
+    parse_reg(token).ok_or_else(|| format!("expected register r0..r7, found `{token}`"))
+}
+
+fn parse_byte(token: &str) -> Result<u8, String> {
+    let value = if let Some(hex) = token.strip_prefix("0x") {
+        u8::from_str_radix(hex, 16)
+    } else if token.len() == 3 && token.starts_with('\'') && token.ends_with('\'') {
+        return Ok(token.as_bytes()[1]);
+    } else {
+        token.parse::<u8>()
+    };
+    value.map_err(|_| format!("expected a byte (0..=255, 0x.., or 'c'), found `{token}`"))
+}
+
+fn parse_disp(token: &str) -> Result<i8, String> {
+    token
+        .parse::<i8>()
+        .map_err(|_| format!("expected a displacement (−128..=127), found `{token}`"))
+}
+
+fn parse_copy_dest(rest: &str) -> Result<Chan, String> {
+    // Disassembler syntax: `copy.a -> B`
+    let dest = rest.trim_start_matches("->").trim();
+    match dest {
+        "A" | "a" => Ok(Chan::A),
+        "B" | "b" => Ok(Chan::B),
+        other => Err(format!("expected channel A or B, found `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_and_roundtrips_through_disassembler() {
+        let source = "\
+const r0, 0x68
+emit.a r0
+emit.a 0x69
+read.b r1
+copy.b -> A
+jz r1, -8
+end";
+        let p = assemble(source).unwrap();
+        assert_eq!(p.disassemble(), source);
+        // Re-assembling the disassembly is the identity.
+        let p2 = assemble(&p.disassemble()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn char_literals_and_decimal_bytes() {
+        let p = assemble("emit.a 'h'\nemit.a 105").unwrap();
+        let q = assemble("emit.a 0x68\nemit.a 0x69").unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; a greeting\n\nemit.a 0x21 ; bang\n").unwrap();
+        assert_eq!(p.instructions(), vec![Instr::EmitA(0x21)]);
+    }
+
+    #[test]
+    fn full_instruction_coverage() {
+        let source = "\
+halt
+emit.b 0x01
+emit.b r3
+read.a r2
+add r0, r1
+addc r4, 0x10
+inc r5
+jmp 3
+copy.a -> B
+end";
+        let p = assemble(source).unwrap();
+        assert_eq!(p.instructions().len(), 10);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = assemble("emit.a 0x41\nbogus r0").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn errors_on_bad_operands() {
+        assert!(assemble("const r9, 1").is_err());
+        assert!(assemble("emit.a 300").is_err());
+        assert!(assemble("jmp 200").is_err());
+        assert!(assemble("add r0").is_err());
+        assert!(assemble("copy.a -> C").is_err());
+        assert!(assemble("read.a 0x10").is_err());
+    }
+
+    #[test]
+    fn assembled_program_runs() {
+        use crate::machine::{Machine, RoundIo};
+        let p = assemble("const r0, 'x'\nemit.a r0\nend").unwrap();
+        let mut m = Machine::new(p);
+        let mut io = RoundIo::default();
+        m.round(&mut io);
+        assert_eq!(io.out_a, b"x");
+    }
+}

@@ -1,0 +1,269 @@
+//! Length-lexicographic enumeration of VM programs.
+//!
+//! Because program decoding is total, the length-lex enumeration of byte
+//! strings **is** an enumeration of the entire strategy class — the literal
+//! object the proof of Theorem 1 manipulates. The enumeration may be
+//! restricted to an *alphabet* (a subset of bytes): the class shrinks to the
+//! programs writable in that alphabet, which moves interesting programs to
+//! much smaller indices, exactly like choosing a "broad class" of strategies
+//! (paper §3, closing remark).
+
+use crate::adapter::VmUser;
+use crate::program::Program;
+use goc_core::enumeration::StrategyEnumerator;
+use goc_core::strategy::BoxedUser;
+
+/// Enumerates byte strings over an alphabet in length-lex order and mounts
+/// them as user strategies.
+///
+/// # Examples
+///
+/// ```
+/// use goc_vm::enumerate::ProgramEnumerator;
+///
+/// // Full byte alphabet: index 0 is the empty program, 1..=256 the
+/// // single-byte programs, and so on.
+/// let e = ProgramEnumerator::full();
+/// assert_eq!(e.program(0).len(), 0);
+/// assert_eq!(e.program(1).len(), 1);
+/// assert_eq!(e.program(257).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProgramEnumerator {
+    alphabet: Vec<u8>,
+    max_len: Option<usize>,
+    fuel: u32,
+}
+
+impl ProgramEnumerator {
+    /// Enumerates over the full byte alphabet, unbounded length.
+    pub fn full() -> Self {
+        ProgramEnumerator {
+            alphabet: (0..=255).collect(),
+            max_len: None,
+            fuel: crate::machine::DEFAULT_FUEL,
+        }
+    }
+
+    /// Enumerates programs writable in `alphabet`, unbounded length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is empty or contains duplicates.
+    pub fn over(alphabet: impl Into<Vec<u8>>) -> Self {
+        let alphabet = alphabet.into();
+        assert!(!alphabet.is_empty(), "ProgramEnumerator requires a non-empty alphabet");
+        let mut sorted = alphabet.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), alphabet.len(), "alphabet contains duplicate bytes");
+        ProgramEnumerator { alphabet, max_len: None, fuel: crate::machine::DEFAULT_FUEL }
+    }
+
+    /// Caps program length, making the class finite.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Sets the per-round fuel of mounted machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fuel == 0`.
+    pub fn with_fuel(mut self, fuel: u32) -> Self {
+        assert!(fuel > 0, "fuel must be positive");
+        self.fuel = fuel;
+        self
+    }
+
+    /// Number of programs of length exactly `len` (may saturate at
+    /// `u128::MAX` for huge alphabets/lengths).
+    fn count_of_len(&self, len: usize) -> u128 {
+        let a = self.alphabet.len() as u128;
+        let mut n: u128 = 1;
+        for _ in 0..len {
+            n = n.saturating_mul(a);
+        }
+        n
+    }
+
+    /// Total number of programs, if the class is finite and fits in `usize`.
+    pub fn total(&self) -> Option<usize> {
+        let max_len = self.max_len?;
+        let mut total: u128 = 0;
+        for len in 0..=max_len {
+            total = total.saturating_add(self.count_of_len(len));
+        }
+        usize::try_from(total).ok()
+    }
+
+    /// The `index`-th program in length-lex order.
+    ///
+    /// For finite classes (length-capped), indices past the end wrap around
+    /// — callers going through [`StrategyEnumerator`] never see that because
+    /// `strategy` bounds-checks first.
+    pub fn program(&self, index: usize) -> Program {
+        let a = self.alphabet.len() as u128;
+        let mut remaining = index as u128;
+        let mut len = 0usize;
+        loop {
+            let count = self.count_of_len(len);
+            if remaining < count {
+                break;
+            }
+            remaining -= count;
+            len += 1;
+            if let Some(cap) = self.max_len {
+                if len > cap {
+                    // Wrap for out-of-range finite indices.
+                    remaining %= self.total().unwrap_or(1).max(1) as u128;
+                    len = 0;
+                }
+            }
+        }
+        // Write `remaining` in base `a`, most significant digit first,
+        // padded to `len` digits.
+        let mut digits = vec![0u8; len];
+        let mut value = remaining;
+        for slot in digits.iter_mut().rev() {
+            *slot = self.alphabet[(value % a) as usize];
+            value /= a;
+        }
+        Program::from_bytes(digits)
+    }
+
+    /// The length-lex index of `program`, if it is writable in the alphabet
+    /// (and within the length cap).
+    pub fn index_of(&self, program: &Program) -> Option<usize> {
+        if let Some(cap) = self.max_len {
+            if program.len() > cap {
+                return None;
+            }
+        }
+        let a = self.alphabet.len() as u128;
+        let mut offset: u128 = 0;
+        for len in 0..program.len() {
+            offset = offset.saturating_add(self.count_of_len(len));
+        }
+        let mut value: u128 = 0;
+        for &byte in program.as_bytes() {
+            let digit = self.alphabet.iter().position(|&b| b == byte)? as u128;
+            value = value.saturating_mul(a).saturating_add(digit);
+        }
+        usize::try_from(offset + value).ok()
+    }
+}
+
+impl StrategyEnumerator for ProgramEnumerator {
+    fn len(&self) -> Option<usize> {
+        self.total()
+    }
+
+    fn strategy(&self, index: usize) -> Option<BoxedUser> {
+        if let Some(total) = self.total() {
+            if index >= total {
+                return None;
+            }
+        }
+        Some(Box::new(VmUser::with_fuel(self.program(index), self.fuel)))
+    }
+
+    fn name(&self) -> String {
+        match self.max_len {
+            Some(cap) => format!("vm-programs(|Σ|={}, len≤{cap})", self.alphabet.len()),
+            None => format!("vm-programs(|Σ|={})", self.alphabet.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_enumeration_orders_by_length_then_lex() {
+        let e = ProgramEnumerator::full();
+        assert_eq!(e.program(0).as_bytes(), b"");
+        assert_eq!(e.program(1).as_bytes(), &[0]);
+        assert_eq!(e.program(256).as_bytes(), &[255]);
+        assert_eq!(e.program(257).as_bytes(), &[0, 0]);
+        assert_eq!(e.program(258).as_bytes(), &[0, 1]);
+    }
+
+    #[test]
+    fn small_alphabet_enumeration() {
+        let e = ProgramEnumerator::over(vec![10u8, 20]);
+        assert_eq!(e.program(0).as_bytes(), b"");
+        assert_eq!(e.program(1).as_bytes(), &[10]);
+        assert_eq!(e.program(2).as_bytes(), &[20]);
+        assert_eq!(e.program(3).as_bytes(), &[10, 10]);
+        assert_eq!(e.program(4).as_bytes(), &[10, 20]);
+        assert_eq!(e.program(5).as_bytes(), &[20, 10]);
+        assert_eq!(e.program(6).as_bytes(), &[20, 20]);
+        assert_eq!(e.program(7).as_bytes(), &[10, 10, 10]);
+    }
+
+    #[test]
+    fn index_of_inverts_program() {
+        let e = ProgramEnumerator::over(vec![1u8, 2, 3]);
+        for idx in 0..200 {
+            let p = e.program(idx);
+            assert_eq!(e.index_of(&p), Some(idx), "at index {idx}");
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_foreign_bytes() {
+        let e = ProgramEnumerator::over(vec![1u8, 2]);
+        assert_eq!(e.index_of(&Program::from_bytes(vec![9])), None);
+    }
+
+    #[test]
+    fn capped_class_is_finite() {
+        let e = ProgramEnumerator::over(vec![0u8, 1]).with_max_len(3);
+        // 1 + 2 + 4 + 8 = 15 programs.
+        assert_eq!(e.total(), Some(15));
+        assert_eq!(StrategyEnumerator::len(&e), Some(15));
+        assert!(e.strategy(14).is_some());
+        assert!(e.strategy(15).is_none());
+    }
+
+    #[test]
+    fn uncapped_class_is_infinite() {
+        let e = ProgramEnumerator::full();
+        assert_eq!(StrategyEnumerator::len(&e), None);
+        assert!(e.strategy(1_000_000).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty alphabet")]
+    fn empty_alphabet_panics() {
+        let _ = ProgramEnumerator::over(Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_alphabet_panics() {
+        let _ = ProgramEnumerator::over(vec![1u8, 1]);
+    }
+
+    #[test]
+    fn strategies_mount_and_run() {
+        use goc_core::msg::UserIn;
+        use goc_core::rng::GocRng;
+        use goc_core::strategy::{StepCtx, UserStrategy};
+        let e = ProgramEnumerator::full();
+        // Index 2 is the single-byte program [1] = EmitA(0) truncated.
+        let mut u = e.strategy(2).unwrap();
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let _ = u.step(&mut ctx, &UserIn::default()); // must not panic
+    }
+
+    #[test]
+    fn name_reports_alphabet() {
+        assert!(ProgramEnumerator::full().name().contains("|Σ|=256"));
+        assert!(ProgramEnumerator::over(vec![1u8]).with_max_len(4).name().contains("len≤4"));
+    }
+}

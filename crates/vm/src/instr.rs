@@ -1,0 +1,289 @@
+//! The instruction set of the strategy VM.
+//!
+//! Design constraints (see crate docs):
+//!
+//! - **Total decoding** — *every* byte string decodes to a valid program, so
+//!   the length-lexicographic enumeration of byte strings enumerates the
+//!   whole strategy class with no gaps. Opcodes are taken modulo
+//!   [`OPCODE_COUNT`], register operands modulo [`REG_COUNT`], and missing
+//!   trailing operands default to zero.
+//! - **Channel symmetry** — programs speak of abstract channels **A** (the
+//!   peer: the server when the program is a user, the user when it is a
+//!   server) and **B** (the world), so the same program text can drive either
+//!   role.
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const REG_COUNT: usize = 8;
+
+/// Number of opcodes in the instruction set.
+pub const OPCODE_COUNT: u8 = 16;
+
+/// A register index in `0..REG_COUNT`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Wraps a byte into a valid register index (modulo [`REG_COUNT`]).
+    pub fn new(raw: u8) -> Self {
+        Reg(raw % REG_COUNT as u8)
+    }
+
+    /// The register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Destination channel of a copy instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Chan {
+    /// The peer channel (server for users, user for servers).
+    A,
+    /// The world channel.
+    B,
+}
+
+impl Chan {
+    fn from_raw(raw: u8) -> Self {
+        if raw.is_multiple_of(2) {
+            Chan::A
+        } else {
+            Chan::B
+        }
+    }
+
+    fn to_raw(self) -> u8 {
+        match self {
+            Chan::A => 0,
+            Chan::B => 1,
+        }
+    }
+}
+
+impl fmt::Display for Chan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Chan::A => write!(f, "A"),
+            Chan::B => write!(f, "B"),
+        }
+    }
+}
+
+/// One VM instruction.
+///
+/// Encoding: one opcode byte followed by that opcode's operand bytes (see
+/// [`Instr::encode`]); decoding is total (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Halt the strategy; the final output is the current B outbox.
+    Halt,
+    /// Append an immediate byte to the A outbox.
+    EmitA(u8),
+    /// Append an immediate byte to the B outbox.
+    EmitB(u8),
+    /// Append a register's low byte to the A outbox.
+    EmitAReg(Reg),
+    /// Append a register's low byte to the B outbox.
+    EmitBReg(Reg),
+    /// Read the next byte of this round's A inbox into a register
+    /// ([`EXHAUSTED`](crate::machine::EXHAUSTED) when empty).
+    ReadA(Reg),
+    /// Read the next byte of this round's B inbox into a register.
+    ReadB(Reg),
+    /// Load an immediate into a register.
+    Const(Reg, u8),
+    /// `r += s` (wrapping).
+    Add(Reg, Reg),
+    /// `r += 1` (wrapping).
+    Inc(Reg),
+    /// Relative jump (signed byte displacement) if the register is zero.
+    JmpIfZero(Reg, i8),
+    /// Unconditional relative jump (signed byte displacement).
+    Jmp(i8),
+    /// Copy all remaining bytes of the A inbox to an outbox.
+    CopyA(Chan),
+    /// Copy all remaining bytes of the B inbox to an outbox.
+    CopyB(Chan),
+    /// `r += imm` (wrapping).
+    AddConst(Reg, u8),
+    /// Stop executing for this round (outboxes are flushed).
+    EndRound,
+}
+
+impl Instr {
+    /// Number of operand bytes following each opcode.
+    pub fn operand_len(opcode: u8) -> usize {
+        match opcode % OPCODE_COUNT {
+            0 | 15 => 0,          // Halt, EndRound
+            1..=6 | 9 | 11..=13 => 1, // single-operand ops
+            7 | 8 | 10 | 14 => 2, // two-operand ops
+            _ => unreachable!("opcode is reduced modulo OPCODE_COUNT"),
+        }
+    }
+
+    /// Decodes the instruction at `pos` in `code`, returning the instruction
+    /// and the number of bytes consumed. Total: any byte sequence decodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= code.len()`.
+    pub fn decode(code: &[u8], pos: usize) -> (Instr, usize) {
+        assert!(pos < code.len(), "decode position out of bounds");
+        let opcode = code[pos] % OPCODE_COUNT;
+        let byte = |i: usize| -> u8 { code.get(pos + 1 + i).copied().unwrap_or(0) };
+        let len = 1 + Self::operand_len(opcode);
+        let instr = match opcode {
+            0 => Instr::Halt,
+            1 => Instr::EmitA(byte(0)),
+            2 => Instr::EmitB(byte(0)),
+            3 => Instr::EmitAReg(Reg::new(byte(0))),
+            4 => Instr::EmitBReg(Reg::new(byte(0))),
+            5 => Instr::ReadA(Reg::new(byte(0))),
+            6 => Instr::ReadB(Reg::new(byte(0))),
+            7 => Instr::Const(Reg::new(byte(0)), byte(1)),
+            8 => Instr::Add(Reg::new(byte(0)), Reg::new(byte(1))),
+            9 => Instr::Inc(Reg::new(byte(0))),
+            10 => Instr::JmpIfZero(Reg::new(byte(0)), byte(1) as i8),
+            11 => Instr::Jmp(byte(0) as i8),
+            12 => Instr::CopyA(Chan::from_raw(byte(0))),
+            13 => Instr::CopyB(Chan::from_raw(byte(0))),
+            14 => Instr::AddConst(Reg::new(byte(0)), byte(1)),
+            15 => Instr::EndRound,
+            _ => unreachable!(),
+        };
+        (instr, len)
+    }
+
+    /// Encodes the instruction, appending its bytes to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Instr::Halt => out.push(0),
+            Instr::EmitA(b) => out.extend([1, b]),
+            Instr::EmitB(b) => out.extend([2, b]),
+            Instr::EmitAReg(r) => out.extend([3, r.0]),
+            Instr::EmitBReg(r) => out.extend([4, r.0]),
+            Instr::ReadA(r) => out.extend([5, r.0]),
+            Instr::ReadB(r) => out.extend([6, r.0]),
+            Instr::Const(r, b) => out.extend([7, r.0, b]),
+            Instr::Add(r, s) => out.extend([8, r.0, s.0]),
+            Instr::Inc(r) => out.extend([9, r.0]),
+            Instr::JmpIfZero(r, d) => out.extend([10, r.0, d as u8]),
+            Instr::Jmp(d) => out.extend([11, d as u8]),
+            Instr::CopyA(c) => out.extend([12, c.to_raw()]),
+            Instr::CopyB(c) => out.extend([13, c.to_raw()]),
+            Instr::AddConst(r, b) => out.extend([14, r.0, b]),
+            Instr::EndRound => out.push(15),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Halt => write!(f, "halt"),
+            Instr::EmitA(b) => write!(f, "emit.a {b:#04x}"),
+            Instr::EmitB(b) => write!(f, "emit.b {b:#04x}"),
+            Instr::EmitAReg(r) => write!(f, "emit.a {r}"),
+            Instr::EmitBReg(r) => write!(f, "emit.b {r}"),
+            Instr::ReadA(r) => write!(f, "read.a {r}"),
+            Instr::ReadB(r) => write!(f, "read.b {r}"),
+            Instr::Const(r, b) => write!(f, "const {r}, {b:#04x}"),
+            Instr::Add(r, s) => write!(f, "add {r}, {s}"),
+            Instr::Inc(r) => write!(f, "inc {r}"),
+            Instr::JmpIfZero(r, d) => write!(f, "jz {r}, {d:+}"),
+            Instr::Jmp(d) => write!(f, "jmp {d:+}"),
+            Instr::CopyA(c) => write!(f, "copy.a -> {c}"),
+            Instr::CopyB(c) => write!(f, "copy.b -> {c}"),
+            Instr::AddConst(r, b) => write!(f, "addc {r}, {b:#04x}"),
+            Instr::EndRound => write!(f, "end"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_wraps_modulo_reg_count() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(7).index(), 7);
+        assert_eq!(Reg::new(8).index(), 0);
+        assert_eq!(Reg::new(255).index(), 7);
+    }
+
+    #[test]
+    fn chan_from_raw_alternates() {
+        assert_eq!(Chan::from_raw(0), Chan::A);
+        assert_eq!(Chan::from_raw(1), Chan::B);
+        assert_eq!(Chan::from_raw(2), Chan::A);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_variants() {
+        let instrs = vec![
+            Instr::Halt,
+            Instr::EmitA(0x41),
+            Instr::EmitB(0xff),
+            Instr::EmitAReg(Reg::new(3)),
+            Instr::EmitBReg(Reg::new(7)),
+            Instr::ReadA(Reg::new(1)),
+            Instr::ReadB(Reg::new(2)),
+            Instr::Const(Reg::new(4), 0x10),
+            Instr::Add(Reg::new(0), Reg::new(1)),
+            Instr::Inc(Reg::new(5)),
+            Instr::JmpIfZero(Reg::new(6), -4),
+            Instr::Jmp(3),
+            Instr::CopyA(Chan::B),
+            Instr::CopyB(Chan::A),
+            Instr::AddConst(Reg::new(2), 9),
+            Instr::EndRound,
+        ];
+        for instr in instrs {
+            let mut bytes = Vec::new();
+            instr.encode(&mut bytes);
+            let (decoded, used) = Instr::decode(&bytes, 0);
+            assert_eq!(decoded, instr, "roundtrip failed for {instr}");
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decoding_is_total_on_truncated_operands() {
+        // Opcode 7 (Const) expects two operand bytes; give none.
+        let (instr, used) = Instr::decode(&[7], 0);
+        assert_eq!(instr, Instr::Const(Reg::new(0), 0));
+        assert_eq!(used, 3); // consumed length is still 1 + operand_len
+    }
+
+    #[test]
+    fn opcode_wraps_modulo_count() {
+        let (a, _) = Instr::decode(&[16], 0); // 16 % 16 == 0 => Halt
+        assert_eq!(a, Instr::Halt);
+        let (b, _) = Instr::decode(&[17, 0x2a], 0); // 17 % 16 == 1 => EmitA
+        assert_eq!(b, Instr::EmitA(0x2a));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::Halt.to_string(), "halt");
+        assert_eq!(Instr::EmitA(65).to_string(), "emit.a 0x41");
+        assert_eq!(Instr::Jmp(-2).to_string(), "jmp -2");
+        assert_eq!(Instr::CopyA(Chan::B).to_string(), "copy.a -> B");
+        assert_eq!(Reg::new(3).to_string(), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn decode_past_end_panics() {
+        let _ = Instr::decode(&[0], 1);
+    }
+}

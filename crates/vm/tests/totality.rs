@@ -1,0 +1,114 @@
+//! Property tests for the VM's central invariants: *every* byte string is a
+//! runnable program, and enumeration is a bijection onto the class.
+
+use goc_vm::enumerate::ProgramEnumerator;
+use goc_vm::machine::{Machine, RoundIo};
+use goc_vm::program::Program;
+use proptest::prelude::*;
+
+/// Exhaustive totality: every program of length ≤ 2 over the full byte
+/// alphabet (65 793 programs) runs three rounds without panicking and
+/// within its fuel bound. Combined with the random long-program property
+/// below, this nails the "every byte string is a strategy" guarantee.
+#[test]
+fn exhaustive_short_programs_run_safely() {
+    let run = |code: Vec<u8>| {
+        let mut m = Machine::with_fuel(Program::from_bytes(code), 64);
+        for _ in 0..3 {
+            let mut io = RoundIo::with_inputs(vec![1, 2, 3], vec![9]);
+            m.round(&mut io);
+        }
+        assert!(m.instructions_retired() <= 3 * 64);
+    };
+    run(vec![]);
+    for a in 0..=255u8 {
+        run(vec![a]);
+        for b in 0..=255u8 {
+            run(vec![a, b]);
+        }
+    }
+}
+
+proptest! {
+    /// Any byte string decodes and runs for several rounds without panic,
+    /// and each round retires at most `fuel` instructions.
+    #[test]
+    fn any_bytes_run_safely(code in proptest::collection::vec(any::<u8>(), 0..64),
+                            in_a in proptest::collection::vec(any::<u8>(), 0..16),
+                            in_b in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut m = Machine::with_fuel(Program::from_bytes(code), 128);
+        for _ in 0..5 {
+            let mut io = RoundIo::with_inputs(in_a.clone(), in_b.clone());
+            m.round(&mut io);
+        }
+        prop_assert!(m.instructions_retired() <= 5 * 128);
+    }
+
+    /// The canonical decoding consumes exactly the program bytes.
+    #[test]
+    fn canonical_decode_consumes_all(code in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let p = Program::from_bytes(code.clone());
+        let mut consumed = 0usize;
+        let mut pos = 0usize;
+        while pos < p.len() {
+            let (_, used) = p.decode_at(pos);
+            pos += used.min(p.len() - pos + used); // used may overrun the tail
+            consumed += 1;
+            prop_assert!(consumed <= code.len() + 1, "decoding must terminate");
+        }
+    }
+
+    /// program(index_of(p)) == p over a restricted alphabet.
+    #[test]
+    fn enumeration_roundtrips(bytes in proptest::collection::vec(0u8..4, 0..8)) {
+        let e = ProgramEnumerator::over(vec![0u8, 1, 2, 3]);
+        let p = Program::from_bytes(bytes);
+        let idx = e.index_of(&p).expect("program writable in alphabet");
+        prop_assert_eq!(e.program(idx), p);
+    }
+
+    /// Enumeration is monotone in length: longer programs have larger indices.
+    #[test]
+    fn enumeration_is_length_monotone(a in 0usize..500, b in 0usize..500) {
+        let e = ProgramEnumerator::over(vec![7u8, 8, 9]);
+        let (pa, pb) = (e.program(a), e.program(b));
+        if a < b {
+            prop_assert!(pa.len() <= pb.len());
+        }
+    }
+
+    /// Machines are deterministic: same program + inputs, same outputs.
+    #[test]
+    fn machines_are_deterministic(code in proptest::collection::vec(any::<u8>(), 0..48),
+                                  in_a in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let run = || {
+            let mut m = Machine::new(Program::from_bytes(code.clone()));
+            let mut outs = Vec::new();
+            for _ in 0..3 {
+                let mut io = RoundIo::with_inputs(in_a.clone(), vec![]);
+                m.round(&mut io);
+                outs.push((io.out_a, io.out_b));
+            }
+            outs
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Halting is permanent.
+    #[test]
+    fn halting_is_permanent(code in proptest::collection::vec(any::<u8>(), 1..48)) {
+        let mut m = Machine::new(Program::from_bytes(code));
+        let mut halted_at = None;
+        for round in 0..6 {
+            let mut io = RoundIo::default();
+            m.round(&mut io);
+            if m.halted().is_some() && halted_at.is_none() {
+                halted_at = Some(round);
+            }
+            if let Some(at) = halted_at {
+                prop_assert!(m.halted().is_some(), "machine un-halted after round {at}");
+                prop_assert!(io.out_a.is_empty() || round == at);
+            }
+        }
+    }
+}

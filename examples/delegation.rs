@@ -1,0 +1,85 @@
+//! Delegation of computation (the Juba–Sudan scenario): obtain the answer to
+//! a puzzle you can check but not crack, from a server whose query protocol
+//! you don't know.
+//!
+//! Run with: `cargo run --example delegation`
+
+use goc::goals::codec::Encoding;
+use goc::goals::computation::*;
+use goc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    println!("== delegation of computation ==\n");
+
+    let puzzle: Arc<dyn Puzzle + Send + Sync> = Arc::new(ModSquareRoot::new(10007));
+    let goal = DelegationGoal::new(puzzle.clone());
+    let protocols = QueryProtocol::class(
+        &[b'?', b'!', b'>', 0x01],
+        &Encoding::family(&[0x55], &[7]),
+    );
+    println!("protocol class: {} greeting×encoding combinations\n", protocols.len());
+
+    // The universal client vs every server in the class — oracle flavour
+    // (the server is entrusted with the answer) and solver flavour (the
+    // server recomputes it).
+    for (i, proto) in protocols.iter().enumerate() {
+        for (flavour, server) in [
+            ("oracle", Box::new(OracleServer::new(*proto)) as BoxedServer),
+            ("solver", Box::new(SolverServer::new(*proto, puzzle.clone())) as BoxedServer),
+        ] {
+            let universal = LevinUniversalUser::round_robin(
+                Box::new(protocol_class(&protocols, puzzle.clone())),
+                Box::new(confirmation_sensing()),
+                8,
+            );
+            let mut rng = GocRng::seed_from_u64(7_000 + i as u64);
+            let mut exec =
+                Execution::new(goal.spawn_world(&mut rng), server, Box::new(universal), rng);
+            let t = exec.run(100_000);
+            let v = evaluate_finite(&goal, &t);
+            let answer = t
+                .halt()
+                .map(|h| String::from_utf8_lossy(h.output.as_bytes()).into_owned())
+                .unwrap_or_default();
+            if flavour == "oracle" {
+                print!("  protocol {i:>2}: ");
+            } else {
+                print!("               ");
+            }
+            println!(
+                "{flavour}: {} in {:>7} rounds (answer: {answer})",
+                if v.achieved { "solved" } else { "FAILED" },
+                v.rounds
+            );
+            assert!(v.achieved);
+        }
+    }
+
+    // Subset-sum, for a computational (rather than entrusted) asymmetry.
+    println!("\nsubset-sum delegation (server brute-forces 2^14 masks):");
+    let ss: Arc<dyn Puzzle + Send + Sync> = Arc::new(SubsetSum::new(14, 12));
+    let ss_goal = DelegationGoal::new(ss.clone());
+    let proto = protocols[3];
+    let universal = LevinUniversalUser::round_robin(
+        Box::new(protocol_class(&protocols, ss.clone())),
+        Box::new(confirmation_sensing()),
+        8,
+    );
+    let mut rng = GocRng::seed_from_u64(99);
+    let mut exec = Execution::new(
+        ss_goal.spawn_world(&mut rng),
+        Box::new(SolverServer::new(proto, ss)),
+        Box::new(universal),
+        rng,
+    );
+    let t = exec.run(100_000);
+    let v = evaluate_finite(&ss_goal, &t);
+    println!(
+        "  {} in {} rounds",
+        if v.achieved { "solved" } else { "FAILED" },
+        v.rounds
+    );
+    assert!(v.achieved);
+    println!("\nok.");
+}

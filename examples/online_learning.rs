@@ -1,0 +1,86 @@
+//! Multi-session goals as on-line learning (Juba–Vempala; experiment E7).
+//!
+//! The same transmission goal, played session by session: the enumeration
+//! user (Theorem 1's construction) pays ~N−1 mistakes before settling; the
+//! halving learner pays ~log₂N; weighted majority survives noisy feedback.
+//! The bridge variant plays the game inside the real simulator, learning
+//! only from the world's echoes.
+//!
+//! Run with: `cargo run --example online_learning`
+
+use goc::goals::transmission::Transform;
+use goc::learning::*;
+use goc::prelude::*;
+
+fn table_class(n: usize) -> TransformClass {
+    TransformClass::new((0..n).map(|i| Transform::Table(5_000 + i as u64)).collect())
+}
+
+fn main() {
+    println!("== multi-session transmission = on-line learning ==\n");
+    println!(
+        "{:>6} {:>14} {:>12} {:>16}",
+        "N", "enumeration", "halving", "⌈log2 N⌉"
+    );
+    for exp in 1..=9u32 {
+        let n = 1usize << exp;
+        let class = table_class(n);
+        let concept = n - 1; // adversarial: the last hypothesis is true
+
+        let mut enumeration = EnumerationPolicy::new(n);
+        let re = run_arena(
+            &class,
+            concept,
+            &mut enumeration,
+            (4 * n) as u64,
+            4,
+            &mut GocRng::seed_from_u64(exp as u64),
+        );
+        let mut halving = HalvingPolicy::new(n);
+        let rh = run_arena(
+            &class,
+            concept,
+            &mut halving,
+            (4 * n) as u64,
+            4,
+            &mut GocRng::seed_from_u64(100 + exp as u64),
+        );
+        println!("{n:>6} {:>14} {:>12} {:>16}", re.mistakes, rh.mistakes, exp);
+        assert!(re.converged() && rh.converged());
+        assert!(rh.mistakes <= exp as u64 + 1);
+        assert!(re.mistakes >= rh.mistakes);
+    }
+
+    println!("\nbridged into the real simulator (echo feedback only):");
+    let n = 32;
+    let class = table_class(n);
+    let mut enumeration = EnumerationPolicy::new(n);
+    let be = run_bridge(&class, n - 1, &mut enumeration, 150, 4, &mut GocRng::seed_from_u64(7));
+    let mut halving = HalvingPolicy::new(n);
+    let bh = run_bridge(&class, n - 1, &mut halving, 150, 4, &mut GocRng::seed_from_u64(8));
+    println!("  N = {n}: enumeration missed {} sessions, halving {}", be.mistakes, bh.mistakes);
+    assert!(be.converged() && bh.converged());
+
+    println!("\nnoisy feedback (10% of sessions report flipped correctness):");
+    let n = 16;
+    let class = table_class(n);
+    let mut wm = WeightedMajorityPolicy::new(n, 0.5);
+    let mut rng = GocRng::seed_from_u64(9);
+    let mut mistakes_late = 0u64;
+    for session in 0..400u64 {
+        let challenge = rng.bytes(4);
+        let responses: Vec<Vec<u8>> =
+            (0..n).map(|h| class.respond(h, &challenge)).collect();
+        let truth = responses[n - 1].clone();
+        let pred = wm.predict(&responses);
+        if session >= 200 && pred != truth {
+            mistakes_late += 1;
+        }
+        let flip = session % 10 == 9;
+        let correct: Vec<bool> = responses.iter().map(|r| (*r == truth) != flip).collect();
+        wm.update(&responses, &correct);
+    }
+    println!("  weighted majority: {mistakes_late} mistakes in the last 200 sessions");
+    assert!(mistakes_late <= 30);
+    println!("\nok.");
+}

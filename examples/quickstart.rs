@@ -1,0 +1,70 @@
+//! Quickstart: a universal user that achieves its goal with a server it was
+//! never introduced to.
+//!
+//! The goal: make the world hear the magic word. The catch: the word must
+//! arrive *through the server*, and the server applies an unknown Caesar
+//! shift to everything the user says. The universal user of Theorem 1
+//! (finite case) enumerates compensating strategies Levin-style and uses the
+//! world's acknowledgement as safe sensing to know when to stop.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use goc::core::toy;
+use goc::prelude::*;
+
+fn main() {
+    println!("== goc quickstart: the magic-word goal ==\n");
+    let goal = toy::MagicWordGoal::new("xyzzy");
+
+    for shift in [0u8, 3, 7, 12] {
+        // The adversary picks a server; the user doesn't know which.
+        let server = toy::RelayServer::with_shift(shift);
+
+        // The universal user: enumerate 16 candidate strategies, halt on the
+        // world's ACK (safe + viable sensing).
+        let universal = LevinUniversalUser::new(
+            Box::new(toy::caesar_class("xyzzy", 16, false)),
+            Box::new(toy::ack_sensing()),
+            8,
+        );
+
+        let mut rng = GocRng::seed_from_u64(42 + shift as u64);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(server),
+            Box::new(universal),
+            rng,
+        );
+        let t = exec.run(1_000_000);
+        let v = evaluate_finite(&goal, &t);
+        println!(
+            "server shift {shift:>2}: goal {} in {} rounds",
+            if v.achieved { "ACHIEVED" } else { "failed  " },
+            v.rounds
+        );
+        assert!(v.achieved, "Theorem 1 says this cannot fail with a helpful server");
+    }
+
+    println!("\nSafety check: with an UNHELPFUL (silent) server the universal");
+    println!("user must never falsely declare success…");
+    let universal = LevinUniversalUser::new(
+        Box::new(toy::caesar_class("xyzzy", 16, false)),
+        Box::new(toy::ack_sensing()),
+        8,
+    );
+    let mut rng = GocRng::seed_from_u64(1);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(goc::core::strategy::SilentServer),
+        Box::new(universal),
+        rng,
+    );
+    let t = exec.run(20_000);
+    let v = evaluate_finite(&goal, &t);
+    println!(
+        "silent server: halted = {}, achieved = {} (after {} rounds)",
+        v.halted, v.achieved, v.rounds
+    );
+    assert!(!v.halted, "safe sensing never turns positive without success");
+    println!("\nok.");
+}

@@ -1,0 +1,53 @@
+//! # goc — A Theory of Goal-Oriented Communication, executable
+//!
+//! An executable rendering of *A Theory of Goal-Oriented Communication*
+//! (Goldreich, Juba, Sudan; PODC 2011 / ECCC TR09-075): communication
+//! modelled as a means to a **goal**, judged by a referee over world states,
+//! with **universal user strategies** that succeed with every *helpful*
+//! server despite having no shared protocol — as long as safe and viable
+//! **sensing** exists (Theorem 1).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`core`] ([`goc_core`]) — the model: strategies, executions, goals,
+//!   referees, sensing, enumerations, and the two universal constructions.
+//! - [`vm`] ([`goc_vm`]) — a total, enumerable strategy bytecode: the
+//!   literal "enumeration of all user strategies".
+//! - [`goals`] ([`goc_goals`]) — printing, delegation-of-computation,
+//!   transmission, navigation.
+//! - [`learning`] ([`goc_learning`]) — multi-session goals as on-line
+//!   learning (Juba–Vempala).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use goc::prelude::*;
+//! use goc::core::toy;
+//!
+//! // A server class the user was never introduced to: Caesar relays.
+//! let goal = toy::MagicWordGoal::new("xyzzy");
+//! let universal = LevinUniversalUser::new(
+//!     Box::new(toy::caesar_class("xyzzy", 16, false)),
+//!     Box::new(toy::ack_sensing()),
+//!     8,
+//! );
+//! let mut rng = GocRng::seed_from_u64(7);
+//! let mut exec = Execution::new(
+//!     goal.spawn_world(&mut rng),
+//!     Box::new(toy::RelayServer::with_shift(5)), // adversarial pick
+//!     Box::new(universal),
+//!     rng,
+//! );
+//! let t = exec.run(20_000);
+//! assert!(evaluate_finite(&goal, &t).achieved);
+//! ```
+
+pub use goc_core as core;
+pub use goc_goals as goals;
+pub use goc_learning as learning;
+pub use goc_vm as vm;
+
+/// The most commonly used items across all crates.
+pub mod prelude {
+    pub use goc_core::prelude::*;
+}

@@ -1,0 +1,91 @@
+//! End-to-end tests of the `goc` command-line binary.
+
+use std::process::{Command, Stdio};
+
+fn goc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_goc"))
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_and_list() {
+    let out = goc(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = goc(&["list"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("printing"));
+}
+
+#[test]
+fn demo_magic_achieves_goal() {
+    let out = goc(&["demo", "magic", "--seed", "3", "--horizon", "500000"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GOAL ACHIEVED"));
+}
+
+#[test]
+fn demo_rejects_unknown_scenario() {
+    let out = goc(&["demo", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario"));
+}
+
+#[test]
+fn unknown_command_fails_with_help() {
+    let out = goc(&["bogus"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn trace_renders_transcript() {
+    let out = goc(&["trace", "magic", "--seed", "5", "--limit", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("execution:"), "{text}");
+    assert!(text.contains("stats:"), "{text}");
+}
+
+#[test]
+fn vm_asm_and_run_via_stdin() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_goc"))
+        .args(["vm-run", "-", "--rounds", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"emit.a 'x'\nend\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("round 0"), "{text}");
+    assert!(text.contains('x'), "{text}");
+}
+
+#[test]
+fn vm_asm_reports_errors_with_line_numbers() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_goc"))
+        .args(["vm-asm", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child.stdin.as_mut().unwrap().write_all(b"emit.a 'x'\nzap r0\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}

@@ -1,0 +1,98 @@
+//! Experiment E6 — universality exactly tracks helpfulness.
+//!
+//! A universal user achieves the goal with a server **iff** some user
+//! strategy in its class does (i.e. iff the server is helpful for the
+//! class). We run the same universal user against a mixed pool of helpful
+//! and unhelpful servers and check both directions.
+
+use goc::core::helpful::{finite_helpfulness, TrialConfig};
+use goc::core::strategy::{EchoServer, SilentServer};
+use goc::core::toy;
+use goc::core::wrappers::{Delayed, Lossy};
+use goc::prelude::*;
+
+fn class() -> goc::core::enumeration::SliceEnumerator {
+    toy::caesar_class("hi", 8, false)
+}
+
+fn universal() -> LevinUniversalUser {
+    LevinUniversalUser::new(Box::new(class()), Box::new(toy::ack_sensing()), 8)
+}
+
+/// A boxed server factory.
+type ServerFactory = Box<dyn Fn() -> BoxedServer>;
+
+/// The server pool: (name, factory, expected helpfulness for the class).
+fn pool() -> Vec<(&'static str, ServerFactory, bool)> {
+    vec![
+        ("relay+0", Box::new(|| Box::new(toy::RelayServer::default()) as BoxedServer), true),
+        ("relay+5", Box::new(|| Box::new(toy::RelayServer::with_shift(5)) as BoxedServer), true),
+        (
+            "delayed relay",
+            Box::new(|| {
+                Box::new(Delayed::new(Box::new(toy::RelayServer::with_shift(2)), 3)) as BoxedServer
+            }),
+            true,
+        ),
+        ("silent", Box::new(|| Box::new(SilentServer) as BoxedServer), false),
+        // An echo server bounces messages back to the user and never talks
+        // to the world: unhelpful for a goal about the world's state.
+        ("echo", Box::new(|| Box::new(EchoServer) as BoxedServer), false),
+        (
+            "total loss",
+            Box::new(|| {
+                Box::new(Lossy::new(Box::new(toy::RelayServer::default()), 1.0)) as BoxedServer
+            }),
+            false,
+        ),
+    ]
+}
+
+#[test]
+fn helpfulness_checker_classifies_the_pool() {
+    let goal = toy::MagicWordGoal::new("hi");
+    let cfg = TrialConfig { trials: 3, horizon: 400, seed: 11, window: 50 };
+    for (name, factory, expected) in pool() {
+        let report = finite_helpfulness(&goal, &*factory, &class(), &cfg);
+        assert_eq!(report.helpful, expected, "{name}: {report:?}");
+    }
+}
+
+#[test]
+fn universal_user_succeeds_exactly_on_the_helpful_subpool() {
+    let goal = toy::MagicWordGoal::new("hi");
+    for (name, factory, expected) in pool() {
+        let mut rng = GocRng::seed_from_u64(17);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            factory(),
+            Box::new(universal()),
+            rng,
+        );
+        let t = exec.run(100_000);
+        let v = evaluate_finite(&goal, &t);
+        assert_eq!(
+            v.achieved, expected,
+            "{name}: universality must track helpfulness exactly ({v:?})"
+        );
+        if !expected {
+            assert!(!v.halted, "{name}: safety also forbids false halts");
+        }
+    }
+}
+
+#[test]
+fn partially_lossy_relay_is_still_conquered() {
+    // A relay dropping 30% of messages is erratic but helpful: persistence
+    // wins. (Forgiving goals tolerate loss; sensing just arrives later.)
+    let goal = toy::MagicWordGoal::new("hi");
+    let mut rng = GocRng::seed_from_u64(23);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(Lossy::new(Box::new(toy::RelayServer::with_shift(1)), 0.3)),
+        Box::new(universal()),
+        rng,
+    );
+    let t = exec.run(200_000);
+    assert!(evaluate_finite(&goal, &t).achieved);
+}

@@ -1,0 +1,89 @@
+//! Experiment E7 — multi-session simple goals ≡ on-line learning
+//! (Juba–Vempala, reference [5] of the paper).
+//!
+//! The mistake-bound shapes: enumeration pays ~N−1, halving pays ~log₂N,
+//! and the same shapes appear whether the game is played abstractly (arena)
+//! or inside the real simulator with echo-only feedback (bridge).
+
+use goc::goals::transmission::Transform;
+use goc::learning::*;
+use goc::prelude::*;
+
+fn table_class(n: usize) -> TransformClass {
+    TransformClass::new((0..n).map(|i| Transform::Table(9_000 + i as u64)).collect())
+}
+
+#[test]
+fn mistake_curves_scale_as_n_vs_log_n() {
+    for exp in [3u32, 5, 7] {
+        let n = 1usize << exp;
+        let class = table_class(n);
+        let concept = n - 1;
+
+        let mut e = EnumerationPolicy::new(n);
+        let re = run_arena(&class, concept, &mut e, (4 * n) as u64, 4, &mut GocRng::seed_from_u64(exp as u64));
+        let mut h = HalvingPolicy::new(n);
+        let rh = run_arena(&class, concept, &mut h, (4 * n) as u64, 4, &mut GocRng::seed_from_u64(50 + exp as u64));
+
+        assert!(re.converged() && rh.converged());
+        // Enumeration: linear in N (random tables almost never collide on
+        // 4-byte challenges, so every earlier hypothesis errs once).
+        assert!(re.mistakes as usize >= n - 1, "N={n}: {re:?}");
+        // Halving: logarithmic.
+        assert!(rh.mistakes <= exp as u64 + 1, "N={n}: {rh:?}");
+    }
+}
+
+#[test]
+fn bridge_reproduces_the_same_shapes_with_echo_feedback_only() {
+    let n = 16;
+    let class = table_class(n);
+    let mut e = EnumerationPolicy::new(n);
+    let be = run_bridge(&class, n - 1, &mut e, 80, 4, &mut GocRng::seed_from_u64(1));
+    let mut h = HalvingPolicy::new(n);
+    let bh = run_bridge(&class, n - 1, &mut h, 80, 4, &mut GocRng::seed_from_u64(2));
+
+    assert!(be.converged() && bh.converged());
+    assert_eq!(be.mistakes as usize, n - 1, "{be:?}");
+    assert!(bh.mistakes <= 5, "{bh:?}");
+    assert!(bh.mistakes < be.mistakes);
+}
+
+#[test]
+fn weighted_majority_tolerates_feedback_noise() {
+    let n = 16;
+    let class = table_class(n);
+    let concept = n - 1;
+    let mut wm = WeightedMajorityPolicy::new(n, 0.5);
+    let mut rng = GocRng::seed_from_u64(3);
+    let mut late_mistakes = 0u64;
+    for session in 0..300u64 {
+        let challenge = rng.bytes(4);
+        let responses: Vec<Vec<u8>> = (0..n).map(|h| class.respond(h, &challenge)).collect();
+        let truth = responses[concept].clone();
+        if session >= 150 && wm.predict(&responses) != truth {
+            late_mistakes += 1;
+        } else {
+            let _ = wm.predict(&responses);
+        }
+        let flip = session % 12 == 11; // ~8% adversarial noise
+        let correct: Vec<bool> = responses.iter().map(|r| (*r == truth) != flip).collect();
+        wm.update(&responses, &correct);
+    }
+    assert!(late_mistakes <= 25, "late mistakes = {late_mistakes}");
+}
+
+#[test]
+fn enumeration_policy_matches_theorem1_switch_count() {
+    // The session-ized enumeration policy and the in-execution universal
+    // user are the same algorithm at different granularity: both try
+    // strategies in order and abandon each at its first failure. Check the
+    // counts agree: concept at index i ⇒ exactly i mistakes/switches.
+    let n = 12;
+    let class = table_class(n);
+    for concept in [0usize, 4, 11] {
+        let mut p = EnumerationPolicy::new(n);
+        let r = run_arena(&class, concept, &mut p, 4 * n as u64, 4, &mut GocRng::seed_from_u64(concept as u64));
+        assert_eq!(r.mistakes as usize, concept, "concept {concept}: {r:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! The multi-party reduction (paper footnote 1), exercised across goals:
+//! composites of printers and oracles, deep and shallow helpful members.
+
+use goc::core::multi::{addressed_class, CompositeServer};
+use goc::core::strategy::{EchoServer, SilentServer};
+use goc::goals::codec::Encoding;
+use goc::goals::computation as comp;
+use goc::goals::printing as print;
+use goc::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn printing_through_a_composite_of_mixed_servers() {
+    let dialects =
+        print::Dialect::class(&[0x10, 0x20], &[Encoding::Identity, Encoding::Xor(0x44)]);
+    let goal = print::PrintGoal::new("doc");
+    // Helpful member at index 3, speaking dialect 2.
+    let composite = || -> BoxedServer {
+        Box::new(CompositeServer::new(vec![
+            Box::new(SilentServer),
+            Box::new(EchoServer),
+            Box::new(SilentServer),
+            Box::new(print::DriverServer::new(dialects[2].clone())),
+        ]))
+    };
+    let class = addressed_class(Box::new(print::dialect_class("doc", &dialects, false)), 4);
+    for seed in 0..3u64 {
+        let universal = LevinUniversalUser::round_robin(
+            Box::new(addressed_class(
+                Box::new(print::dialect_class("doc", &dialects, false)),
+                4,
+            )),
+            Box::new(print::tray_sensing("doc")),
+            8,
+        );
+        let mut rng = GocRng::seed_from_u64(seed);
+        let mut exec =
+            Execution::new(goal.spawn_world(&mut rng), composite(), Box::new(universal), rng);
+        let t = exec.run(200_000);
+        assert!(evaluate_finite(&goal, &t).achieved, "seed {seed}");
+    }
+    // Class arithmetic sanity.
+    use goc::core::enumeration::StrategyEnumerator;
+    assert_eq!(class.len(), Some(16));
+}
+
+#[test]
+fn delegation_through_a_composite_with_one_oracle() {
+    let puzzle: Arc<dyn comp::Puzzle + Send + Sync> = Arc::new(comp::ModSquareRoot::new(10007));
+    let protocols = comp::QueryProtocol::class(b"?", &[Encoding::Identity, Encoding::Reverse]);
+    let goal = comp::DelegationGoal::new(puzzle.clone());
+    // The oracle is member 1 of 3 and speaks protocol 1.
+    let composite = || -> BoxedServer {
+        Box::new(CompositeServer::new(vec![
+            Box::new(SilentServer),
+            Box::new(comp::OracleServer::new(protocols[1])),
+            Box::new(EchoServer),
+        ]))
+    };
+    let universal = LevinUniversalUser::round_robin(
+        Box::new(addressed_class(
+            Box::new(comp::protocol_class(&protocols, puzzle.clone())),
+            3,
+        )),
+        Box::new(comp::confirmation_sensing()),
+        8,
+    );
+    let mut rng = GocRng::seed_from_u64(5);
+    let mut exec =
+        Execution::new(goal.spawn_world(&mut rng), composite(), Box::new(universal), rng);
+    let t = exec.run(200_000);
+    assert!(evaluate_finite(&goal, &t).achieved);
+}
+
+#[test]
+fn composite_of_only_unhelpful_members_stays_safe() {
+    let dialects = print::Dialect::class(&[0x10], &[Encoding::Identity]);
+    let goal = print::PrintGoal::new("doc");
+    let composite = CompositeServer::new(vec![
+        Box::new(SilentServer),
+        Box::new(EchoServer),
+    ]);
+    let universal = LevinUniversalUser::round_robin(
+        Box::new(addressed_class(
+            Box::new(print::dialect_class("doc", &dialects, false)),
+            2,
+        )),
+        Box::new(print::tray_sensing("doc")),
+        8,
+    );
+    let mut rng = GocRng::seed_from_u64(6);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(composite),
+        Box::new(universal),
+        rng,
+    );
+    let t = exec.run(20_000);
+    let v = evaluate_finite(&goal, &t);
+    assert!(!v.halted && !v.achieved);
+}

@@ -1,0 +1,112 @@
+//! Quantitative (scored) goals — the full version's "goal value" notion:
+//! not just *whether* the goal is achieved but *how well*, which is where
+//! the cost of universality shows up even among eventual successes.
+
+use goc::core::score::{score_pairing, ScoredGoal};
+use goc::core::sensing::Deadline;
+use goc::goals::navigation as nav;
+use goc::goals::transmission as tx;
+use goc::prelude::*;
+
+#[test]
+fn transmission_quality_orders_informed_learner_universal() {
+    let family = tx::Transform::family(&[0x0f, 0xf0], &[1, 7], &[41, 42]);
+    let goal = tx::TransmissionGoal::new(3, 40, 20);
+    let hidden = family[5].clone(); // deep in the enumeration
+    let horizon = 4_000;
+
+    let h2 = hidden.clone();
+    let informed = score_pairing(
+        &goal,
+        &move || Box::new(tx::PipeServer::new(h2.clone())),
+        &{
+            let h = hidden.clone();
+            move || Box::new(tx::EncoderUser::new(h.clone()))
+        },
+        3,
+        horizon,
+        1,
+    );
+
+    let h3 = hidden.clone();
+    let learner = score_pairing(
+        &goal,
+        &move || Box::new(tx::PipeServer::new(h3.clone())),
+        &|| Box::new(tx::ProbingUser::new()),
+        3,
+        horizon,
+        2,
+    );
+
+    let h4 = hidden.clone();
+    let fam = family.clone();
+    let universal = score_pairing(
+        &goal,
+        &move || Box::new(tx::PipeServer::new(h4.clone())),
+        &move || {
+            Box::new(CompactUniversalUser::new(
+                Box::new(tx::transform_class(&fam)),
+                Box::new(Deadline::new(tx::ok_sensing(), 45)),
+            ))
+        },
+        3,
+        horizon,
+        3,
+    );
+
+    // Everyone eventually delivers; quality ranks them.
+    assert!(informed.mean() > 0.95, "informed: {:?}", informed);
+    assert!(learner.mean() > universal.mean(),
+        "probing ({}) should beat deep enumeration ({}) at this horizon",
+        learner.mean(), universal.mean());
+    assert!(universal.mean() > 0.3, "universal still scores: {:?}", universal);
+    assert!(informed.mean() >= learner.mean());
+}
+
+#[test]
+fn navigation_quality_reflects_wiring_knowledge() {
+    let goal = nav::NavigationGoal::new(6, 6, 40);
+    let wiring = nav::Wiring::nth(19);
+    let horizon = 6_000;
+
+    let informed = score_pairing(
+        &goal,
+        &move || Box::new(nav::ActuatorServer::new(wiring)),
+        &move || Box::new(nav::GreedyNavigator::new(wiring)),
+        3,
+        horizon,
+        4,
+    );
+    let calibrating = score_pairing(
+        &goal,
+        &move || Box::new(nav::ActuatorServer::new(wiring)),
+        &|| Box::new(nav::CalibratingNavigator::new()),
+        3,
+        horizon,
+        5,
+    );
+    let wrong = score_pairing(
+        &goal,
+        &move || Box::new(nav::ActuatorServer::new(wiring)),
+        &|| Box::new(nav::GreedyNavigator::new(nav::Wiring::nth(2))),
+        3,
+        horizon,
+        6,
+    );
+
+    assert!(informed.mean() > 0.4, "informed: {:?}", informed);
+    // Calibration costs a handful of rounds, then matches the informed rate.
+    assert!(calibrating.mean() > 0.8 * informed.mean(),
+        "calibrating {} vs informed {}", calibrating.mean(), informed.mean());
+    assert!(wrong.mean() < calibrating.mean(),
+        "a wrong wiring must score below calibration: {} vs {}",
+        wrong.mean(), calibrating.mean());
+}
+
+#[test]
+fn score_is_zero_on_empty_history_for_all_scored_goals() {
+    let tg = tx::TransmissionGoal::new(3, 40, 20);
+    assert_eq!(tg.score(&[]), 0.0);
+    let ng = nav::NavigationGoal::new(6, 6, 40);
+    assert_eq!(ng.score(&[]), 0.0);
+}

@@ -1,0 +1,138 @@
+//! Robustness of the universal constructions under degraded servers:
+//! intermittent, lossy, delayed, byzantine, scrambled-start — composed.
+//!
+//! The theory's promise is exactly "helpful ⇒ conquered": as long as the
+//! wrapped server remains helpful for the class (and sensing stays safe and
+//! viable), the universal user must still achieve the goal; and garbage must
+//! never induce a false halt.
+
+use goc::core::toy;
+use goc::core::wrappers::{Byzantine, Delayed, Intermittent, Lossy, PasswordLocked, ScrambledStart};
+use goc::prelude::*;
+
+fn universal() -> LevinUniversalUser {
+    LevinUniversalUser::round_robin(
+        Box::new(toy::caesar_class("hi", 8, false)),
+        Box::new(toy::ack_sensing()),
+        16,
+    )
+}
+
+fn run(server: BoxedServer, horizon: u64, seed: u64) -> goc::core::goal::FiniteVerdict {
+    let goal = toy::MagicWordGoal::new("hi");
+    let mut rng = GocRng::seed_from_u64(seed);
+    let mut exec =
+        Execution::new(goal.spawn_world(&mut rng), server, Box::new(universal()), rng);
+    let t = exec.run(horizon);
+    evaluate_finite(&goal, &t)
+}
+
+#[test]
+fn intermittent_helpful_server_is_conquered() {
+    let server = Intermittent::new(Box::new(toy::RelayServer::with_shift(3)), 4, 4);
+    let v = run(Box::new(server), 200_000, 1);
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn mostly_asleep_server_is_still_conquered() {
+    let server = Intermittent::new(Box::new(toy::RelayServer::with_shift(1)), 1, 9);
+    let v = run(Box::new(server), 400_000, 2);
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn lossy_delayed_scrambled_composition_is_conquered() {
+    let server = ScrambledStart::new(
+        Box::new(Delayed::new(
+            Box::new(Lossy::new(Box::new(toy::RelayServer::with_shift(2)), 0.2)),
+            2,
+        )),
+        20,
+    );
+    let v = run(Box::new(server), 400_000, 3);
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn byzantine_garbage_never_fools_safe_sensing() {
+    // A byzantine wrapper around an UNHELPFUL server: random garbage floods
+    // the channels, but ack sensing only fires on the world's genuine ACK,
+    // which never comes. For several seeds: no halt, ever.
+    for seed in 0..5u64 {
+        let server = Byzantine::new(Box::new(goc::core::strategy::SilentServer), 0.8, 8);
+        let v = run(Box::new(server), 30_000, 100 + seed);
+        assert!(!v.halted, "seed {seed}: garbage induced a halt: {v:?}");
+        assert!(!v.achieved);
+    }
+}
+
+#[test]
+fn byzantine_helpful_server_is_eventually_conquered() {
+    // 20% corruption of a helpful relay: the word still gets through often
+    // enough, and safe sensing only reacts to the genuine ACK.
+    let server = Byzantine::new(Box::new(toy::RelayServer::with_shift(4)), 0.2, 8);
+    let v = run(Box::new(server), 400_000, 7);
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn password_plus_dialect_composition() {
+    // The two obstacles combined: find the password AND the dialect. The
+    // class is the product {passwords} × {shifts}; cost multiplies, the
+    // outcome doesn't change.
+    #[derive(Debug)]
+    struct PwThenCompensate {
+        password: Vec<u8>,
+        shift: u8,
+        sent_pw: bool,
+        halt: Option<goc::core::strategy::Halt>,
+    }
+    impl goc::core::strategy::UserStrategy for PwThenCompensate {
+        fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+            if self.halt.is_some() {
+                return UserOut::silence();
+            }
+            if input.from_world.as_bytes() == toy::ACK.as_bytes() {
+                self.halt = Some(goc::core::strategy::Halt::empty());
+                return UserOut::silence();
+            }
+            if !self.sent_pw {
+                self.sent_pw = true;
+                return UserOut::to_server(Message::from_bytes(self.password.clone()));
+            }
+            let phrase: Vec<u8> = b"hi".iter().map(|b| b.wrapping_sub(self.shift)).collect();
+            UserOut::to_server(Message::from_bytes(phrase))
+        }
+        fn halted(&self) -> Option<goc::core::strategy::Halt> {
+            self.halt.clone()
+        }
+    }
+
+    let mut class = goc::core::enumeration::SliceEnumerator::new("pw×shift");
+    for pw in 0..4u8 {
+        for shift in 0..4u8 {
+            class.push(move || {
+                Box::new(PwThenCompensate {
+                    password: vec![b'0' + pw],
+                    shift,
+                    sent_pw: false,
+                    halt: None,
+                })
+            });
+        }
+    }
+    let universal = LevinUniversalUser::round_robin(
+        Box::new(class),
+        Box::new(toy::ack_sensing()),
+        8,
+    );
+    let goal = toy::MagicWordGoal::new("hi");
+    let mut rng = GocRng::seed_from_u64(9);
+    let server = PasswordLocked::new(Box::new(toy::RelayServer::with_shift(3)), "2");
+    let mut exec =
+        Execution::new(goal.spawn_world(&mut rng), Box::new(server), Box::new(universal), rng);
+    let t = exec.run(100_000);
+    let v = evaluate_finite(&goal, &t);
+    assert!(v.achieved, "{v:?}");
+}

@@ -1,0 +1,166 @@
+//! Experiment E2 — Theorem 1, finite case.
+//!
+//! For the delegation goal and a class of query protocols, confirmation
+//! sensing is safe and viable, and the Levin-style universal user halts with
+//! the verified answer against **every** server in the class — and never
+//! halts against unhelpful servers (safety).
+
+use goc::core::helpful::TrialConfig;
+use goc::core::validate;
+use goc::goals::codec::Encoding;
+use goc::goals::computation::*;
+use goc::prelude::*;
+use std::sync::Arc;
+
+fn puzzle() -> Arc<dyn Puzzle + Send + Sync> {
+    Arc::new(ModSquareRoot::new(10007))
+}
+
+fn protocols() -> Vec<QueryProtocol> {
+    QueryProtocol::class(b"?!", &Encoding::family(&[0x2a], &[5]))
+}
+
+fn universal(protocols: &[QueryProtocol]) -> LevinUniversalUser {
+    LevinUniversalUser::new(
+        Box::new(protocol_class(protocols, puzzle())),
+        Box::new(confirmation_sensing()),
+        8,
+    )
+}
+
+#[test]
+fn universal_client_succeeds_with_every_oracle_server() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    for (i, proto) in protocols.iter().enumerate() {
+        for seed in 0..3u64 {
+            let mut rng = GocRng::seed_from_u64(10_000 * seed + i as u64);
+            let mut exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(OracleServer::new(*proto)),
+                Box::new(universal(&protocols)),
+                rng,
+            );
+            let t = exec.run(2_000_000);
+            let v = evaluate_finite(&goal, &t);
+            assert!(v.achieved, "protocol {i}, seed {seed}: {v:?}");
+        }
+    }
+}
+
+#[test]
+fn universal_client_succeeds_with_solver_servers() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    let proto = protocols[protocols.len() - 1];
+    let mut rng = GocRng::seed_from_u64(77);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(SolverServer::new(proto, puzzle())),
+        Box::new(universal(&protocols)),
+        rng,
+    );
+    let t = exec.run(2_000_000);
+    assert!(evaluate_finite(&goal, &t).achieved);
+}
+
+#[test]
+fn universal_client_never_halts_with_unhelpful_server() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    let mut rng = GocRng::seed_from_u64(5);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(goc::core::strategy::SilentServer),
+        Box::new(universal(&protocols)),
+        rng,
+    );
+    let t = exec.run(50_000);
+    let v = evaluate_finite(&goal, &t);
+    assert!(!v.halted, "halting without confirmation breaks safety");
+    assert!(!v.achieved);
+}
+
+#[test]
+fn round_robin_variant_matches_and_is_cheaper_on_deep_candidates() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    let deep = protocols[protocols.len() - 1];
+
+    let run = |user: LevinUniversalUser| {
+        let mut rng = GocRng::seed_from_u64(42);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(OracleServer::new(deep)),
+            Box::new(user),
+            rng,
+        );
+        let t = exec.run(2_000_000);
+        evaluate_finite(&goal, &t)
+    };
+
+    let classic = run(universal(&protocols));
+    let rr = run(LevinUniversalUser::round_robin(
+        Box::new(protocol_class(&protocols, puzzle())),
+        Box::new(confirmation_sensing()),
+        8,
+    ));
+    assert!(classic.achieved && rr.achieved);
+    assert!(
+        rr.rounds < classic.rounds,
+        "round-robin should beat 2^i Levin on the deepest candidate: {} vs {}",
+        rr.rounds,
+        classic.rounds
+    );
+}
+
+#[test]
+fn confirmation_sensing_is_safe_and_viable() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    let class = protocol_class(&protocols, puzzle());
+    let cfg = TrialConfig { trials: 2, horizon: 400, seed: 3, window: 50 };
+
+    let p0 = protocols[0];
+    let p3 = protocols[3];
+    let mk0 = move || Box::new(OracleServer::new(p0)) as BoxedServer;
+    let mk3 = move || Box::new(OracleServer::new(p3)) as BoxedServer;
+    let silent = || Box::new(goc::core::strategy::SilentServer) as BoxedServer;
+
+    // Safety must hold against helpful AND unhelpful servers.
+    let servers: Vec<validate::MakeServer<'_>> = vec![&mk0, &mk3, &silent];
+    let safety = validate::finite_safety(
+        &goal,
+        &servers,
+        &class,
+        &|| Box::new(confirmation_sensing()),
+        &cfg,
+    );
+    assert!(safety.holds(), "{:?}", safety.violations);
+
+    // Viability is only promised with helpful servers.
+    let helpful: Vec<validate::MakeServer<'_>> = vec![&mk0, &mk3];
+    let viability = validate::finite_viability(
+        &goal,
+        &helpful,
+        &class,
+        &|| Box::new(confirmation_sensing()),
+        &cfg,
+    );
+    assert!(viability.holds(), "{:?}", viability.violations);
+}
+
+#[test]
+fn delegation_goal_is_forgiving() {
+    let protocols = protocols();
+    let goal = DelegationGoal::new(puzzle());
+    let proto = protocols[0];
+    let report = goc::core::helpful::finite_forgiving(
+        &goal,
+        &move || Box::new(DelegationUser::new(proto, puzzle())) as BoxedUser,
+        &move || Box::new(OracleServer::new(proto)) as BoxedServer,
+        150,
+        &TrialConfig { trials: 6, horizon: 600, seed: 8, window: 50 },
+    );
+    assert!(report.forgiving(), "{report:?}");
+}
