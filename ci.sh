@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Hermetic CI: proves the workspace builds, tests, and reports with NO
+# network and NO registry. Any reintroduced external dependency fails here
+# at resolution time, before a single test runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline
+
+echo "== bench harness smoke (quick, offline) =="
+rm -f target/goc-bench.jsonl  # JSON lines append; start the smoke run clean
+GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e9_substrate
+
+echo "== experiment report smoke (quick) =="
+cargo run --release --offline -p goc-bench --bin goc-report -- --quick
+
+echo "== bench summary consumes the JSON lines =="
+cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary
+
+echo "CI OK"

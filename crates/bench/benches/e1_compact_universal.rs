@@ -1,19 +1,13 @@
 //! E1 — time for the compact universal user to run a fixed horizon against
 //! each dialect server (settling behaviour; series in `goc-report`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e1_compact_universal");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("e1_compact_universal").samples(10);
     for idx in [0usize, 5, 11] {
-        g.bench_with_input(BenchmarkId::from_parameter(idx), &idx, |b, &idx| {
-            b.iter(|| exp::e1_settle(idx, 20_000));
-        });
+        g.bench(format!("{idx}"), || exp::e1_settle(idx, 20_000));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

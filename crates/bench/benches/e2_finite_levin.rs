@@ -1,22 +1,14 @@
 //! E2 — time for the finite universal user (classic Levin vs round-robin
 //! doubling) to solve delegation against each protocol depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_finite_levin");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("e2_finite_levin").samples(10);
     for idx in [0usize, 3, 7] {
-        g.bench_with_input(BenchmarkId::new("classic", idx), &idx, |b, &idx| {
-            b.iter(|| exp::e2_rounds(idx, true));
-        });
-        g.bench_with_input(BenchmarkId::new("round_robin", idx), &idx, |b, &idx| {
-            b.iter(|| exp::e2_rounds(idx, false));
-        });
+        g.bench(format!("classic/{idx}"), || exp::e2_rounds(idx, true));
+        g.bench(format!("round_robin/{idx}"), || exp::e2_rounds(idx, false));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,22 +1,14 @@
 //! E3 — the 2^k wall: universal vs informed users against password-locked
 //! servers. The time series doubles with k for the universal user only.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_password_overhead");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("e3_password_overhead").samples(10);
     for k in [2u32, 4, 6, 8] {
-        g.bench_with_input(BenchmarkId::new("universal", k), &k, |b, &k| {
-            b.iter(|| exp::e3_rounds(k, false));
-        });
-        g.bench_with_input(BenchmarkId::new("informed", k), &k, |b, &k| {
-            b.iter(|| exp::e3_rounds(k, true));
-        });
+        g.bench(format!("universal/{k}"), || exp::e3_rounds(k, false));
+        g.bench(format!("informed/{k}"), || exp::e3_rounds(k, true));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

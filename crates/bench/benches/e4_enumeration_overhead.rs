@@ -1,24 +1,16 @@
 //! E4 — enumeration overhead as a function of the viable strategy's index:
 //! compact/triangular (polynomial) vs finite/classic-Levin (exponential).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_enumeration_overhead");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("e4_enumeration_overhead").samples(10);
     for idx in [2usize, 8, 16] {
-        g.bench_with_input(BenchmarkId::new("compact_planted", idx), &idx, |b, &idx| {
-            b.iter(|| exp::e4_compact_settle(idx, 24));
-        });
+        g.bench(format!("compact_planted/{idx}"), || exp::e4_compact_settle(idx, 24));
     }
     for shift in [2u8, 6, 10] {
-        g.bench_with_input(BenchmarkId::new("levin_index", shift), &shift, |b, &s| {
-            b.iter(|| exp::e4_levin_rounds(s));
-        });
+        g.bench(format!("levin_index/{shift}"), || exp::e4_levin_rounds(shift));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,14 @@
 //! E7 — multi-session mistake bounds: enumeration (~N−1) vs halving
 //! (~log2 N), plus the simulator bridge.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_learning");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("e7_learning").samples(10);
     for n in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("arena", n), &n, |b, &n| {
-            b.iter(|| exp::e7_mistakes(n));
-        });
+        g.bench(format!("arena/{n}"), || exp::e7_mistakes(n));
     }
-    g.bench_function("bridge_n16", |b| b.iter(|| exp::e7_bridge_mistakes(16)));
+    g.bench("bridge_n16", || exp::e7_bridge_mistakes(16));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

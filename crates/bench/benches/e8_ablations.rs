@@ -1,22 +1,14 @@
 //! E8 — design ablations: schedule choice under impatient sensing, and the
 //! sensing-patience sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_ablations");
-    g.sample_size(10);
-    g.bench_function("schedule_triangular_vs_linear", |b| {
-        b.iter(exp::e8_schedule_ablation)
-    });
+fn main() {
+    let mut g = Bench::group("e8_ablations").samples(10);
+    g.bench("schedule_triangular_vs_linear", exp::e8_schedule_ablation);
     for timeout in [4u64, 8, 32, 128] {
-        g.bench_with_input(BenchmarkId::new("patience", timeout), &timeout, |b, &t| {
-            b.iter(|| exp::e8_patience_settle(t));
-        });
+        g.bench(format!("patience/{timeout}"), || exp::e8_patience_settle(timeout));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

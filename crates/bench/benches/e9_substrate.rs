@@ -1,24 +1,16 @@
 //! E9 — substrate throughput: synchronous-execution rounds/s and VM
 //! instructions/s.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_substrate");
-    g.sample_size(20);
+fn main() {
+    let mut g = Bench::group("e9_substrate").samples(20);
     for rounds in [1_000u64, 10_000] {
-        g.throughput(Throughput::Elements(rounds));
-        g.bench_with_input(BenchmarkId::new("exec_rounds", rounds), &rounds, |b, &r| {
-            b.iter(|| exp::e9_exec_rounds(r));
-        });
+        g.bench_elems(format!("exec_rounds/{rounds}"), rounds, || exp::e9_exec_rounds(rounds));
     }
-    g.throughput(Throughput::Elements(10_000 * 256));
-    g.bench_function("vm_instructions_10k_rounds", |b| {
-        b.iter(|| exp::e9_vm_instructions(10_000))
+    g.bench_elems("vm_instructions_10k_rounds", 10_000 * 256, || {
+        exp::e9_vm_instructions(10_000)
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,97 @@
 //! `goc-report` — regenerates every experiment series in EXPERIMENTS.md.
 //!
 //! Run with: `cargo run --release -p goc-bench --bin goc-report`
+//!
+//! Flags:
+//! - `--quick`: reduced series for CI smoke — same invariants asserted,
+//!   smaller sweeps.
+//! - `--bench-summary [PATH]`: instead of regenerating the series, print a
+//!   table from the JSON lines the in-tree bench harness appended to `PATH`
+//!   (default `target/goc-bench.jsonl`).
 
 use goc_bench::experiments as exp;
+use goc_testkit::bench::{default_json_path, fmt_ns, BenchRecord};
 
 fn main() {
-    println!("# goc experiment report (deterministic; fixed seeds)\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--bench-summary") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| default_json_path().to_string_lossy().into_owned());
+        bench_summary(&path);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    report(quick);
+}
+
+/// Prints a table of the bench results recorded in `path` (JSON lines
+/// emitted by `goc_testkit::bench` during `cargo bench -p goc-bench`).
+fn bench_summary(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "goc-report: cannot read {path}: {e}\n\
+                 run `cargo bench -p goc-bench` first (it appends JSON lines there)"
+            );
+            std::process::exit(1);
+        }
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match BenchRecord::parse_json_line(line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    println!("# bench summary from {path} ({} records)\n", records.len());
+    println!(
+        "{:<44} {:>12} {:>12} {:>12} {:>14}",
+        "benchmark", "median", "p95", "min", "throughput"
+    );
+    let mut group = String::new();
+    for r in &records {
+        if r.group != group {
+            group = r.group.clone();
+            println!("-- {group}");
+        }
+        let throughput = match r.elems {
+            // elems per second at the median, from ns/iter and elems/iter
+            Some(e) if r.median_ns > 0 => {
+                format!("{:.1} Melem/s", e as f64 / r.median_ns as f64 * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<44} {:>12} {:>12} {:>12} {:>14}",
+            format!("{}/{}", r.group, r.id),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns),
+            fmt_ns(r.min_ns),
+            throughput
+        );
+    }
+    if skipped > 0 {
+        println!("\n({skipped} malformed lines skipped)");
+    }
+}
+
+fn report(quick: bool) {
+    if quick {
+        println!("# goc experiment report — QUICK smoke (deterministic; fixed seeds)\n");
+    } else {
+        println!("# goc experiment report (deterministic; fixed seeds)\n");
+    }
 
     // --- E1 ---------------------------------------------------------------
     println!("## E1 — Theorem 1, compact case (printing, 12-dialect class)");
     println!("{:>8} {:>10} {:>14}", "dialect", "settled", "settle round");
     let n1 = exp::e1_dialects().len();
+    let n1 = if quick { n1.min(2) } else { n1 };
     for idx in 0..n1 {
         let (ok, settle) = exp::e1_settle(idx, 60_000);
         println!("{idx:>8} {:>10} {settle:>14}", ok);
@@ -20,7 +101,9 @@ fn main() {
     // --- E2 ---------------------------------------------------------------
     println!("\n## E2 — Theorem 1, finite case (delegation, 8-protocol class)");
     println!("{:>9} {:>16} {:>18}", "protocol", "rounds (Levin)", "rounds (RR-double)");
-    for idx in 0..exp::e2_protocols().len() {
+    let n2 = exp::e2_protocols().len();
+    let n2 = if quick { n2.min(2) } else { n2 };
+    for idx in 0..n2 {
         let classic = exp::e2_rounds(idx, true);
         let rr = exp::e2_rounds(idx, false);
         println!("{idx:>9} {classic:>16} {rr:>18}");
@@ -29,7 +112,7 @@ fn main() {
     // --- E3 ---------------------------------------------------------------
     println!("\n## E3 — necessity of overhead (password-locked servers)");
     println!("{:>4} {:>10} {:>12} {:>8}", "k", "informed", "universal", "ratio");
-    for k in 2..=10u32 {
+    for k in 2..=(if quick { 5u32 } else { 10u32 }) {
         let inf = exp::e3_rounds(k, true);
         let uni = exp::e3_rounds(k, false);
         println!("{k:>4} {inf:>10} {uni:>12} {:>7.0}x", uni as f64 / inf as f64);
@@ -39,12 +122,14 @@ fn main() {
     println!("\n## E4 — enumeration overhead vs strategy index");
     println!("compact (triangular re-enumeration, class of 24):");
     println!("{:>7} {:>14}", "index", "settle round");
-    for idx in [1usize, 4, 8, 12, 16, 20] {
+    let compact_indices: &[usize] = if quick { &[1, 8] } else { &[1, 4, 8, 12, 16, 20] };
+    for &idx in compact_indices {
         println!("{idx:>7} {:>14}", exp::e4_compact_settle(idx, 24));
     }
     println!("finite (classic Levin, class of 16):");
     println!("{:>7} {:>14}", "index", "rounds");
-    for shift in [0u8, 2, 4, 6, 8, 10, 12] {
+    let shifts: &[u8] = if quick { &[0, 4, 8] } else { &[0, 2, 4, 6, 8, 10, 12] };
+    for &shift in shifts {
         println!("{shift:>7} {:>14}", exp::e4_levin_rounds(shift));
     }
 
@@ -72,20 +157,22 @@ fn main() {
     // --- E7 ---------------------------------------------------------------
     println!("\n## E7 — multi-session mistakes: enumeration (~N−1) vs halving (~log2 N)");
     println!("{:>6} {:>13} {:>9} {:>10}", "N", "enumeration", "halving", "log2 N");
-    for exp2 in 1..=9u32 {
+    for exp2 in 1..=(if quick { 5u32 } else { 9u32 }) {
         let n = 1usize << exp2;
         let (e, h) = exp::e7_mistakes(n);
         println!("{n:>6} {e:>13} {h:>9} {exp2:>10}");
     }
     println!("threshold class (structured overlap — halving's log2 N curve):");
     println!("{:>6} {:>13} {:>9} {:>10}", "N", "enumeration", "halving", "log2 N");
-    for exp2 in [2u32, 4, 6, 8] {
+    let threshold_exps: &[u32] = if quick { &[2, 4] } else { &[2, 4, 6, 8] };
+    for &exp2 in threshold_exps {
         let n = 1usize << exp2;
         let (e, h) = exp::e7_threshold_mistakes(n);
         println!("{n:>6} {e:>13} {h:>9} {exp2:>10}");
     }
-    println!("bridged into the simulator (echo feedback), N = 16:");
-    let (be, bh) = exp::e7_bridge_mistakes(16);
+    let bridge_n = if quick { 8 } else { 16 };
+    println!("bridged into the simulator (echo feedback), N = {bridge_n}:");
+    let (be, bh) = exp::e7_bridge_mistakes(bridge_n);
     println!("  enumeration = {be}, halving = {bh}");
 
     // --- E8 ---------------------------------------------------------------
@@ -93,22 +180,25 @@ fn main() {
     let (tri, lin) = exp::e8_schedule_ablation();
     println!("schedule under impatient sensing: triangular bad-prefixes = {tri}, linear = {lin}");
     println!("patience sweep (deadline timeout → settle round; None = failed):");
-    for timeout in [2u64, 4, 8, 16, 32, 64, 128] {
+    let timeouts: &[u64] = if quick { &[2, 8, 32] } else { &[2, 4, 8, 16, 32, 64, 128] };
+    for &timeout in timeouts {
         println!("  timeout {timeout:>4}: {:?}", exp::e8_patience_settle(timeout));
     }
 
     // --- E11 --------------------------------------------------------------
     println!("\n## E11 — quality of achievement (transmission, deep transform #5 of 7)");
     println!("{:>9} {:>10} {:>9} {:>11}", "horizon", "informed", "learner", "universal");
-    for horizon in [1_000u64, 2_000, 4_000, 8_000] {
+    let horizons: &[u64] = if quick { &[1_000] } else { &[1_000, 2_000, 4_000, 8_000] };
+    for &horizon in horizons {
         let (i, l, u) = exp::e11_transmission_quality(horizon);
         println!("{horizon:>9} {i:>10.3} {l:>9.3} {u:>11.3}");
     }
 
     // --- E9 ---------------------------------------------------------------
-    println!("\n## E9 — substrate throughput (see criterion benches for timings)");
-    println!("exec rounds executed:      {}", exp::e9_exec_rounds(100_000));
-    println!("vm instructions retired:   {}", exp::e9_vm_instructions(10_000));
+    println!("\n## E9 — substrate throughput (see `cargo bench -p goc-bench` for timings)");
+    let (exec_rounds, vm_rounds) = if quick { (10_000, 1_000) } else { (100_000, 10_000) };
+    println!("exec rounds executed:      {}", exp::e9_exec_rounds(exec_rounds));
+    println!("vm instructions retired:   {}", exp::e9_vm_instructions(vm_rounds));
 
     println!("\ndone.");
 }

@@ -1,5 +1,5 @@
-//! Deterministic experiment runners shared by the Criterion benches and the
-//! `goc-report` table generator.
+//! Deterministic experiment runners shared by the `goc-testkit` timing
+//! benches and the `goc-report` table generator.
 
 use goc_core::enumeration::SliceEnumerator;
 use goc_core::prelude::*;

@@ -1,9 +1,10 @@
 //! # goc-bench — the experiment harness
 //!
 //! One function per experiment series (EXPERIMENTS.md / DESIGN.md §5). The
-//! Criterion benches in `benches/` time these functions; the `goc-report`
-//! binary prints the series themselves (rounds, mistakes, ratios — the
-//! quantities that play the role of the paper's missing tables/figures).
+//! `goc-testkit` timing benches in `benches/` time these functions; the
+//! `goc-report` binary prints the series themselves (rounds, mistakes,
+//! ratios — the quantities that play the role of the paper's missing
+//! tables/figures).
 //!
 //! Everything is deterministic: fixed seeds, fixed class orders, so the
 //! numbers in EXPERIMENTS.md are exactly reproducible.

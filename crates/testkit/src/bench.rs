@@ -1,0 +1,441 @@
+//! In-tree bench timing: warmup + N samples + median/p95, JSON lines out.
+//!
+//! The replacement for the criterion dependency. Each `[[bench]]` target
+//! (with `harness = false`) builds a [`Bench`] group, times closures with
+//! [`Bench::bench`], and prints one human line plus one JSON line per
+//! benchmark. JSON lines are appended to `target/goc-bench.jsonl` (override
+//! with `GOC_BENCH_JSON`, disable with `GOC_BENCH_JSON=-`) and are consumed
+//! by `goc-report --bench-summary`.
+//!
+//! Environment knobs: `GOC_BENCH_SAMPLES`, `GOC_BENCH_WARMUP`,
+//! `GOC_BENCH_QUICK=1` (3 samples, 1 warmup — CI smoke).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Resolves the default JSON-lines path: `goc-bench.jsonl` inside the cargo
+/// target directory. Bench binaries run with the *package* directory as cwd
+/// while `goc-report` runs from wherever the user invoked it, so a relative
+/// path would scatter files; anchoring on the running binary's own `target`
+/// ancestor makes writer and reader agree regardless of cwd.
+pub fn default_json_path() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return std::path::Path::new(&dir).join("goc-bench.jsonl");
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for anc in exe.ancestors() {
+            if anc.file_name().is_some_and(|n| n == "target") {
+                return anc.join("goc-bench.jsonl");
+            }
+        }
+    }
+    std::path::PathBuf::from("target/goc-bench.jsonl")
+}
+
+/// One benchmark's measured statistics. All times are nanoseconds per
+/// iteration of the benched closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Bench group (one per `[[bench]]` target, e.g. `e1_compact_universal`).
+    pub group: String,
+    /// Benchmark id within the group (e.g. `classic/3`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Iterations of the closure per sample.
+    pub iters: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Median sample.
+    pub median_ns: u64,
+    /// 95th-percentile sample.
+    pub p95_ns: u64,
+    /// Mean over samples.
+    pub mean_ns: u64,
+    /// Optional throughput denominator (elements processed per iteration).
+    pub elems: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Serialises to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"group\":{},\"id\":{},\"samples\":{},\"iters\":{},\"min_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"mean_ns\":{}",
+            json_string(&self.group),
+            json_string(&self.id),
+            self.samples,
+            self.iters,
+            self.min_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.mean_ns,
+        );
+        if let Some(e) = self.elems {
+            let _ = write!(s, ",\"elems\":{e}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses a line produced by [`to_json_line`](Self::to_json_line).
+    /// Accepts any flat JSON object with string/unsigned-integer values;
+    /// returns `None` on malformed input or missing fields.
+    pub fn parse_json_line(line: &str) -> Option<BenchRecord> {
+        let fields = parse_flat_object(line)?;
+        let get_s = |k: &str| {
+            fields.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                JsonValue::Str(s) => Some(s.clone()),
+                JsonValue::Num(_) => None,
+            })
+        };
+        let get_n = |k: &str| {
+            fields.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                JsonValue::Num(n) => Some(*n),
+                JsonValue::Str(_) => None,
+            })
+        };
+        Some(BenchRecord {
+            group: get_s("group")?,
+            id: get_s("id")?,
+            samples: get_n("samples")?,
+            iters: get_n("iters")?,
+            min_ns: get_n("min_ns")?,
+            median_ns: get_n("median_ns")?,
+            p95_ns: get_n("p95_ns")?,
+            mean_ns: get_n("mean_ns")?,
+            elems: get_n("elems"),
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal parser for a single-line flat JSON object with string and
+/// unsigned-integer values — exactly the dialect [`BenchRecord`] emits.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            '"' => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = match chars.peek()? {
+                    '"' => JsonValue::Str(parse_string(&mut chars)?),
+                    c if c.is_ascii_digit() => {
+                        let mut n = String::new();
+                        while let Some(c) = chars.peek() {
+                            if c.is_ascii_digit() {
+                                n.push(*c);
+                                chars.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        JsonValue::Num(n.parse().ok()?)
+                    }
+                    _ => return None,
+                };
+                out.push((key, value));
+                skip_ws(&mut chars);
+                match chars.peek()? {
+                    ',' => {
+                        chars.next();
+                    }
+                    '}' => {}
+                    _ => return None,
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders a nanosecond quantity with a sensible unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A benchmark group: times closures and reports per-iteration statistics.
+pub struct Bench {
+    group: String,
+    samples: u64,
+    warmup: u64,
+    /// Target wall time per sample; the harness batches fast closures so a
+    /// sample is long enough for the clock to resolve.
+    min_sample_ns: u128,
+    sink: Option<std::fs::File>,
+    records: Vec<BenchRecord>,
+}
+
+impl Bench {
+    /// Opens a bench group, honouring the `GOC_BENCH_*` environment knobs.
+    pub fn group(name: &str) -> Self {
+        let quick = std::env::var("GOC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+        let samples = env_u64("GOC_BENCH_SAMPLES").unwrap_or(if quick { 3 } else { 12 }).max(1);
+        let warmup = env_u64("GOC_BENCH_WARMUP").unwrap_or(if quick { 1 } else { 3 });
+        let path = std::env::var("GOC_BENCH_JSON")
+            .unwrap_or_else(|_| default_json_path().to_string_lossy().into_owned());
+        let sink = if path == "-" {
+            None
+        } else {
+            if let Some(dir) = std::path::Path::new(&path).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                Ok(f) => Some(f),
+                Err(e) => {
+                    eprintln!("goc-bench: cannot open {path}: {e}; JSON lines go to stdout only");
+                    None
+                }
+            }
+        };
+        println!("\n== {name} ==");
+        Bench {
+            group: name.to_string(),
+            samples,
+            warmup,
+            min_sample_ns: if quick { 1_000_000 } else { 10_000_000 },
+            sink,
+            records: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count (the env knobs still win if set).
+    pub fn samples(mut self, n: u64) -> Self {
+        if std::env::var("GOC_BENCH_SAMPLES").is_err()
+            && std::env::var("GOC_BENCH_QUICK").is_err()
+        {
+            self.samples = n.max(1);
+        }
+        self
+    }
+
+    /// Times `f`, recording per-iteration statistics under `id`.
+    pub fn bench<R>(&mut self, id: impl Into<String>, f: impl FnMut() -> R) {
+        self.run(id.into(), None, f);
+    }
+
+    /// Like [`bench`](Self::bench), recording that each iteration processes
+    /// `elems` elements so the summary can show throughput.
+    pub fn bench_elems<R>(&mut self, id: impl Into<String>, elems: u64, f: impl FnMut() -> R) {
+        self.run(id.into(), Some(elems), f);
+    }
+
+    fn run<R>(&mut self, id: String, elems: Option<u64>, mut f: impl FnMut() -> R) {
+        // Calibrate: batch enough iterations that one sample is measurable.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let iters = ((self.min_sample_ns / once).clamp(1, 1_000_000)) as u64;
+
+        for _ in 0..self.warmup {
+            for _ in 0..iters {
+                black_box(f());
+            }
+        }
+        let mut per_iter_ns: Vec<u64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() / iters as u128;
+            per_iter_ns.push(ns.min(u64::MAX as u128) as u64);
+        }
+        per_iter_ns.sort_unstable();
+        let n = per_iter_ns.len();
+        let min_ns = per_iter_ns[0];
+        let median_ns = per_iter_ns[n / 2];
+        let p95_ns = per_iter_ns[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let mean_ns = (per_iter_ns.iter().map(|&x| x as u128).sum::<u128>() / n as u128) as u64;
+
+        let rec = BenchRecord {
+            group: self.group.clone(),
+            id,
+            samples: self.samples,
+            iters,
+            min_ns,
+            median_ns,
+            p95_ns,
+            mean_ns,
+            elems,
+        };
+        let mut line = format!(
+            "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
+            format!("{}/{}", rec.group, rec.id),
+            fmt_ns(rec.median_ns),
+            fmt_ns(rec.p95_ns),
+            fmt_ns(rec.min_ns),
+            rec.samples,
+            rec.iters
+        );
+        if let Some(e) = rec.elems {
+            let per_elem = rec.median_ns as f64 / e as f64;
+            let _ = write!(line, "  [{per_elem:.1} ns/elem]");
+        }
+        println!("{line}");
+        let json = rec.to_json_line();
+        if let Some(f) = &mut self.sink {
+            let _ = writeln!(f, "{json}");
+        } else {
+            println!("{json}");
+        }
+        self.records.push(rec);
+    }
+
+    /// Results recorded so far (mainly for tests).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Prints the closing line. Dropping the group without calling this is
+    /// fine; it exists for symmetry with the criterion API it replaces.
+    pub fn finish(self) {
+        println!("-- {}: {} benchmarks done --", self.group, self.records.len());
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> BenchRecord {
+        BenchRecord {
+            group: "e9_substrate".into(),
+            id: "exec_rounds/1000".into(),
+            samples: 12,
+            iters: 4,
+            min_ns: 101,
+            median_ns: 120,
+            p95_ns: 200,
+            mean_ns: 130,
+            elems: Some(1000),
+        }
+    }
+
+    #[test]
+    fn json_line_roundtrips() {
+        let rec = sample_record();
+        let parsed = BenchRecord::parse_json_line(&rec.to_json_line()).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_line_roundtrips_without_elems() {
+        let mut rec = sample_record();
+        rec.elems = None;
+        let parsed = BenchRecord::parse_json_line(&rec.to_json_line()).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_string_escaping_roundtrips() {
+        let mut rec = sample_record();
+        rec.id = "weird \"id\"\\with\nescapes\u{1}".into();
+        let parsed = BenchRecord::parse_json_line(&rec.to_json_line()).expect("parses");
+        assert_eq!(parsed.id, rec.id);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in ["", "{", "{]", "not json", "{\"group\":}", "{\"group\":\"g\""] {
+            assert!(BenchRecord::parse_json_line(bad).is_none(), "accepted {bad:?}");
+        }
+        // Well-formed but missing required fields.
+        assert!(BenchRecord::parse_json_line("{\"group\":\"g\"}").is_none());
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

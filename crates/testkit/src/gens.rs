@@ -1,0 +1,285 @@
+//! Input generators with attached shrinkers.
+//!
+//! A [`Gen<T>`] bundles a draw function (from a [`GocRng`]) with a function
+//! proposing *smaller* candidates for shrinking. Generators for ranged
+//! integers shrink toward their lower bound and never leave their range, so
+//! a shrunk counterexample is always a legal input of the original property.
+
+use goc_core::rng::GocRng;
+use std::rc::Rc;
+
+/// A value generator plus its shrinker.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut GocRng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { generate: Rc::clone(&self.generate), shrink: Rc::clone(&self.shrink) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from a draw function and a shrink-candidate
+    /// function. Candidates must be strictly "smaller" in some well-founded
+    /// sense — the greedy shrinker otherwise loops until its budget runs out.
+    pub fn new(
+        generate: impl Fn(&mut GocRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen { generate: Rc::new(generate), shrink: Rc::new(shrink) }
+    }
+
+    /// A generator whose values are never shrunk.
+    pub fn no_shrink(generate: impl Fn(&mut GocRng) -> T + 'static) -> Self {
+        Gen::new(generate, |_| Vec::new())
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, rng: &mut GocRng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes smaller candidates for `value` (possibly none).
+    pub fn shrink_candidates(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+}
+
+/// Shrink candidates for an integer, toward `lo`: the bound itself, then a
+/// geometric approach from below (`v - (v-lo)/2^k`), ending at `v - 1`. The
+/// greedy shrinker therefore converges to the exact minimal failing value in
+/// O(log²) tried candidates.
+fn shrink_u64_toward(lo: u64, v: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mut d = v - lo;
+    loop {
+        d /= 2;
+        if d == 0 {
+            break;
+        }
+        let cand = v - d;
+        if cand != *out.last().unwrap() {
+            out.push(cand);
+        }
+    }
+    if *out.last().unwrap() != v - 1 {
+        out.push(v - 1);
+    }
+    out
+}
+
+/// Uniform `u64` over the full range, shrinking toward 0.
+pub fn any_u64() -> Gen<u64> {
+    Gen::new(|rng| rng.next_u64(), |&v| shrink_u64_toward(0, v))
+}
+
+/// Uniform `u32`, shrinking toward 0.
+pub fn any_u32() -> Gen<u32> {
+    Gen::new(
+        |rng| rng.next_u32(),
+        |&v| shrink_u64_toward(0, v as u64).into_iter().map(|x| x as u32).collect(),
+    )
+}
+
+/// Uniform `u8`, shrinking toward 0.
+pub fn any_u8() -> Gen<u8> {
+    Gen::new(
+        |rng| rng.byte(),
+        |&v| shrink_u64_toward(0, v as u64).into_iter().map(|x| x as u8).collect(),
+    )
+}
+
+/// Uniform `u64` in `[lo, hi)`, shrinking toward `lo`.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+pub fn u64_in(lo: u64, hi: u64) -> Gen<u64> {
+    assert!(hi > lo, "u64_in requires lo < hi");
+    Gen::new(move |rng| lo + rng.below(hi - lo), move |&v| shrink_u64_toward(lo, v))
+}
+
+/// Uniform `u32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u32_in(lo: u32, hi: u32) -> Gen<u32> {
+    assert!(hi > lo, "u32_in requires lo < hi");
+    Gen::new(
+        move |rng| lo + rng.below((hi - lo) as u64) as u32,
+        move |&v| shrink_u64_toward(lo as u64, v as u64).into_iter().map(|x| x as u32).collect(),
+    )
+}
+
+/// Uniform `u8` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u8_in(lo: u8, hi: u8) -> Gen<u8> {
+    assert!(hi > lo, "u8_in requires lo < hi");
+    Gen::new(
+        move |rng| lo + rng.below((hi - lo) as u64) as u8,
+        move |&v| shrink_u64_toward(lo as u64, v as u64).into_iter().map(|x| x as u8).collect(),
+    )
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+    assert!(hi > lo, "usize_in requires lo < hi");
+    Gen::new(
+        move |rng| lo + rng.below((hi - lo) as u64) as usize,
+        move |&v| {
+            shrink_u64_toward(lo as u64, v as u64).into_iter().map(|x| x as usize).collect()
+        },
+    )
+}
+
+/// Vector of values from `elem`, with length uniform in
+/// `[min_len, max_len)`. Shrinks by halving, dropping an endpoint, and
+/// shrinking individual elements — never below `min_len`.
+///
+/// # Panics
+///
+/// Panics if `max_len <= min_len`.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    assert!(max_len > min_len, "vec_of requires min_len < max_len");
+    let draw = elem.clone();
+    Gen::new(
+        move |rng| {
+            let len = min_len + rng.below((max_len - min_len) as u64) as usize;
+            (0..len).map(|_| draw.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            let len = v.len();
+            if len > min_len {
+                let half = min_len.max(len / 2);
+                if half < len - 1 {
+                    out.push(v[..half].to_vec());
+                }
+                out.push(v[..len - 1].to_vec());
+                out.push(v[1..].to_vec());
+            }
+            for i in 0..len {
+                for cand in elem.shrink_candidates(&v[i]) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Byte vector with length uniform in `[min_len, max_len)`.
+pub fn bytes(min_len: usize, max_len: usize) -> Gen<Vec<u8>> {
+    vec_of(any_u8(), min_len, max_len)
+}
+
+/// Pair of independent draws; shrinks one component at a time.
+pub fn tuple2<A, B>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng)),
+        move |(x, y): &(A, B)| {
+            let mut out = Vec::new();
+            for c in a.shrink_candidates(x) {
+                out.push((c, y.clone()));
+            }
+            for c in b.shrink_candidates(y) {
+                out.push((x.clone(), c));
+            }
+            out
+        },
+    )
+}
+
+/// Triple of independent draws; shrinks one component at a time.
+pub fn tuple3<A, B, C>(a: Gen<A>, b: Gen<B>, c: Gen<C>) -> Gen<(A, B, C)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    let (ga, gb, gc) = (a.clone(), b.clone(), c.clone());
+    Gen::new(
+        move |rng| (ga.generate(rng), gb.generate(rng), gc.generate(rng)),
+        move |(x, y, z): &(A, B, C)| {
+            let mut out = Vec::new();
+            for cand in a.shrink_candidates(x) {
+                out.push((cand, y.clone(), z.clone()));
+            }
+            for cand in b.shrink_candidates(y) {
+                out.push((x.clone(), cand, z.clone()));
+            }
+            for cand in c.shrink_candidates(z) {
+                out.push((x.clone(), y.clone(), cand));
+            }
+            out
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranged_generators_stay_in_range() {
+        let mut rng = GocRng::seed_from_u64(1);
+        let g = u64_in(10, 20);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let b = u8_in(3, 7);
+        for _ in 0..500 {
+            assert!((3..7).contains(&b.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_and_in_range() {
+        for v in [11u64, 19, 200, u64::MAX] {
+            for c in shrink_u64_toward(10, v) {
+                assert!(c < v, "candidate {c} not smaller than {v}");
+                assert!(c >= 10, "candidate {c} escaped the range");
+            }
+        }
+        assert!(shrink_u64_toward(10, 10).is_empty());
+    }
+
+    #[test]
+    fn shrink_candidates_include_the_predecessor() {
+        // The predecessor guarantees greedy shrinking can always take the
+        // final step to the exact boundary.
+        for v in [2u64, 77, 1_000_000] {
+            assert!(shrink_u64_toward(0, v).contains(&(v - 1)));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds_and_shrink_floor() {
+        let mut rng = GocRng::seed_from_u64(2);
+        let g = bytes(2, 9);
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            for cand in g.shrink_candidates(&v) {
+                assert!(cand.len() >= 2, "shrink went below min_len: {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_generation_is_deterministic_per_rng_state() {
+        let g = tuple3(any_u64(), any_u8(), bytes(0, 8));
+        let a = g.generate(&mut GocRng::seed_from_u64(9));
+        let b = g.generate(&mut GocRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

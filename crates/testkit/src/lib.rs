@@ -1,0 +1,514 @@
+//! # goc-testkit — the hermetic verification substrate
+//!
+//! The workspace's tier-1 guarantee is that `cargo build && cargo test` works
+//! with **no network and an empty registry**: every theorem-experiment of
+//! Goldreich–Juba–Sudan must be checkable offline, forever. This crate is the
+//! in-tree replacement for the two external harnesses the seed depended on:
+//!
+//! - a **property-testing harness** ([`check`], [`gens`]) — seeded case
+//!   generation on top of [`goc_core::rng::GocRng`] (xoshiro256++), an
+//!   iteration budget, failure reporting with the reproducing seed, and
+//!   greedy input shrinking;
+//! - a **bench timing harness** ([`bench`]) — warmup + N samples +
+//!   median/p95, emitting JSON lines that `goc-report --bench-summary`
+//!   consumes.
+//!
+//! ## Writing a property
+//!
+//! ```
+//! use goc_testkit::{check, gens, prop_assert, prop_assert_eq};
+//!
+//! check(
+//!     "reverse_is_involutive",
+//!     gens::bytes(0, 32),
+//!     |v: &Vec<u8>| {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(&w, v);
+//!         prop_assert!(w.len() == v.len());
+//!         Ok(())
+//!     },
+//! );
+//! ```
+//!
+//! Every case is drawn from an independent fork of a per-property root rng,
+//! so a failure report's `(seed, stream)` pair reproduces the exact input.
+//! Override the number of cases with `GOC_TESTKIT_CASES` and the root seed
+//! with `GOC_TESTKIT_SEED` (decimal or `0x`-prefixed).
+
+pub mod bench;
+pub mod gens;
+
+pub use gens::Gen;
+
+use goc_core::rng::GocRng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseError {
+    /// The case was rejected by [`prop_assume!`]; it does not count toward
+    /// the case budget.
+    Discard,
+    /// The property failed with the given message.
+    Fail(String),
+}
+
+impl CaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseError::Fail(msg.into())
+    }
+}
+
+/// What a property closure returns: `Ok(())` to pass the case, or a
+/// [`CaseError`] (normally produced by the `prop_assert*` macros).
+pub type PropResult = Result<(), CaseError>;
+
+/// Budget and seeding for one property check.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of non-discarded cases to run.
+    pub cases: u64,
+    /// Root seed; each property decorrelates it by hashing its own name.
+    pub seed: u64,
+    /// Cap on shrink candidates *tried* (passing candidates included).
+    pub max_shrink_iters: u64,
+    /// Cap on `prop_assume!` rejections before the check aborts.
+    pub max_discards: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::from_env()
+    }
+}
+
+impl Config {
+    /// The default configuration, honouring `GOC_TESTKIT_CASES` and
+    /// `GOC_TESTKIT_SEED`.
+    pub fn from_env() -> Self {
+        let cases = env_u64("GOC_TESTKIT_CASES").unwrap_or(96).max(1);
+        let seed = env_u64("GOC_TESTKIT_SEED").unwrap_or(0x67_6f_63_74_6b);
+        Config {
+            cases,
+            seed,
+            max_shrink_iters: 4096,
+            max_discards: cases.saturating_mul(64).saturating_add(1024),
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let s = raw.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// A fully shrunk property failure, ready for reporting.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Name the property was checked under.
+    pub property: String,
+    /// Index of the failing case among the non-discarded ones.
+    pub case: u64,
+    /// Fork stream id of the failing case (reproduce with
+    /// `root.fork(stream)`).
+    pub stream: u64,
+    /// The effective root seed (already decorrelated by property name).
+    pub seed: u64,
+    /// The failure message of the *shrunk* input.
+    pub message: String,
+    /// `Debug` rendering of the originally drawn input.
+    pub original: String,
+    /// `Debug` rendering of the minimal failing input found.
+    pub shrunk: String,
+    /// Number of successful shrink steps taken.
+    pub shrink_steps: u64,
+}
+
+impl Failure {
+    /// Multi-line human report, used as the panic message of [`check`].
+    pub fn report(&self) -> String {
+        format!(
+            "[goc-testkit] property '{}' failed\n  \
+             case {} (root seed {:#x}, fork stream {})\n  \
+             original input: {}\n  \
+             shrunk input:   {} ({} shrink steps)\n  \
+             error: {}\n  \
+             rerun deterministically: the harness is seeded — same build, same failure;\n  \
+             override with GOC_TESTKIT_SEED / GOC_TESTKIT_CASES to explore nearby inputs",
+            self.property,
+            self.case,
+            self.seed,
+            self.stream,
+            self.original,
+            self.shrunk,
+            self.shrink_steps,
+            self.message,
+        )
+    }
+}
+
+/// Checks `prop` against `cases` inputs drawn from `gen`, panicking with a
+/// shrunk counterexample on the first failure.
+///
+/// This is the `#[test]`-facing entry point; [`check_result`] is the
+/// non-panicking variant the testkit's own tests use.
+pub fn check<T, F>(name: &str, gen: Gen<T>, prop: F)
+where
+    T: Debug + 'static,
+    F: Fn(&T) -> PropResult,
+{
+    check_with(Config::from_env(), name, gen, prop)
+}
+
+/// [`check`] with an explicit [`Config`].
+pub fn check_with<T, F>(cfg: Config, name: &str, gen: Gen<T>, prop: F)
+where
+    T: Debug + 'static,
+    F: Fn(&T) -> PropResult,
+{
+    if let Err(failure) = check_result(cfg, name, gen, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+/// Runs the check and returns the shrunk [`Failure`] instead of panicking.
+pub fn check_result<T, F>(cfg: Config, name: &str, gen: Gen<T>, prop: F) -> Result<(), Failure>
+where
+    T: Debug + 'static,
+    F: Fn(&T) -> PropResult,
+{
+    let seed = cfg.seed ^ fnv1a(name);
+    let root = GocRng::seed_from_u64(seed);
+    let mut case = 0u64;
+    let mut discards = 0u64;
+    let mut stream = 0u64;
+    while case < cfg.cases {
+        let mut rng = root.fork(stream);
+        let input = gen.generate(&mut rng);
+        match run_case(&prop, &input) {
+            Ok(()) => case += 1,
+            Err(CaseError::Discard) => {
+                discards += 1;
+                assert!(
+                    discards <= cfg.max_discards,
+                    "[goc-testkit] property '{name}' discarded {discards} cases \
+                     (budget {}); loosen prop_assume! or widen the generator",
+                    cfg.max_discards
+                );
+            }
+            Err(CaseError::Fail(message)) => {
+                let original = format!("{input:?}");
+                let (shrunk, shrink_steps, message) =
+                    shrink_failure(&cfg, &gen, &prop, input, message);
+                return Err(Failure {
+                    property: name.to_string(),
+                    case,
+                    stream,
+                    seed,
+                    message,
+                    original,
+                    shrunk: format!("{shrunk:?}"),
+                    shrink_steps,
+                });
+            }
+        }
+        stream += 1;
+    }
+    Ok(())
+}
+
+/// Runs one case, converting panics inside the property (or the code under
+/// test) into ordinary failures so they shrink like any other.
+fn run_case<T, F>(prop: &F, input: &T) -> PropResult
+where
+    F: Fn(&T) -> PropResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+        Ok(r) => r,
+        Err(payload) => Err(CaseError::Fail(panic_message(&*payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Greedy shrinking: repeatedly replace the current counterexample with the
+/// first still-failing candidate its generator proposes, until no candidate
+/// fails or the iteration budget is exhausted. Candidates that pass or are
+/// discarded are skipped.
+fn shrink_failure<T, F>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &F,
+    first: T,
+    first_msg: String,
+) -> (T, u64, String)
+where
+    T: Debug + 'static,
+    F: Fn(&T) -> PropResult,
+{
+    let mut current = first;
+    let mut message = first_msg;
+    let mut steps = 0u64;
+    let mut tried = 0u64;
+    loop {
+        let mut advanced = false;
+        for cand in gen.shrink_candidates(&current) {
+            if tried >= cfg.max_shrink_iters {
+                return (current, steps, message);
+            }
+            tried += 1;
+            if let Err(CaseError::Fail(m)) = run_case(prop, &cand) {
+                current = cand;
+                message = m;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, steps, message);
+        }
+    }
+}
+
+/// FNV-1a, used to decorrelate properties sharing one root seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fails the case unless the condition holds. Accepts an optional
+/// format-string message like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed at {}:{}: {}: {}",
+                file!(),
+                line!(),
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed at {}:{}: {} == {}\n    left: {:?}\n   right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed at {}:{}: {} == {}: {}\n    left: {:?}\n   right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::CaseError::fail(format!(
+                "assertion failed at {}:{}: {} != {}\n    both: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the case (without counting it) unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::CaseError::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    fn small_cfg() -> Config {
+        Config { cases: 64, seed: 0xdead_beef, max_shrink_iters: 4096, max_discards: 10_000 }
+    }
+
+    #[test]
+    fn same_seed_yields_identical_case_sequence() {
+        let record = || {
+            let seen = RefCell::new(Vec::new());
+            let r = check_result(small_cfg(), "determinism", gens::any_u64(), |&v| {
+                seen.borrow_mut().push(v);
+                Ok(())
+            });
+            assert!(r.is_ok());
+            seen.into_inner()
+        };
+        let (a, b) = (record(), record());
+        assert_eq!(a.len(), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_property_names_decorrelate_inputs() {
+        let record = |name: &str| {
+            let seen = RefCell::new(Vec::new());
+            let _ = check_result(small_cfg(), name, gens::any_u64(), |&v| {
+                seen.borrow_mut().push(v);
+                Ok(())
+            });
+            seen.into_inner()
+        };
+        assert_ne!(record("alpha"), record("beta"));
+    }
+
+    #[test]
+    fn shrinking_finds_the_minimal_failing_integer() {
+        let failure = check_result(small_cfg(), "ge_1000_fails", gens::any_u64(), |&v| {
+            prop_assert!(v < 1000);
+            Ok(())
+        })
+        .expect_err("property must fail");
+        assert_eq!(failure.shrunk, "1000", "greedy shrink must reach the boundary");
+        assert!(failure.shrink_steps > 0);
+    }
+
+    #[test]
+    fn shrinking_finds_the_minimal_failing_vector() {
+        let failure = check_result(
+            small_cfg(),
+            "contains_big_byte_fails",
+            gens::bytes(0, 64),
+            |v: &Vec<u8>| {
+                prop_assert!(v.iter().all(|&b| b < 200));
+                Ok(())
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(failure.shrunk, "[200]", "minimal witness is a single boundary byte");
+    }
+
+    #[test]
+    fn shrinking_respects_generator_lower_bounds() {
+        // Everything fails; the shrunk input must still satisfy the
+        // generator's range contract instead of collapsing to zero.
+        let failure =
+            check_result(small_cfg(), "always_fails", gens::u64_in(10, 50), |_| {
+                Err(CaseError::fail("no"))
+            })
+            .expect_err("property must fail");
+        assert_eq!(failure.shrunk, "10");
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let failure = check_result(small_cfg(), "panics_ge_100", gens::any_u64(), |&v| {
+            assert!(v < 100, "too big");
+            Ok(())
+        })
+        .expect_err("property must fail");
+        assert_eq!(failure.shrunk, "100");
+        assert!(failure.message.contains("too big"), "message = {}", failure.message);
+    }
+
+    #[test]
+    fn discards_do_not_consume_the_case_budget() {
+        let ran = RefCell::new(0u64);
+        let r = check_result(small_cfg(), "assume_even", gens::any_u64(), |&v| {
+            prop_assume!(v % 2 == 0);
+            *ran.borrow_mut() += 1;
+            Ok(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(ran.into_inner(), 64, "all 64 counted cases were even");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_across_cases() {
+        let seen = RefCell::new(Vec::new());
+        let _ = check_result(small_cfg(), "streams", gens::any_u64(), |&v| {
+            seen.borrow_mut().push(v);
+            Ok(())
+        });
+        let seen = seen.into_inner();
+        let mut uniq = seen.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seen.len(), "case inputs must not repeat");
+    }
+
+    #[test]
+    fn failure_report_names_the_reproduction_knobs() {
+        let failure = check_result(small_cfg(), "doomed", gens::any_u8(), |_| {
+            Err(CaseError::fail("always"))
+        })
+        .expect_err("property must fail");
+        let report = failure.report();
+        assert!(report.contains("doomed"));
+        assert!(report.contains("GOC_TESTKIT_SEED"));
+        assert!(report.contains("fork stream"));
+    }
+}

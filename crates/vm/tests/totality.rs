@@ -1,10 +1,12 @@
 //! Property tests for the VM's central invariants: *every* byte string is a
-//! runnable program, and enumeration is a bijection onto the class.
+//! runnable program, and enumeration is a bijection onto the class. Checked
+//! by the in-tree `goc-testkit` harness — seeded, shrinking, zero external
+//! dependencies.
 
+use goc_testkit::{check, gens, prop_assert, prop_assert_eq};
 use goc_vm::enumerate::ProgramEnumerator;
 use goc_vm::machine::{Machine, RoundIo};
 use goc_vm::program::Program;
-use proptest::prelude::*;
 
 /// Exhaustive totality: every program of length ≤ 2 over the full byte
 /// alphabet (65 793 programs) runs three rounds without panicking and
@@ -29,24 +31,29 @@ fn exhaustive_short_programs_run_safely() {
     }
 }
 
-proptest! {
-    /// Any byte string decodes and runs for several rounds without panic,
-    /// and each round retires at most `fuel` instructions.
-    #[test]
-    fn any_bytes_run_safely(code in proptest::collection::vec(any::<u8>(), 0..64),
-                            in_a in proptest::collection::vec(any::<u8>(), 0..16),
-                            in_b in proptest::collection::vec(any::<u8>(), 0..16)) {
-        let mut m = Machine::with_fuel(Program::from_bytes(code), 128);
-        for _ in 0..5 {
-            let mut io = RoundIo::with_inputs(in_a.clone(), in_b.clone());
-            m.round(&mut io);
-        }
-        prop_assert!(m.instructions_retired() <= 5 * 128);
-    }
+/// Any byte string decodes and runs for several rounds without panic,
+/// and each round retires at most `fuel` instructions.
+#[test]
+fn any_bytes_run_safely() {
+    check(
+        "any_bytes_run_safely",
+        gens::tuple3(gens::bytes(0, 64), gens::bytes(0, 16), gens::bytes(0, 16)),
+        |(code, in_a, in_b)| {
+            let mut m = Machine::with_fuel(Program::from_bytes(code.clone()), 128);
+            for _ in 0..5 {
+                let mut io = RoundIo::with_inputs(in_a.clone(), in_b.clone());
+                m.round(&mut io);
+            }
+            prop_assert!(m.instructions_retired() <= 5 * 128);
+            Ok(())
+        },
+    );
+}
 
-    /// The canonical decoding consumes exactly the program bytes.
-    #[test]
-    fn canonical_decode_consumes_all(code in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// The canonical decoding consumes exactly the program bytes.
+#[test]
+fn canonical_decode_consumes_all() {
+    check("canonical_decode_consumes_all", gens::bytes(0, 64), |code: &Vec<u8>| {
         let p = Program::from_bytes(code.clone());
         let mut consumed = 0usize;
         let mut pos = 0usize;
@@ -56,48 +63,71 @@ proptest! {
             consumed += 1;
             prop_assert!(consumed <= code.len() + 1, "decoding must terminate");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// program(index_of(p)) == p over a restricted alphabet.
-    #[test]
-    fn enumeration_roundtrips(bytes in proptest::collection::vec(0u8..4, 0..8)) {
-        let e = ProgramEnumerator::over(vec![0u8, 1, 2, 3]);
-        let p = Program::from_bytes(bytes);
-        let idx = e.index_of(&p).expect("program writable in alphabet");
-        prop_assert_eq!(e.program(idx), p);
-    }
+/// program(index_of(p)) == p over a restricted alphabet.
+#[test]
+fn enumeration_roundtrips() {
+    check(
+        "enumeration_roundtrips",
+        gens::vec_of(gens::u8_in(0, 4), 0, 8),
+        |bytes: &Vec<u8>| {
+            let e = ProgramEnumerator::over(vec![0u8, 1, 2, 3]);
+            let p = Program::from_bytes(bytes.clone());
+            let idx = e.index_of(&p).expect("program writable in alphabet");
+            prop_assert_eq!(e.program(idx), p);
+            Ok(())
+        },
+    );
+}
 
-    /// Enumeration is monotone in length: longer programs have larger indices.
-    #[test]
-    fn enumeration_is_length_monotone(a in 0usize..500, b in 0usize..500) {
-        let e = ProgramEnumerator::over(vec![7u8, 8, 9]);
-        let (pa, pb) = (e.program(a), e.program(b));
-        if a < b {
-            prop_assert!(pa.len() <= pb.len());
-        }
-    }
-
-    /// Machines are deterministic: same program + inputs, same outputs.
-    #[test]
-    fn machines_are_deterministic(code in proptest::collection::vec(any::<u8>(), 0..48),
-                                  in_a in proptest::collection::vec(any::<u8>(), 0..8)) {
-        let run = || {
-            let mut m = Machine::new(Program::from_bytes(code.clone()));
-            let mut outs = Vec::new();
-            for _ in 0..3 {
-                let mut io = RoundIo::with_inputs(in_a.clone(), vec![]);
-                m.round(&mut io);
-                outs.push((io.out_a, io.out_b));
+/// Enumeration is monotone in length: longer programs have larger indices.
+#[test]
+fn enumeration_is_length_monotone() {
+    check(
+        "enumeration_is_length_monotone",
+        gens::tuple2(gens::usize_in(0, 500), gens::usize_in(0, 500)),
+        |&(a, b)| {
+            let e = ProgramEnumerator::over(vec![7u8, 8, 9]);
+            let (pa, pb) = (e.program(a), e.program(b));
+            if a < b {
+                prop_assert!(pa.len() <= pb.len());
             }
-            outs
-        };
-        prop_assert_eq!(run(), run());
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Halting is permanent.
-    #[test]
-    fn halting_is_permanent(code in proptest::collection::vec(any::<u8>(), 1..48)) {
-        let mut m = Machine::new(Program::from_bytes(code));
+/// Machines are deterministic: same program + inputs, same outputs.
+#[test]
+fn machines_are_deterministic() {
+    check(
+        "machines_are_deterministic",
+        gens::tuple2(gens::bytes(0, 48), gens::bytes(0, 8)),
+        |(code, in_a)| {
+            let run = || {
+                let mut m = Machine::new(Program::from_bytes(code.clone()));
+                let mut outs = Vec::new();
+                for _ in 0..3 {
+                    let mut io = RoundIo::with_inputs(in_a.clone(), vec![]);
+                    m.round(&mut io);
+                    outs.push((io.out_a, io.out_b));
+                }
+                outs
+            };
+            prop_assert_eq!(run(), run());
+            Ok(())
+        },
+    );
+}
+
+/// Halting is permanent.
+#[test]
+fn halting_is_permanent() {
+    check("halting_is_permanent", gens::bytes(1, 48), |code: &Vec<u8>| {
+        let mut m = Machine::new(Program::from_bytes(code.clone()));
         let mut halted_at = None;
         for round in 0..6 {
             let mut io = RoundIo::default();
@@ -110,5 +140,6 @@ proptest! {
                 prop_assert!(io.out_a.is_empty() || round == at);
             }
         }
-    }
+        Ok(())
+    });
 }
