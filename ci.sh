@@ -10,17 +10,28 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests (offline) =="
-cargo test -q --offline
+echo "== tests (offline, sequential: GOC_THREADS=1) =="
+GOC_THREADS=1 cargo test -q --offline
+
+echo "== tests (offline, parallel trial engine: GOC_THREADS=4) =="
+GOC_THREADS=4 cargo test -q --offline
 
 echo "== bench harness smoke (quick, offline) =="
 rm -f target/goc-bench.jsonl  # JSON lines append; start the smoke run clean
 GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e9_substrate
+# e4 carries the sequential-vs-parallel @tN pairs and the VM candidate-cache
+# probe, so the summary below can show speedup and hit-rate columns.
+GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e4_enumeration_overhead
 
 echo "== experiment report smoke (quick) =="
 cargo run --release --offline -p goc-bench --bin goc-report -- --quick
 
 echo "== bench summary consumes the JSON lines =="
-cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary
+summary=$(cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary)
+printf '%s\n' "$summary"
+# The summary must surface the candidate-cache hit rate and the parallel
+# speedup section — their absence means the bench metadata plumbing broke.
+grep -q "% hit" <<<"$summary" || { echo "CI FAIL: cache hit-rate missing from bench summary"; exit 1; }
+grep -q "parallel speedup" <<<"$summary" || { echo "CI FAIL: speedup section missing from bench summary"; exit 1; }
 
 echo "CI OK"

@@ -1,14 +1,24 @@
 //! E2 — time for the finite universal user (classic Levin vs round-robin
-//! doubling) to solve delegation against each protocol depth.
+//! doubling) to solve delegation against each protocol depth, plus the
+//! parallel trial-harness variants (`@tN` = N worker threads; the reports
+//! are bit-identical across thread counts, only the wall time moves).
 
 use goc_bench::experiments as exp;
-use goc_testkit::bench::Bench;
+use goc_core::par::with_thread_count;
+use goc_testkit::bench::{Bench, BenchMeta};
 
 fn main() {
     let mut g = Bench::group("e2_finite_levin").samples(10);
     for idx in [0usize, 3, 7] {
         g.bench(format!("classic/{idx}"), || exp::e2_rounds(idx, true));
         g.bench(format!("round_robin/{idx}"), || exp::e2_rounds(idx, false));
+    }
+    for threads in [1usize, 4] {
+        g.bench_tagged(
+            format!("classic_trials8/3@t{threads}"),
+            BenchMeta { threads: Some(threads as u64), ..BenchMeta::default() },
+            || with_thread_count(threads, || exp::e2_report(3, 8)),
+        );
     }
     g.finish();
 }

@@ -1,14 +1,23 @@
 //! E8 — design ablations: schedule choice under impatient sensing, and the
-//! sensing-patience sweep.
+//! sensing-patience sweep, plus the parallel trial-harness variant
+//! (`@tN` = N worker threads over the patience workload).
 
 use goc_bench::experiments as exp;
-use goc_testkit::bench::Bench;
+use goc_core::par::with_thread_count;
+use goc_testkit::bench::{Bench, BenchMeta};
 
 fn main() {
     let mut g = Bench::group("e8_ablations").samples(10);
     g.bench("schedule_triangular_vs_linear", exp::e8_schedule_ablation);
     for timeout in [4u64, 8, 32, 128] {
         g.bench(format!("patience/{timeout}"), || exp::e8_patience_settle(timeout));
+    }
+    for threads in [1usize, 4] {
+        g.bench_tagged(
+            format!("patience_trials8/8@t{threads}"),
+            BenchMeta { threads: Some(threads as u64), ..BenchMeta::default() },
+            || with_thread_count(threads, || exp::e8_patience_report(8, 8)),
+        );
     }
     g.finish();
 }

@@ -50,8 +50,8 @@ fn bench_summary(path: &str) {
     }
     println!("# bench summary from {path} ({} records)\n", records.len());
     println!(
-        "{:<44} {:>12} {:>12} {:>12} {:>14}",
-        "benchmark", "median", "p95", "min", "throughput"
+        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10}",
+        "benchmark", "median", "p95", "min", "throughput", "threads", "cache"
     );
     let mut group = String::new();
     for r in &records {
@@ -66,17 +66,66 @@ fn bench_summary(path: &str) {
             }
             _ => String::new(),
         };
+        let threads = r.threads.map(|t| t.to_string()).unwrap_or_default();
+        let cache = r
+            .cache_hit_rate()
+            .map(|rate| match rate * 100.0 {
+                // A tiny-but-nonzero rate must not round down to "0% hit".
+                pct if pct > 0.0 && pct < 1.0 => "<1% hit".to_string(),
+                pct => format!("{pct:.0}% hit"),
+            })
+            .unwrap_or_default();
         println!(
-            "{:<44} {:>12} {:>12} {:>12} {:>14}",
+            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10}",
             format!("{}/{}", r.group, r.id),
             fmt_ns(r.median_ns),
             fmt_ns(r.p95_ns),
             fmt_ns(r.min_ns),
-            throughput
+            throughput,
+            threads,
+            cache
         );
     }
+    speedup_section(&records);
     if skipped > 0 {
         println!("\n({skipped} malformed lines skipped)");
+    }
+}
+
+/// Prints the sequential-vs-parallel speedups: benchmarks whose ids differ
+/// only in an `@tN` suffix are paired, and each N > 1 variant is compared
+/// against its `@t1` baseline by median time. When the same variant was
+/// benched more than once (appended runs), the latest record wins.
+fn speedup_section(records: &[BenchRecord]) {
+    use std::collections::BTreeMap;
+    let mut by_stem: BTreeMap<(String, String), BTreeMap<u64, u64>> = BTreeMap::new();
+    for r in records {
+        let Some((stem, suffix)) = r.id.rsplit_once("@t") else { continue };
+        let Ok(threads) = suffix.parse::<u64>() else { continue };
+        by_stem
+            .entry((r.group.clone(), stem.to_string()))
+            .or_default()
+            .insert(threads, r.median_ns);
+    }
+    let mut lines = Vec::new();
+    for ((group, stem), variants) in &by_stem {
+        let Some(&base) = variants.get(&1) else { continue };
+        for (&threads, &median) in variants.iter().filter(|&(&t, _)| t > 1) {
+            if median > 0 {
+                lines.push(format!(
+                    "{group}/{stem}: t1 {} -> t{threads} {}  ({:.2}x speedup)",
+                    fmt_ns(base),
+                    fmt_ns(median),
+                    base as f64 / median as f64
+                ));
+            }
+        }
+    }
+    if !lines.is_empty() {
+        println!("\n## parallel speedup (median, vs @t1 baseline)");
+        for line in lines {
+            println!("{line}");
+        }
     }
 }
 

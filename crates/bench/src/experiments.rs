@@ -2,6 +2,7 @@
 //! benches and the `goc-report` table generator.
 
 use goc_core::enumeration::SliceEnumerator;
+use goc_core::harness::{compact_success, finite_success, SuccessReport};
 use goc_core::prelude::*;
 use goc_core::sensing::Deadline;
 use goc_core::toy;
@@ -83,6 +84,27 @@ pub fn e2_rounds(idx: usize, classic: bool) -> u64 {
     let v = evaluate_finite(&goal, &t);
     assert!(v.achieved, "E2 idx {idx} classic={classic}: {v:?}");
     v.rounds
+}
+
+/// Multi-trial E2 workload for the parallel harness: `trials` independent
+/// delegation runs of the classic Levin user against protocol `idx`,
+/// aggregated by [`finite_success`]. Wrap in
+/// [`goc_core::par::with_thread_count`] to pick the worker count; the report
+/// is bit-identical for every choice.
+pub fn e2_report(idx: usize, trials: u32) -> SuccessReport {
+    let protocols = e2_protocols();
+    let goal = comp::DelegationGoal::new(e2_puzzle());
+    let server = move || Box::new(comp::OracleServer::new(protocols[idx])) as BoxedServer;
+    let user = || {
+        Box::new(LevinUniversalUser::new(
+            Box::new(comp::protocol_class(&e2_protocols(), e2_puzzle())),
+            Box::new(comp::confirmation_sensing()),
+            8,
+        )) as BoxedUser
+    };
+    let report = finite_success(&goal, &server, &user, trials, 5_000_000, 210 + idx as u64);
+    assert!(report.always(), "E2 report idx {idx}: {report:?}");
+    report
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +234,61 @@ pub fn e4_levin_rounds(shift: u8) -> u64 {
     let v = evaluate_finite(&goal, &t);
     assert!(v.achieved, "E4/Levin shift {shift}: {v:?}");
     v.rounds
+}
+
+/// Multi-trial E4 compact workload for the parallel harness: `trials`
+/// independent planted-class runs aggregated by [`compact_success`]. Wrap in
+/// [`goc_core::par::with_thread_count`] to pick the worker count.
+pub fn e4_compact_report(idx: usize, n: usize, trials: u32) -> SuccessReport {
+    let goal = toy::CompactMagicWordGoal::new("hi", 16);
+    let server = || Box::new(toy::RelayServer::default()) as BoxedServer;
+    let user = move || {
+        let mut class = SliceEnumerator::new("planted");
+        for j in 0..n {
+            if j == idx {
+                class.push(|| Box::new(toy::SayThrough::persistent("hi")));
+            } else {
+                class.push(|| Box::new(goc_core::strategy::SilentUser));
+            }
+        }
+        Box::new(CompactUniversalUser::new(
+            Box::new(class),
+            Box::new(Deadline::new(toy::ack_sensing(), 8)),
+        )) as BoxedUser
+    };
+    let report =
+        compact_success(&goal, &server, &user, trials, 120_000, 12_000, 410 + idx as u64);
+    assert!(report.always(), "E4 report idx {idx}: {report:?}");
+    report
+}
+
+/// Compact universal user over the **deduped VM program class** — the
+/// workload whose triangular revisits exercise the candidate-evaluation
+/// cache (`goc_vm::cache`). Returns the settle round; read
+/// `goc_vm::cache::stats()` around a call to observe the hit rate.
+pub fn e4_vm_compact_settle() -> u64 {
+    use goc_vm::enumerate::ProgramEnumerator;
+    // Alphabet: the bytes of `emit.a 'h'` plus `end` — the viable program
+    // ("say h to the peer every round") sits a handful of dedup
+    // representatives in, so the triangular schedule revisits everything
+    // before it many times.
+    let class = ProgramEnumerator::over(vec![0x01, b'h', 0x0f]).with_max_len(3).deduped();
+    let goal = toy::CompactMagicWordGoal::new("h", 16);
+    let user = CompactUniversalUser::new(
+        Box::new(class),
+        Box::new(Deadline::new(toy::ack_sensing(), 8)),
+    );
+    let mut rng = GocRng::seed_from_u64(420);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(toy::RelayServer::default()),
+        Box::new(user),
+        rng,
+    );
+    let t = exec.run_for(20_000);
+    let v = evaluate_compact(&goal, &t);
+    assert!(v.achieved(2_000), "E4/VM compact: {v:?}");
+    v.last_bad_prefix.unwrap_or(0)
 }
 
 // ---------------------------------------------------------------------------
@@ -443,6 +520,21 @@ pub fn e8_patience_settle(timeout: u64) -> Option<u64> {
     }
 }
 
+/// Multi-trial E8 patience workload for the parallel harness: `trials`
+/// independent patience-sweep runs aggregated by [`compact_success`]. Wrap
+/// in [`goc_core::par::with_thread_count`] to pick the worker count.
+pub fn e8_patience_report(timeout: u64, trials: u32) -> SuccessReport {
+    let goal = toy::CompactMagicWordGoal::new("hi", 16);
+    let server = || Box::new(toy::RelayServer::with_shift(6)) as BoxedServer;
+    let user = move || {
+        Box::new(CompactUniversalUser::new(
+            Box::new(toy::caesar_class("hi", 8, true)),
+            Box::new(Deadline::new(toy::ack_sensing(), timeout)),
+        )) as BoxedUser
+    };
+    compact_success(&goal, &server, &user, trials, 20_000, 2_000, 830 + timeout)
+}
+
 // ---------------------------------------------------------------------------
 // E11 — quality of achievement (scored goals)
 // ---------------------------------------------------------------------------
@@ -618,5 +710,27 @@ mod tests {
     fn e9_throughput_counts() {
         assert_eq!(e9_exec_rounds(1_000), 1_000);
         assert!(e9_vm_instructions(100) >= 100 * 250);
+    }
+
+    #[test]
+    fn parallel_reports_match_sequential_reports() {
+        use goc_core::par::with_thread_count;
+        let seq = with_thread_count(1, || e4_compact_report(8, 24, 4));
+        let par = with_thread_count(4, || e4_compact_report(8, 24, 4));
+        assert_eq!(seq, par);
+        let seq = with_thread_count(1, || e8_patience_report(8, 4));
+        let par = with_thread_count(4, || e8_patience_report(8, 4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn e4_vm_compact_settles_and_hits_the_cache() {
+        goc_vm::cache::reset_stats();
+        let settle = e4_vm_compact_settle();
+        assert!(settle > 0, "the viable program is not at index 0: settling takes switches");
+        // Triangular revisits re-run identical (program, fuel, prefix)
+        // rounds, which the candidate cache must serve.
+        let stats = goc_vm::cache::stats();
+        assert!(stats.hits > 0, "triangular revisits must hit the cache: {stats:?}");
     }
 }

@@ -30,6 +30,20 @@ pub trait StrategyEnumerator: Debug {
     /// index is out of range (finite classes only).
     fn strategy(&self, index: usize) -> Option<BoxedUser>;
 
+    /// Instantiates a batch of strategies at once, one per entry of
+    /// `indices`, preserving order.
+    ///
+    /// The universal users use this to pre-materialise the next few scheduled
+    /// candidates in one call. The default is a sequential loop over
+    /// [`StrategyEnumerator::strategy`]; enumerators whose concrete strategy
+    /// type is `Send` (e.g. the VM program enumerator) may override it to
+    /// build candidates in parallel. Overrides must be observably identical
+    /// to the default: same instances, same order, `None` exactly where
+    /// `strategy` returns `None`.
+    fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
+        indices.iter().map(|&i| self.strategy(i)).collect()
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
         "enumeration".to_string()
@@ -43,6 +57,10 @@ impl<E: StrategyEnumerator + ?Sized> StrategyEnumerator for Box<E> {
 
     fn strategy(&self, index: usize) -> Option<BoxedUser> {
         (**self).strategy(index)
+    }
+
+    fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
+        (**self).batch(indices)
     }
 
     fn name(&self) -> String {
@@ -380,6 +398,17 @@ mod tests {
     fn linear_unbounded_counts_up() {
         let order: Vec<usize> = LinearSchedule::unbounded().take(4).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_matches_strategy_per_index() {
+        let e = silent_class(3);
+        let got = e.batch(&[0, 2, 3, 1]);
+        assert_eq!(got.len(), 4);
+        assert!(got[0].is_some());
+        assert!(got[1].is_some());
+        assert!(got[2].is_none(), "out-of-range index must stay None in batch");
+        assert!(got[3].is_some());
     }
 
     #[test]

@@ -6,9 +6,15 @@
 //! so downstream experiments are one function call, with the same
 //! deterministic seed-forking discipline as [`crate::helpful`] and
 //! [`crate::validate`].
+//!
+//! Trials are independent by construction — each forks its own rng stream
+//! from the root seed — so the harness fans them out over [`crate::par`].
+//! Results are aggregated in trial order, which makes every report
+//! bit-identical to the sequential loop regardless of `GOC_THREADS`.
 
 use crate::exec::Execution;
 use crate::goal::{evaluate_compact, evaluate_finite, CompactGoal, FiniteGoal};
+use crate::par;
 use crate::rng::GocRng;
 use crate::strategy::{BoxedServer, BoxedUser};
 
@@ -39,6 +45,10 @@ impl SuccessReport {
     }
 
     /// Mean rounds-to-success over the successful trials.
+    ///
+    /// Returns `None` when **no** trial succeeded (`rounds` is empty): a mean
+    /// over zero samples is undefined, and returning `Some(0.0)` would make a
+    /// total failure look like an instant success.
     pub fn mean_rounds(&self) -> Option<f64> {
         if self.rounds.is_empty() {
             return None;
@@ -47,8 +57,24 @@ impl SuccessReport {
     }
 
     /// Maximum rounds-to-success over the successful trials.
+    ///
+    /// Returns `None` when no trial succeeded, for the same reason as
+    /// [`SuccessReport::mean_rounds`].
     pub fn max_rounds(&self) -> Option<u64> {
         self.rounds.iter().max().copied()
+    }
+
+    /// 95th-percentile rounds-to-success over the successful trials
+    /// (nearest-rank: the smallest recorded value ≥ 95% of the sample), or
+    /// `None` when no trial succeeded.
+    pub fn p95_rounds(&self) -> Option<u64> {
+        if self.rounds.is_empty() {
+            return None;
+        }
+        let mut sorted = self.rounds.clone();
+        sorted.sort_unstable();
+        let rank = (sorted.len() * 95).div_ceil(100).max(1);
+        Some(sorted[rank - 1])
     }
 }
 
@@ -73,53 +99,58 @@ impl SuccessReport {
 /// );
 /// assert!(report.always());
 /// ```
-pub fn finite_success<G: FiniteGoal>(
+pub fn finite_success<G: FiniteGoal + Sync>(
     goal: &G,
-    server: &dyn Fn() -> BoxedServer,
-    user: &dyn Fn() -> BoxedUser,
+    server: &(dyn Fn() -> BoxedServer + Sync),
+    user: &(dyn Fn() -> BoxedUser + Sync),
     trials: u32,
     horizon: u64,
     seed: u64,
 ) -> SuccessReport {
-    let mut successes = 0;
-    let mut rounds = Vec::new();
-    for trial in 0..trials {
+    let outcomes = par::par_map(trials as usize, |trial| {
         let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
         let world = goal.spawn_world(&mut rng);
         let mut exec = Execution::new(world, server(), user(), rng);
         let t = exec.run(horizon);
         let v = evaluate_finite(goal, &t);
-        if v.achieved {
-            successes += 1;
-            rounds.push(v.rounds);
-        }
-    }
-    SuccessReport { successes, trials, rounds }
+        (v.achieved, v.rounds)
+    });
+    collect_report(trials, outcomes)
 }
 
 /// Runs a compact goal `trials` times; success = achieved with a
 /// stabilization window of `window`; "rounds" records the settle round
 /// (last bad prefix).
-pub fn compact_success<G: CompactGoal>(
+pub fn compact_success<G: CompactGoal + Sync>(
     goal: &G,
-    server: &dyn Fn() -> BoxedServer,
-    user: &dyn Fn() -> BoxedUser,
+    server: &(dyn Fn() -> BoxedServer + Sync),
+    user: &(dyn Fn() -> BoxedUser + Sync),
     trials: u32,
     horizon: u64,
     window: u64,
     seed: u64,
 ) -> SuccessReport {
-    let mut successes = 0;
-    let mut rounds = Vec::new();
-    for trial in 0..trials {
+    let outcomes = par::par_map(trials as usize, |trial| {
         let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
         let world = goal.spawn_world(&mut rng);
         let mut exec = Execution::new(world, server(), user(), rng);
         let t = exec.run_for(horizon);
         let v = evaluate_compact(goal, &t);
-        if v.achieved(window) {
+        (v.achieved(window), v.last_bad_prefix.unwrap_or(0))
+    });
+    collect_report(trials, outcomes)
+}
+
+/// Folds per-trial `(succeeded, rounds)` outcomes — already in trial order,
+/// courtesy of [`par::par_map`] — into a report identical to the one the
+/// sequential loop would build.
+fn collect_report(trials: u32, outcomes: Vec<(bool, u64)>) -> SuccessReport {
+    let mut successes = 0;
+    let mut rounds = Vec::new();
+    for (achieved, r) in outcomes {
+        if achieved {
             successes += 1;
-            rounds.push(v.last_bad_prefix.unwrap_or(0));
+            rounds.push(r);
         }
     }
     SuccessReport { successes, trials, rounds }
@@ -195,5 +226,47 @@ mod tests {
         let r = SuccessReport { successes: 0, trials: 0, rounds: vec![] };
         assert_eq!(r.rate(), 0.0);
         assert!(!r.always());
+    }
+
+    #[test]
+    fn no_success_statistics_are_none_not_zero() {
+        // All-failed reports must not masquerade as instant successes.
+        let r = SuccessReport { successes: 0, trials: 7, rounds: vec![] };
+        assert_eq!(r.mean_rounds(), None);
+        assert_eq!(r.max_rounds(), None);
+        assert_eq!(r.p95_rounds(), None);
+    }
+
+    #[test]
+    fn p95_is_nearest_rank() {
+        let r = |rounds: Vec<u64>| SuccessReport {
+            successes: rounds.len() as u32,
+            trials: rounds.len() as u32,
+            rounds,
+        };
+        assert_eq!(r(vec![42]).p95_rounds(), Some(42));
+        // 20 samples: rank ceil(0.95·20) = 19 → second-largest.
+        let twenty: Vec<u64> = (1..=20).collect();
+        assert_eq!(r(twenty).p95_rounds(), Some(19));
+        // Unsorted input is sorted internally.
+        assert_eq!(r(vec![9, 1, 5]).p95_rounds(), Some(9));
+    }
+
+    #[test]
+    fn reports_are_identical_across_thread_counts() {
+        let goal = toy::MagicWordGoal::new("hi");
+        let run = || {
+            finite_success(
+                &goal,
+                &|| Box::new(toy::RelayServer::with_shift(1)),
+                &|| Box::new(toy::SayThrough::compensating("hi", 1)),
+                8,
+                100,
+                11,
+            )
+        };
+        let seq = crate::par::with_thread_count(1, run);
+        let par4 = crate::par::with_thread_count(4, run);
+        assert_eq!(seq, par4);
     }
 }

@@ -44,6 +44,7 @@ pub mod harness;
 pub mod helpful;
 pub mod msg;
 pub mod multi;
+pub mod par;
 pub mod rng;
 pub mod score;
 pub mod sensing;

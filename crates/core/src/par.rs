@@ -1,0 +1,178 @@
+//! Zero-dependency deterministic parallelism for trial- and candidate-level
+//! fan-out.
+//!
+//! The engine is a scoped worker pool over `std::thread`: callers hand
+//! [`par_map`] a pure indexed function, workers claim chunked index ranges
+//! from a shared atomic cursor (cheap work-stealing — a fast worker simply
+//! claims more chunks), and results are merged back **in index order**, so
+//! aggregation is deterministic regardless of scheduling.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_thread_count`] (used by
+//!    tests and benches so concurrent test threads don't race on the process
+//!    environment),
+//! 2. the `GOC_THREADS` environment variable (a positive integer),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `GOC_THREADS=1` (or `with_thread_count(1, ..)`) is an *exact* sequential
+//! fallback: [`par_map`] degenerates to a plain in-order loop on the calling
+//! thread — no pool, no atomics — so single-threaded runs are bit-identical
+//! to the pre-parallel code path by construction.
+//!
+//! Nested calls do not oversubscribe: worker threads run with an implicit
+//! `with_thread_count(1, ..)`, so a `par_map` reached from inside another
+//! `par_map` executes sequentially on its worker.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Resolves the effective worker count for this thread (always ≥ 1).
+///
+/// See the module docs for the resolution order. Invalid or non-positive
+/// `GOC_THREADS` values are ignored.
+pub fn thread_count() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Ok(raw) = std::env::var("GOC_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the thread count pinned to `n` on the current thread,
+/// restoring the previous setting afterwards (also on panic).
+///
+/// This takes precedence over `GOC_THREADS` and is the race-free way for
+/// tests and benches to compare sequential vs parallel runs in-process.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "thread count must be at least 1");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(n))));
+    f()
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With an effective thread count of 1 (or `n <= 1`) this is exactly
+/// `(0..n).map(f).collect()` on the calling thread. Otherwise a scoped pool
+/// of workers claims chunks of the index range from an atomic cursor; each
+/// worker evaluates its indices locally and the results are sorted back into
+/// index order before returning. `f` must therefore be safe to call from any
+/// thread and — for deterministic callers — depend only on its index.
+///
+/// A panic in `f` propagates to the caller when the scope joins.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = thread_count().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Chunks of ~n/(4·threads) amortize cursor contention while letting fast
+    // workers steal the tail of a slow worker's share.
+    let chunk = (n / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Workers run nested par_map calls sequentially.
+                with_thread_count(1, || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(i)));
+                        }
+                    }
+                    results.lock().unwrap().extend(local);
+                });
+            });
+        }
+    });
+    let mut pairs = results.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), n);
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i as u64;
+        let seq: Vec<u64> = (0..1000).map(f) .collect();
+        for threads in [1, 2, 4, 7] {
+            let par = with_thread_count(threads, || par_map(1000, f));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(with_thread_count(4, || par_map(0, |i| i)), Vec::<usize>::new());
+        assert_eq!(with_thread_count(4, || par_map(1, |i| i * 3)), vec![0]);
+    }
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let before = thread_count();
+        with_thread_count(3, || {
+            assert_eq!(thread_count(), 3);
+            with_thread_count(1, || assert_eq!(thread_count(), 1));
+            assert_eq!(thread_count(), 3);
+        });
+        assert_eq!(thread_count(), before);
+    }
+
+    #[test]
+    fn nested_par_map_runs_sequentially_on_workers() {
+        // Inner calls observe a thread count of 1 — no unbounded fan-out.
+        let inner_counts = with_thread_count(4, || par_map(8, |_| thread_count()));
+        assert!(inner_counts.iter().all(|&c| c == 1), "{inner_counts:?}");
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_under_contention() {
+        // Uneven per-index cost exercises the work-stealing path.
+        let out = with_thread_count(4, || {
+            par_map(257, |i| {
+                let mut acc = i as u64;
+                for _ in 0..(i % 13) * 500 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                (i, acc)
+            })
+        });
+        for (k, (i, _)) in out.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+    }
+}

@@ -7,6 +7,7 @@ use crate::msg::{UserIn, UserOut};
 use crate::sensing::{BoxedSensing, Sensing};
 use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
 use crate::view::ViewEvent;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The universal user strategy for **compact** goals (Theorem 1, compact
@@ -58,6 +59,9 @@ pub struct CompactUniversalUser {
     current_index: usize,
     switches: Vec<SwitchRecord>,
     pending_switch: bool,
+    /// Speculatively pre-built `(index, candidate)` slots, consumed strictly
+    /// in schedule order (see [`super::finite::LOOKAHEAD`]).
+    lookahead: VecDeque<(usize, BoxedUser)>,
 }
 
 impl fmt::Debug for CompactUniversalUser {
@@ -94,22 +98,23 @@ impl CompactUniversalUser {
     pub fn with_schedule(
         enumerator: Box<dyn StrategyEnumerator>,
         sensing: BoxedSensing,
-        mut schedule: Schedule,
+        schedule: Schedule,
     ) -> Self {
         assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
-        let first = schedule.next().expect("schedules are infinite");
-        let current = enumerator
-            .strategy(first)
-            .expect("schedule yielded an index outside the enumeration");
-        CompactUniversalUser {
+        let mut user = CompactUniversalUser {
             enumerator,
             sensing,
             schedule,
-            current,
-            current_index: first,
+            current: Box::new(crate::strategy::SilentUser),
+            current_index: 0,
             switches: Vec::new(),
             pending_switch: false,
-        }
+            lookahead: VecDeque::new(),
+        };
+        let (first, candidate) = user.next_candidate();
+        user.current = candidate;
+        user.current_index = first;
+        user
     }
 
     /// Index (in the enumeration) of the strategy currently running.
@@ -127,12 +132,26 @@ impl CompactUniversalUser {
         &self.switches
     }
 
+    /// Pops the next scheduled `(index, candidate)`, refilling the
+    /// speculative lookahead in one [`StrategyEnumerator::batch`] call when
+    /// it runs dry (same reasoning as the Levin user's lookahead:
+    /// construction is pure and adoption order is unchanged).
+    fn next_candidate(&mut self) -> (usize, BoxedUser) {
+        if self.lookahead.is_empty() {
+            let indices: Vec<usize> = (0..super::finite::LOOKAHEAD)
+                .map(|_| self.schedule.next().expect("schedules are infinite"))
+                .collect();
+            for (&index, candidate) in indices.iter().zip(self.enumerator.batch(&indices)) {
+                let candidate =
+                    candidate.expect("schedule yielded an index outside the enumeration");
+                self.lookahead.push_back((index, candidate));
+            }
+        }
+        self.lookahead.pop_front().expect("lookahead was just refilled")
+    }
+
     fn switch(&mut self, round: u64) {
-        let next = self.schedule.next().expect("schedules are infinite");
-        let fresh = self
-            .enumerator
-            .strategy(next)
-            .expect("schedule yielded an index outside the enumeration");
+        let (next, fresh) = self.next_candidate();
         self.switches.push(SwitchRecord {
             round,
             from_index: self.current_index,

@@ -7,7 +7,17 @@ use crate::msg::{UserIn, UserOut};
 use crate::sensing::{BoxedSensing, Sensing};
 use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
 use crate::view::ViewEvent;
+use std::collections::VecDeque;
 use std::fmt;
+
+/// How many schedule slots the universal users pre-materialise per batch.
+///
+/// Candidate construction is pure, so building the next few scheduled
+/// candidates ahead of time is unobservable; it lets enumerators with a
+/// parallel [`StrategyEnumerator::batch`] override (and/or an evaluation
+/// cache to warm) do so off the critical path. Results are always adopted in
+/// schedule order.
+pub(super) const LOOKAHEAD: usize = 8;
 
 /// The universal user strategy for **finite** goals (Theorem 1, finite
 /// case).
@@ -64,6 +74,9 @@ pub struct LevinUniversalUser {
     halt: Option<Halt>,
     switches: Vec<SwitchRecord>,
     slots_used: u64,
+    /// Speculatively pre-built `(index, budget, candidate)` slots, consumed
+    /// strictly in schedule order (see [`LOOKAHEAD`]).
+    lookahead: VecDeque<(usize, u64, BoxedUser)>,
 }
 
 impl fmt::Debug for LevinUniversalUser {
@@ -124,24 +137,26 @@ impl LevinUniversalUser {
     pub fn with_schedule(
         enumerator: Box<dyn StrategyEnumerator>,
         sensing: BoxedSensing,
-        mut schedule: BudgetSchedule,
+        schedule: BudgetSchedule,
     ) -> Self {
         assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
-        let (first, budget) = schedule.next().expect("budget schedules are infinite");
-        let current = enumerator
-            .strategy(first)
-            .expect("schedule yielded an index outside the enumeration");
-        LevinUniversalUser {
+        let mut user = LevinUniversalUser {
             enumerator,
             sensing,
             schedule,
-            current,
-            current_index: first,
-            budget_left: budget,
+            current: Box::new(crate::strategy::SilentUser),
+            current_index: 0,
+            budget_left: 0,
             halt: None,
             switches: Vec::new(),
             slots_used: 0,
-        }
+            lookahead: VecDeque::new(),
+        };
+        let (first, budget, candidate) = user.next_candidate();
+        user.current = candidate;
+        user.current_index = first;
+        user.budget_left = budget;
+        user
     }
 
     /// Index (in the enumeration) of the candidate currently running.
@@ -164,12 +179,30 @@ impl LevinUniversalUser {
         self.slots_used
     }
 
+    /// Pops the next scheduled `(index, budget, candidate)`, refilling the
+    /// speculative lookahead in one [`StrategyEnumerator::batch`] call when
+    /// it runs dry. Construction is pure and results are consumed strictly
+    /// in schedule order, so this is indistinguishable from building each
+    /// candidate at its switch round.
+    fn next_candidate(&mut self) -> (usize, u64, BoxedUser) {
+        if self.lookahead.is_empty() {
+            let slots: Vec<(usize, u64)> = (0..LOOKAHEAD)
+                .map(|_| self.schedule.next().expect("budget schedules are infinite"))
+                .collect();
+            let indices: Vec<usize> = slots.iter().map(|&(i, _)| i).collect();
+            for ((index, budget), candidate) in
+                slots.into_iter().zip(self.enumerator.batch(&indices))
+            {
+                let candidate =
+                    candidate.expect("schedule yielded an index outside the enumeration");
+                self.lookahead.push_back((index, budget, candidate));
+            }
+        }
+        self.lookahead.pop_front().expect("lookahead was just refilled")
+    }
+
     fn switch(&mut self, round: u64) {
-        let (next, budget) = self.schedule.next().expect("budget schedules are infinite");
-        let fresh = self
-            .enumerator
-            .strategy(next)
-            .expect("schedule yielded an index outside the enumeration");
+        let (next, budget, fresh) = self.next_candidate();
         self.switches.push(SwitchRecord {
             round,
             from_index: self.current_index,

@@ -56,6 +56,12 @@ pub struct BenchRecord {
     pub mean_ns: u64,
     /// Optional throughput denominator (elements processed per iteration).
     pub elems: Option<u64>,
+    /// Worker threads the benched code ran with (parallel-variant benches).
+    pub threads: Option<u64>,
+    /// Candidate-cache hits observed during one probe run of the closure.
+    pub cache_hits: Option<u64>,
+    /// Candidate-cache misses observed during the same probe run.
+    pub cache_misses: Option<u64>,
 }
 
 impl BenchRecord {
@@ -77,8 +83,27 @@ impl BenchRecord {
         if let Some(e) = self.elems {
             let _ = write!(s, ",\"elems\":{e}");
         }
+        if let Some(t) = self.threads {
+            let _ = write!(s, ",\"threads\":{t}");
+        }
+        if let Some(h) = self.cache_hits {
+            let _ = write!(s, ",\"cache_hits\":{h}");
+        }
+        if let Some(m) = self.cache_misses {
+            let _ = write!(s, ",\"cache_misses\":{m}");
+        }
         s.push('}');
         s
+    }
+
+    /// Cache hits as a fraction of all lookups, when both counters were
+    /// recorded and at least one lookup happened.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let (h, m) = (self.cache_hits?, self.cache_misses?);
+        if h + m == 0 {
+            return None;
+        }
+        Some(h as f64 / (h + m) as f64)
     }
 
     /// Parses a line produced by [`to_json_line`](Self::to_json_line).
@@ -108,6 +133,9 @@ impl BenchRecord {
             p95_ns: get_n("p95_ns")?,
             mean_ns: get_n("mean_ns")?,
             elems: get_n("elems"),
+            threads: get_n("threads"),
+            cache_hits: get_n("cache_hits"),
+            cache_misses: get_n("cache_misses"),
         })
     }
 }
@@ -237,6 +265,23 @@ pub fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Optional per-benchmark annotations carried into the JSONL record.
+///
+/// Used by the parallel-variant benches (thread count) and the
+/// candidate-cache benches (hit/miss counters measured over one probe run of
+/// the closure, since the harness's own iteration count is calibrated).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchMeta {
+    /// Throughput denominator, as in [`Bench::bench_elems`].
+    pub elems: Option<u64>,
+    /// Worker threads the benched code runs with.
+    pub threads: Option<u64>,
+    /// Candidate-cache hits during a representative run.
+    pub cache_hits: Option<u64>,
+    /// Candidate-cache misses during the same run.
+    pub cache_misses: Option<u64>,
+}
+
 /// A benchmark group: times closures and reports per-iteration statistics.
 pub struct Bench {
     group: String,
@@ -294,16 +339,27 @@ impl Bench {
 
     /// Times `f`, recording per-iteration statistics under `id`.
     pub fn bench<R>(&mut self, id: impl Into<String>, f: impl FnMut() -> R) {
-        self.run(id.into(), None, f);
+        self.run(id.into(), BenchMeta::default(), f);
     }
 
     /// Like [`bench`](Self::bench), recording that each iteration processes
     /// `elems` elements so the summary can show throughput.
     pub fn bench_elems<R>(&mut self, id: impl Into<String>, elems: u64, f: impl FnMut() -> R) {
-        self.run(id.into(), Some(elems), f);
+        self.run(id.into(), BenchMeta { elems: Some(elems), ..BenchMeta::default() }, f);
     }
 
-    fn run<R>(&mut self, id: String, elems: Option<u64>, mut f: impl FnMut() -> R) {
+    /// Like [`bench`](Self::bench), attaching thread-count and cache-counter
+    /// annotations to the record.
+    pub fn bench_tagged<R>(
+        &mut self,
+        id: impl Into<String>,
+        meta: BenchMeta,
+        f: impl FnMut() -> R,
+    ) {
+        self.run(id.into(), meta, f);
+    }
+
+    fn run<R>(&mut self, id: String, meta: BenchMeta, mut f: impl FnMut() -> R) {
         // Calibrate: batch enough iterations that one sample is measurable.
         let t0 = Instant::now();
         black_box(f());
@@ -340,7 +396,10 @@ impl Bench {
             median_ns,
             p95_ns,
             mean_ns,
-            elems,
+            elems: meta.elems,
+            threads: meta.threads,
+            cache_hits: meta.cache_hits,
+            cache_misses: meta.cache_misses,
         };
         let mut line = format!(
             "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
@@ -355,10 +414,20 @@ impl Bench {
             let per_elem = rec.median_ns as f64 / e as f64;
             let _ = write!(line, "  [{per_elem:.1} ns/elem]");
         }
+        if let Some(t) = rec.threads {
+            let _ = write!(line, "  [t={t}]");
+        }
+        if let Some(rate) = rec.cache_hit_rate() {
+            let _ = write!(line, "  [cache {:.0}%]", rate * 100.0);
+        }
         println!("{line}");
         let json = rec.to_json_line();
         if let Some(f) = &mut self.sink {
-            let _ = writeln!(f, "{json}");
+            // One write_all per record, newline included: several bench
+            // binaries append to the same JSONL concurrently, and O_APPEND
+            // only guarantees atomicity per write call — a write/writeln
+            // pair could interleave and corrupt both lines.
+            let _ = f.write_all(format!("{json}\n").as_bytes());
         } else {
             println!("{json}");
         }
@@ -396,6 +465,9 @@ mod tests {
             p95_ns: 200,
             mean_ns: 130,
             elems: Some(1000),
+            threads: None,
+            cache_hits: None,
+            cache_misses: None,
         }
     }
 
@@ -404,6 +476,29 @@ mod tests {
         let rec = sample_record();
         let parsed = BenchRecord::parse_json_line(&rec.to_json_line()).expect("parses");
         assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_line_roundtrips_with_parallel_and_cache_fields() {
+        let mut rec = sample_record();
+        rec.threads = Some(4);
+        rec.cache_hits = Some(90);
+        rec.cache_misses = Some(10);
+        let line = rec.to_json_line();
+        assert!(line.contains("\"threads\":4"));
+        assert!(line.contains("\"cache_hits\":90"));
+        let parsed = BenchRecord::parse_json_line(&line).expect("parses");
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.cache_hit_rate(), Some(0.9));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_missing_and_zero_counters() {
+        let mut rec = sample_record();
+        assert_eq!(rec.cache_hit_rate(), None);
+        rec.cache_hits = Some(0);
+        rec.cache_misses = Some(0);
+        assert_eq!(rec.cache_hit_rate(), None, "0/0 lookups is no rate, not 0%");
     }
 
     #[test]

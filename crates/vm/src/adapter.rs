@@ -4,6 +4,7 @@
 //! server program); **B** is the world. The same program text can therefore
 //! be mounted in either role.
 
+use crate::cache::{self, CachedRound, RoundKey};
 use crate::machine::{Machine, RoundIo};
 use crate::program::Program;
 use goc_core::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
@@ -31,12 +32,24 @@ use goc_core::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy};
 #[derive(Clone, Debug)]
 pub struct VmUser {
     machine: Machine,
+    /// Whether steps go through the [`crate::cache`] candidate cache.
+    use_cache: bool,
+    /// Precomputed [`cache::program_hash`] of the program bytes.
+    program_hash: u64,
+    /// Rolling hash of every inbox seen so far ([`cache::extend_prefix`]).
+    prefix_hash: u128,
+    /// Inputs of rounds served from the cache that the machine has not
+    /// executed yet; replayed in order on the next cache miss.
+    pending_replay: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Halt state as observed through the cache (mirrors what
+    /// `machine.halted()` would be after replay).
+    halted_view: Option<Vec<u8>>,
 }
 
 impl VmUser {
     /// Mounts `program` as a user strategy (default fuel).
     pub fn new(program: Program) -> Self {
-        VmUser { machine: Machine::new(program) }
+        Self::with_fuel(program, crate::machine::DEFAULT_FUEL)
     }
 
     /// Mounts `program` with an explicit per-round fuel budget.
@@ -45,30 +58,99 @@ impl VmUser {
     ///
     /// Panics if `fuel == 0`.
     pub fn with_fuel(program: Program, fuel: u32) -> Self {
-        VmUser { machine: Machine::with_fuel(program, fuel) }
+        let program_hash = cache::program_hash(program.as_bytes());
+        VmUser {
+            machine: Machine::with_fuel(program, fuel),
+            use_cache: cache::enabled_by_env(),
+            program_hash,
+            prefix_hash: cache::PREFIX_EMPTY,
+            pending_replay: Vec::new(),
+            halted_view: None,
+        }
+    }
+
+    /// Pins candidate-cache use for this instance, overriding the
+    /// `GOC_VM_CACHE` default. Cached and uncached users are observably
+    /// identical (the VM is a deterministic transducer); the switch exists
+    /// for tests and apples-to-apples benchmarks.
+    pub fn with_cache_enabled(mut self, enabled: bool) -> Self {
+        self.use_cache = enabled;
+        self
     }
 
     /// The underlying machine (registers, program, counters).
+    ///
+    /// When the candidate cache is on, rounds served from it are *not*
+    /// executed eagerly, so the machine's registers and retired-instruction
+    /// counter may lag the interaction until the next cache miss replays
+    /// them. Outputs and halt state (via [`UserStrategy::halted`]) are
+    /// unaffected.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    fn round_key(&self) -> RoundKey {
+        RoundKey {
+            program_hash: self.program_hash,
+            fuel: self.machine.fuel_per_round(),
+            prefix_hash: self.prefix_hash,
+        }
+    }
+
+    /// Executes one round through the cache: hash the inbox into the prefix,
+    /// serve a memoised round if one exists, otherwise replay any skipped
+    /// rounds and run this one for real, recording it.
+    fn cached_round(&mut self, in_a: &[u8], in_b: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        if self.halted_view.is_some() {
+            // A halted machine is inert; don't grow the prefix or the cache.
+            return (Vec::new(), Vec::new());
+        }
+        self.prefix_hash = cache::extend_prefix(self.prefix_hash, in_a, in_b);
+        let key = self.round_key();
+        let program = self.machine.program().as_bytes();
+        if let Some(hit) = cache::lookup(&key, program) {
+            self.pending_replay.push((in_a.to_vec(), in_b.to_vec()));
+            self.halted_view = hit.halted;
+            return (hit.out_a, hit.out_b);
+        }
+        for (a, b) in self.pending_replay.drain(..) {
+            let mut io = RoundIo::with_inputs(a, b);
+            self.machine.round(&mut io);
+        }
+        let mut io = RoundIo::with_inputs(in_a.to_vec(), in_b.to_vec());
+        self.machine.round(&mut io);
+        let halted = self.machine.halted().map(<[u8]>::to_vec);
+        cache::insert(
+            key,
+            self.machine.program().as_bytes(),
+            CachedRound { out_a: io.out_a.clone(), out_b: io.out_b.clone(), halted: halted.clone() },
+        );
+        self.halted_view = halted;
+        (io.out_a, io.out_b)
     }
 }
 
 impl UserStrategy for VmUser {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
-        let mut io = RoundIo::with_inputs(
-            input.from_server.as_bytes().to_vec(),
-            input.from_world.as_bytes().to_vec(),
-        );
-        self.machine.round(&mut io);
-        UserOut {
-            to_server: Message::from_bytes(io.out_a),
-            to_world: Message::from_bytes(io.out_b),
-        }
+        let (out_a, out_b) = if self.use_cache {
+            self.cached_round(input.from_server.as_bytes(), input.from_world.as_bytes())
+        } else {
+            let mut io = RoundIo::with_inputs(
+                input.from_server.as_bytes().to_vec(),
+                input.from_world.as_bytes().to_vec(),
+            );
+            self.machine.round(&mut io);
+            (io.out_a, io.out_b)
+        };
+        UserOut { to_server: Message::from_bytes(out_a), to_world: Message::from_bytes(out_b) }
     }
 
     fn halted(&self) -> Option<Halt> {
-        self.machine.halted().map(|out| Halt::with_output(out.to_vec()))
+        if self.use_cache {
+            self.halted_view.as_ref().map(|out| Halt::with_output(out.clone()))
+        } else {
+            self.machine.halted().map(|out| Halt::with_output(out.to_vec()))
+        }
     }
 
     fn name(&self) -> String {

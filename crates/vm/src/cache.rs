@@ -1,0 +1,271 @@
+//! The candidate-evaluation cache: memoised VM rounds for universal search.
+//!
+//! The universal users re-run the *same* candidate programs over and over —
+//! the compact user's triangular schedule revisits every index Θ(index)
+//! times, and the trial harness repeats whole executions across seeds. A VM
+//! strategy is a **deterministic transducer**: its round-`k` output (and
+//! halt state) is fully determined by the program bytes, the per-round fuel
+//! budget, and the sequence of inbox contents for rounds `0..=k`. That
+//! triple is therefore a sound memoisation key, and this module keeps a
+//! process-wide map from it to the round's outputs.
+//!
+//! [`VmUser`](crate::adapter::VmUser) consults the cache on every step. On a
+//! hit it returns the recorded outboxes without touching its machine; on a
+//! miss it first *replays* any skipped rounds (the machine is a transducer,
+//! so replaying the recorded inputs reproduces the exact register state) and
+//! then executes the round for real, recording it. Either way the observable
+//! behaviour is bit-identical to an uncached run.
+//!
+//! Keys store a 64-bit hash of the program bytes plus a 128-bit rolling hash
+//! of the interaction prefix; entries additionally pin the full program
+//! bytes, which are compared on lookup, so a program-hash collision can
+//! never serve the wrong entry. A prefix-hash collision *within one
+//! program's entries* is the one probabilistic failure mode; at 128 bits it
+//! is negligible against the ≤ 2⁴⁰ rounds any experiment here executes.
+//!
+//! The cache is enabled by default and shared across threads (the parallel
+//! trial harness warms it for every worker). `GOC_VM_CACHE=0` disables it
+//! process-wide; [`VmUser::with_cache_enabled`](crate::adapter::VmUser) pins
+//! it per instance. [`stats`] / [`reset_stats`] expose hit counters for the
+//! bench suite's JSONL records.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of independent cache shards (reduces lock contention when the
+/// parallel harness runs many trials at once). Must be a power of two.
+const SHARD_COUNT: usize = 16;
+
+/// Per-shard entry cap; a shard that grows past this is cleared wholesale.
+/// Bounds memory at roughly `SHARD_COUNT * SHARD_CAP` rounds of output.
+const SHARD_CAP: usize = 1 << 16;
+
+/// The memoised outcome of one VM round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedRound {
+    /// Bytes the round appended to the A (peer) outbox.
+    pub out_a: Vec<u8>,
+    /// Bytes the round appended to the B (world) outbox.
+    pub out_b: Vec<u8>,
+    /// `Some(final output)` if the machine halted during (or before) this
+    /// round.
+    pub halted: Option<Vec<u8>>,
+}
+
+/// Cache key: `(program bytes, fuel, interaction prefix)`, with the program
+/// and prefix in hashed form (see module docs for the soundness argument).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RoundKey {
+    /// FNV-1a over the program bytes ([`program_hash`]).
+    pub program_hash: u64,
+    /// Per-round fuel budget of the machine.
+    pub fuel: u32,
+    /// Rolling 128-bit hash of every inbox up to and including this round
+    /// ([`extend_prefix`]).
+    pub prefix_hash: u128,
+}
+
+struct Entry {
+    /// Full program bytes, compared on lookup to rule out program-hash
+    /// collisions.
+    program: Box<[u8]>,
+    round: CachedRound,
+}
+
+struct Shard {
+    map: Mutex<HashMap<RoundKey, Entry>>,
+}
+
+struct Cache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static CACHE: OnceLock<Cache> = OnceLock::new();
+
+fn cache() -> &'static Cache {
+    CACHE.get_or_init(|| Cache {
+        shards: (0..SHARD_COUNT)
+            .map(|_| Shard { map: Mutex::new(HashMap::new()) })
+            .collect(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+fn shard_of(key: &RoundKey) -> &'static Shard {
+    let mix = key.program_hash ^ (key.prefix_hash as u64) ^ (key.prefix_hash >> 64) as u64;
+    &cache().shards[(mix as usize) & (SHARD_COUNT - 1)]
+}
+
+/// Whether the process-wide cache is enabled (`GOC_VM_CACHE` unset or ≠ "0").
+/// Read once and latched, so flipping the variable mid-process has no effect
+/// — per-instance control is `VmUser::with_cache_enabled`.
+pub fn enabled_by_env() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("GOC_VM_CACHE").map(|v| v != "0").unwrap_or(true))
+}
+
+/// FNV-1a over the program bytes — the `program_hash` component of
+/// [`RoundKey`].
+pub fn program_hash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The empty-interaction prefix hash (FNV-1a 128-bit offset basis).
+pub const PREFIX_EMPTY: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// Folds one round's inboxes into the rolling prefix hash. Lengths are
+/// hashed before contents so `([a,b], [])` and `([a], [b])` cannot collide
+/// by concatenation.
+pub fn extend_prefix(prefix: u128, in_a: &[u8], in_b: &[u8]) -> u128 {
+    const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = prefix;
+    let mut eat = |byte: u8| {
+        h ^= byte as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for part in [in_a, in_b] {
+        for b in (part.len() as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &b in part {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// Looks up the memoised round for `key`, verifying the entry was recorded
+/// for exactly `program` (hash collisions fall through to a miss). Updates
+/// the hit/miss counters.
+pub fn lookup(key: &RoundKey, program: &[u8]) -> Option<CachedRound> {
+    let shard = shard_of(key);
+    let map = shard.map.lock().unwrap();
+    match map.get(key) {
+        Some(entry) if &*entry.program == program => {
+            cache().hits.fetch_add(1, Ordering::Relaxed);
+            Some(entry.round.clone())
+        }
+        _ => {
+            cache().misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Records the outcome of one round under `key`. Overwriting an existing
+/// entry is harmless (the function is deterministic, so the value is the
+/// same — or belongs to a colliding program, which `lookup` re-verifies).
+pub fn insert(key: RoundKey, program: &[u8], round: CachedRound) {
+    let shard = shard_of(&key);
+    let mut map = shard.map.lock().unwrap();
+    if map.len() >= SHARD_CAP {
+        map.clear();
+    }
+    map.insert(key, Entry { program: program.into(), round });
+}
+
+/// Snapshot of the cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to real execution.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (`None` when there were none).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.hits as f64 / total as f64)
+    }
+}
+
+/// Current process-wide hit/miss counters.
+pub fn stats() -> CacheStats {
+    let c = cache();
+    CacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the hit/miss counters (the benches call this before a measured
+/// run so rates are per-experiment, not cumulative).
+pub fn reset_stats() {
+    let c = cache();
+    c.hits.store(0, Ordering::Relaxed);
+    c.misses.store(0, Ordering::Relaxed);
+}
+
+/// Drops every memoised round (counters are left alone).
+pub fn clear() {
+    for shard in &cache().shards {
+        shard.map.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u64, prefix: u128) -> RoundKey {
+        RoundKey { program_hash: p, fuel: 256, prefix_hash: prefix }
+    }
+
+    fn round(tag: u8) -> CachedRound {
+        CachedRound { out_a: vec![tag], out_b: vec![], halted: None }
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips() {
+        let k = key(program_hash(b"prog-x"), PREFIX_EMPTY);
+        insert(k, b"prog-x", round(7));
+        assert_eq!(lookup(&k, b"prog-x"), Some(round(7)));
+    }
+
+    #[test]
+    fn program_hash_collision_is_a_miss_not_a_wrong_hit() {
+        // Same key, different recorded program bytes: the byte comparison
+        // must refuse to serve the entry.
+        let k = key(0x1234, PREFIX_EMPTY ^ 0x5555);
+        insert(k, b"real", round(1));
+        assert_eq!(lookup(&k, b"impostor"), None);
+        assert_eq!(lookup(&k, b"real"), Some(round(1)));
+    }
+
+    #[test]
+    fn prefix_extension_separates_channel_boundaries() {
+        let ab = extend_prefix(PREFIX_EMPTY, b"ab", b"");
+        let a_b = extend_prefix(PREFIX_EMPTY, b"a", b"b");
+        let empty = extend_prefix(PREFIX_EMPTY, b"", b"");
+        assert_ne!(ab, a_b);
+        assert_ne!(ab, empty);
+        // And it is a function of the whole history, not just the last round.
+        assert_ne!(extend_prefix(ab, b"", b""), extend_prefix(a_b, b"", b""));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        reset_stats();
+        let k = key(program_hash(b"stats-prog"), extend_prefix(PREFIX_EMPTY, b"s", b""));
+        assert_eq!(lookup(&k, b"stats-prog"), None);
+        insert(k, b"stats-prog", round(3));
+        assert!(lookup(&k, b"stats-prog").is_some());
+        let s = stats();
+        assert!(s.misses >= 1 && s.hits >= 1, "{s:?}");
+        assert!(s.hit_rate().unwrap() > 0.0);
+    }
+}

@@ -9,9 +9,12 @@
 //! (paper §3, closing remark).
 
 use crate::adapter::VmUser;
+use crate::instr::Instr;
 use crate::program::Program;
 use goc_core::enumeration::StrategyEnumerator;
+use goc_core::par;
 use goc_core::strategy::BoxedUser;
+use std::collections::HashSet;
 
 /// Enumerates byte strings over an alphabet in length-lex order and mounts
 /// them as user strategies.
@@ -153,6 +156,125 @@ impl ProgramEnumerator {
         }
         usize::try_from(offset + value).ok()
     }
+
+    /// Collapses this (finite) enumeration to one representative program per
+    /// [`canonical_signature`] — the cheap dedup pass that stops the
+    /// universal users probing semantically-identical short programs twice.
+    /// The representative for each signature is its lowest-index (i.e.
+    /// shortest, then lexicographically first) program, and representatives
+    /// keep their relative order, so the deduped class is still length-lex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is infinite or too large to scan (no `max_len`,
+    /// or `total()` overflows `usize`).
+    pub fn deduped(self) -> DedupedProgramEnumerator {
+        let total = self
+            .total()
+            .expect("deduped() needs a finite, scannable class — set with_max_len first");
+        let mut seen = HashSet::new();
+        let mut representatives = Vec::new();
+        for index in 0..total {
+            if seen.insert(canonical_signature(&self.program(index))) {
+                representatives.push(index);
+            }
+        }
+        DedupedProgramEnumerator { inner: self, representatives }
+    }
+}
+
+/// A cheap, sound canonical signature: two programs with equal signatures
+/// are observably identical as strategies (same outputs and halt behaviour
+/// for every input history and any fuel budget).
+///
+/// Jump-free programs execute their canonical decoding linearly from the
+/// top each round, so their semantics are exactly that instruction list,
+/// truncated at the first `halt` (kept — halting is observable) or
+/// `end` (dropped — running off the code end ends the round the same way).
+/// Re-encoding the truncated list normalises the many byte spellings of one
+/// instruction (opcodes and registers decode modulo), so e.g. `[0x01, b'h']`
+/// and `[0x11, b'h']` — both `emit.a 0x68` — share a signature.
+///
+/// Programs containing any jump are returned verbatim (tagged separately):
+/// a jump may land mid-instruction, making the byte layout itself
+/// semantically significant, so no two of them are ever merged.
+pub fn canonical_signature(program: &Program) -> Vec<u8> {
+    let mut linear = Vec::new();
+    for instr in program.instructions() {
+        match instr {
+            Instr::Jmp(_) | Instr::JmpIfZero(_, _) => {
+                let mut raw = Vec::with_capacity(program.len() + 1);
+                raw.push(1u8); // tag: opaque byte layout
+                raw.extend_from_slice(program.as_bytes());
+                return raw;
+            }
+            Instr::Halt => {
+                linear.push(Instr::Halt);
+                break;
+            }
+            Instr::EndRound => break,
+            other => linear.push(other),
+        }
+    }
+    let mut sig = vec![0u8]; // tag: normalised linear decoding
+    for instr in &linear {
+        instr.encode(&mut sig);
+    }
+    sig
+}
+
+/// A [`ProgramEnumerator`] restricted to one representative per canonical
+/// signature (see [`ProgramEnumerator::deduped`]). Indices are dense over
+/// the representatives; [`DedupedProgramEnumerator::original_index`] maps
+/// back into the full enumeration.
+#[derive(Clone, Debug)]
+pub struct DedupedProgramEnumerator {
+    inner: ProgramEnumerator,
+    representatives: Vec<usize>,
+}
+
+impl DedupedProgramEnumerator {
+    /// Number of semantically-distinct programs in the class.
+    pub fn total(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The full-enumeration index of the `index`-th representative.
+    pub fn original_index(&self, index: usize) -> Option<usize> {
+        self.representatives.get(index).copied()
+    }
+
+    /// The `index`-th representative program.
+    pub fn program(&self, index: usize) -> Option<Program> {
+        Some(self.inner.program(*self.representatives.get(index)?))
+    }
+}
+
+impl StrategyEnumerator for DedupedProgramEnumerator {
+    fn len(&self) -> Option<usize> {
+        Some(self.representatives.len())
+    }
+
+    fn strategy(&self, index: usize) -> Option<BoxedUser> {
+        self.inner.strategy(*self.representatives.get(index)?)
+    }
+
+    fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
+        let mapped: Vec<Option<usize>> =
+            indices.iter().map(|&i| self.representatives.get(i).copied()).collect();
+        let users = par::par_map(mapped.len(), |k| {
+            mapped[k].and_then(|orig| {
+                self.inner.total().map_or(true, |t| orig < t).then(|| {
+                    VmUser::with_fuel(self.inner.program(orig), self.inner.fuel)
+                })
+            })
+        });
+        users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("{} deduped({})", self.inner.name(), self.representatives.len())
+    }
 }
 
 impl StrategyEnumerator for ProgramEnumerator {
@@ -167,6 +289,20 @@ impl StrategyEnumerator for ProgramEnumerator {
             }
         }
         Some(Box::new(VmUser::with_fuel(self.program(index), self.fuel)))
+    }
+
+    fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
+        // VmUser is Send and construction is pure, so materialise the batch
+        // on the worker pool; boxing happens on the calling thread because
+        // BoxedUser carries no Send bound.
+        let total = self.total();
+        let users = par::par_map(indices.len(), |k| {
+            let index = indices[k];
+            total
+                .map_or(true, |t| index < t)
+                .then(|| VmUser::with_fuel(self.program(index), self.fuel))
+        });
+        users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect()
     }
 
     fn name(&self) -> String {
@@ -265,5 +401,79 @@ mod tests {
     fn name_reports_alphabet() {
         assert!(ProgramEnumerator::full().name().contains("|Σ|=256"));
         assert!(ProgramEnumerator::over(vec![1u8]).with_max_len(4).name().contains("len≤4"));
+    }
+
+    #[test]
+    fn batch_matches_strategy_in_parallel() {
+        let e = ProgramEnumerator::over(vec![0u8, 1]).with_max_len(3);
+        let indices = [0usize, 5, 14, 15, 99, 7];
+        let got = goc_core::par::with_thread_count(4, || e.batch(&indices));
+        assert_eq!(got.len(), indices.len());
+        for (k, &i) in indices.iter().enumerate() {
+            assert_eq!(got[k].is_some(), e.strategy(i).is_some(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn signature_normalises_opcode_aliases() {
+        // 0x01 and 0x11 both decode to EmitA (opcodes are mod 16).
+        let a = Program::from_bytes(vec![0x01, b'h']);
+        let b = Program::from_bytes(vec![0x11, b'h']);
+        assert_ne!(a, b);
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+    }
+
+    #[test]
+    fn signature_truncates_after_round_end_and_halt() {
+        let stop = Program::assemble(&[Instr::EmitA(1), Instr::EndRound]);
+        let stop_tail = Program::assemble(&[Instr::EmitA(1), Instr::EndRound, Instr::EmitA(9)]);
+        let bare = Program::assemble(&[Instr::EmitA(1)]);
+        assert_eq!(canonical_signature(&stop), canonical_signature(&stop_tail));
+        assert_eq!(canonical_signature(&stop), canonical_signature(&bare));
+        // Halt is observable and must stay in the signature.
+        let halts = Program::assemble(&[Instr::EmitA(1), Instr::Halt]);
+        assert_ne!(canonical_signature(&halts), canonical_signature(&bare));
+    }
+
+    #[test]
+    fn signature_keeps_jumpy_programs_apart() {
+        // Identical linear decodings, but jumps make byte layout semantic:
+        // these must not share a signature with each other or with anything
+        // normalised.
+        let a = Program::assemble(&[Instr::Jmp(1), Instr::EmitA(1)]);
+        let b = Program::assemble(&[Instr::Jmp(2), Instr::EmitA(1)]);
+        assert_ne!(canonical_signature(&a), canonical_signature(&b));
+        assert_eq!(canonical_signature(&a), canonical_signature(&a));
+    }
+
+    #[test]
+    fn deduped_class_shrinks_and_keeps_representatives() {
+        let e = ProgramEnumerator::full().with_max_len(1);
+        let full_total = e.total().unwrap(); // 257 programs
+        let d = e.deduped();
+        assert!(d.total() < full_total, "aliased single-byte opcodes must merge");
+        // Representatives are distinct signatures, in ascending index order.
+        let mut sigs = HashSet::new();
+        let mut last = None;
+        for i in 0..d.total() {
+            let orig = d.original_index(i).unwrap();
+            assert!(last.is_none_or(|prev| prev < orig));
+            last = Some(orig);
+            assert!(sigs.insert(canonical_signature(&d.program(i).unwrap())));
+        }
+        // The empty program (index 0) is always its own representative.
+        assert_eq!(d.original_index(0), Some(0));
+        assert!(d.strategy(d.total()).is_none());
+        assert!(d.name().contains("deduped"));
+    }
+
+    #[test]
+    fn deduped_batch_matches_strategy() {
+        let d = ProgramEnumerator::over(vec![0u8, 1, 15]).with_max_len(2).deduped();
+        let indices: Vec<usize> = (0..d.total() + 2).collect();
+        let got = d.batch(&indices);
+        for (k, &i) in indices.iter().enumerate() {
+            assert_eq!(got[k].is_some(), d.strategy(i).is_some(), "index {i}");
+        }
     }
 }

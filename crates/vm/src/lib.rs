@@ -13,9 +13,13 @@
 //! - [`machine`] — the fuel-bounded interpreter.
 //! - [`adapter`] — mounting programs as `goc-core` users/servers, plus a
 //!   library of small useful programs.
+//! - [`cache`] — the candidate-evaluation cache memoising VM rounds by
+//!   `(program, fuel, interaction prefix)` across universal-search revisits
+//!   and harness trials.
 //! - [`enumerate`] — the length-lex [`ProgramEnumerator`], a
 //!   [`StrategyEnumerator`](goc_core::enumeration::StrategyEnumerator) over
-//!   the full class or any alphabet-restricted subclass.
+//!   the full class or any alphabet-restricted subclass, with a
+//!   canonical-signature dedup pass for finite classes.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +39,7 @@
 
 pub mod adapter;
 pub mod asm;
+pub mod cache;
 pub mod enumerate;
 pub mod instr;
 pub mod machine;

@@ -90,6 +90,11 @@ impl Machine {
         &self.program
     }
 
+    /// The per-round fuel budget.
+    pub fn fuel_per_round(&self) -> u32 {
+        self.fuel_per_round
+    }
+
     /// Register contents (persist across rounds).
     pub fn regs(&self) -> &[u64; REG_COUNT] {
         &self.regs

@@ -1,0 +1,67 @@
+//! Property tests for `ProgramEnumerator::index_of` as the inverse of
+//! `program`: a seeded sweep of indices round-trips through both directions,
+//! including the boundary of a length-capped (finite) class.
+
+use goc_testkit::{check, gens, prop_assert, prop_assert_eq};
+use goc_vm::enumerate::ProgramEnumerator;
+
+/// `index_of(program(i)) == Some(i)` on an unbounded class, over a seeded
+/// sweep of indices and alphabet sizes.
+#[test]
+fn index_of_inverts_program_unbounded() {
+    check(
+        "index_of_inverts_program_unbounded",
+        // Alphabet size 1 makes program length == index, so keep the index
+        // range modest: the sweep still crosses several length boundaries
+        // for every alphabet size without quadratic index_of cost.
+        gens::tuple2(gens::usize_in(0, 5_000), gens::usize_in(1, 9)),
+        |&(index, alpha)| {
+            let e = ProgramEnumerator::over((0..alpha as u8).collect::<Vec<_>>());
+            prop_assert_eq!(e.index_of(&e.program(index)), Some(index), "alphabet {alpha}");
+            Ok(())
+        },
+    );
+}
+
+/// On a length-capped class every in-range index round-trips, and the
+/// boundary behaves: `program(total - 1)` is the last real program, while
+/// out-of-range indices wrap onto in-class programs whose `index_of` is the
+/// wrapped (in-range) index — never `None`, never out of range.
+#[test]
+fn index_of_round_trips_at_the_cap_boundary() {
+    check(
+        "index_of_round_trips_at_the_cap_boundary",
+        gens::tuple3(gens::usize_in(1, 4), gens::usize_in(1, 4), gens::usize_in(0, 64)),
+        |&(alpha, cap, past)| {
+            let e = ProgramEnumerator::over((10..10 + alpha as u8).collect::<Vec<_>>())
+                .with_max_len(cap);
+            let total = e.total().expect("capped class is finite");
+            for index in [0, total / 2, total.saturating_sub(1)] {
+                prop_assert_eq!(e.index_of(&e.program(index)), Some(index), "total {total}");
+            }
+            // Past-the-end indices wrap; the wrapped program is in class and
+            // its true index is in range.
+            let wrapped = e.program(total + past);
+            prop_assert!(wrapped.len() <= cap);
+            let back = e.index_of(&wrapped).expect("wrapped program is in the class");
+            prop_assert!(back < total, "index_of must map into the class, got {back}");
+            prop_assert_eq!(back, (total + past) % total);
+            Ok(())
+        },
+    );
+}
+
+/// A program longer than the cap is rejected by `index_of`.
+#[test]
+fn index_of_rejects_programs_past_the_cap() {
+    check(
+        "index_of_rejects_programs_past_the_cap",
+        gens::usize_in(1, 6),
+        |&cap| {
+            let e = ProgramEnumerator::over(vec![0u8, 1]).with_max_len(cap);
+            let too_long = goc_vm::program::Program::from_bytes(vec![0u8; cap + 1]);
+            prop_assert_eq!(e.index_of(&too_long), None);
+            Ok(())
+        },
+    );
+}
