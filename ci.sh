@@ -22,9 +22,27 @@ GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e9_substrate
 # e4 carries the sequential-vs-parallel @tN pairs and the VM candidate-cache
 # probe, so the summary below can show speedup and hit-rate columns.
 GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e4_enumeration_overhead
+# e12 exercises the channel layer (noisy links + scheduled outage recovery).
+GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e12_noise_sweep
 
 echo "== experiment report smoke (quick) =="
 cargo run --release --offline -p goc-bench --bin goc-report -- --quick
+
+echo "== conformance sweep (two seeds x GOC_THREADS=1/4, reproducible) =="
+# The metamorphic sweep must (a) report zero safety violations and (b)
+# render byte-identically across thread counts — any failing schedule must
+# shrink to the same replayable counterexample regardless of parallelism.
+for seed in 0x5EED 42; do
+  out1=$(GOC_THREADS=1 cargo run --release --offline -p goc-bench --bin goc-conformance -- --quick --seed "$seed")
+  out4=$(GOC_THREADS=4 cargo run --release --offline -p goc-bench --bin goc-conformance -- --quick --seed "$seed")
+  if [ "$out1" != "$out4" ]; then
+    echo "CI FAIL: conformance sweep not reproducible across thread counts (seed $seed)"
+    diff <(printf '%s\n' "$out1") <(printf '%s\n' "$out4") || true
+    exit 1
+  fi
+  printf '%s\n' "$out1"
+  grep -q "safety violations: 0" <<<"$out1" || { echo "CI FAIL: safety violation in conformance sweep (seed $seed)"; exit 1; }
+done
 
 echo "== bench summary consumes the JSON lines =="
 summary=$(cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary)

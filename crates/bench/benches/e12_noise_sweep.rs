@@ -1,0 +1,14 @@
+//! E12 — noise sweep: wall-clock cost of conquering a helpful relay through
+//! increasingly lossy links, plus recovery from a scheduled outage.
+
+use goc_bench::experiments as exp;
+use goc_testkit::bench::Bench;
+
+fn main() {
+    let mut g = Bench::group("e12_noise_sweep").samples(10);
+    for pct in [0u64, 20, 50] {
+        g.bench(format!("conquest_drop{pct}"), || exp::e12_noise_outcome(pct, 400_000));
+    }
+    g.bench("recovery_burst256", || exp::e12_burst_outcome(256, 400_000));
+    g.finish();
+}

@@ -1,0 +1,45 @@
+//! `goc-conformance` — runs the metamorphic conformance sweep and prints a
+//! deterministic report.
+//!
+//! Run with: `cargo run --release -p goc-bench --bin goc-conformance [-- FLAGS]`
+//!
+//! Flags:
+//! - `--seed N`: root seed for the sweep (decimal or 0x-hex; default 1).
+//! - `--quick`: reduced case count for CI smoke.
+//!
+//! Exit codes: 0 conformant, 2 safety violations, 3 viability failures
+//! (safety wins when both occur — a false positive is the graver bug).
+
+use goc_testkit::conformance::{sweep, SweepConfig};
+
+fn parse_seed(arg: &str) -> Option<u64> {
+    if let Some(hex) = arg.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        arg.parse().ok()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut seed = 1u64;
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        match args.get(i + 1).and_then(|a| parse_seed(a)) {
+            Some(s) => seed = s,
+            None => {
+                eprintln!("goc-conformance: --seed requires a decimal or 0x-hex u64");
+                std::process::exit(1);
+            }
+        }
+    }
+    let cfg = if quick { SweepConfig::quick(seed) } else { SweepConfig::new(seed) };
+    let report = sweep(&cfg);
+    println!("{}", report.render());
+    if !report.safety_violations.is_empty() {
+        std::process::exit(2);
+    }
+    if !report.viability_failures.is_empty() {
+        std::process::exit(3);
+    }
+}

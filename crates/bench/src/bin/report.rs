@@ -243,6 +243,26 @@ fn report(quick: bool) {
         println!("{horizon:>9} {i:>10.3} {l:>9.3} {u:>11.3}");
     }
 
+    // --- E12 --------------------------------------------------------------
+    println!("\n## E12 — noise sweep (shift-3 relay, symmetric i.i.d. loss on the link)");
+    println!("{:>7} {:>10} {:>10}", "drop %", "achieved", "rounds");
+    let noise_horizon = if quick { 100_000 } else { 400_000 };
+    for pct in exp::e12_noise_levels(quick) {
+        let (ok, rounds) = exp::e12_noise_outcome(pct, noise_horizon);
+        println!("{pct:>7} {ok:>10} {rounds:>10}");
+        // Loss only slows conquest: the helpful server stays helpful, the
+        // ACK travels the untouchable world link, so every level conquers.
+        assert!(ok, "drop {pct}% must still conquer within {noise_horizon}");
+    }
+    println!("single outage at round 0 (finite schedule — recovery cost):");
+    println!("{:>10} {:>10} {:>10}", "burst len", "achieved", "rounds");
+    let bursts: &[u64] = if quick { &[0, 256] } else { &[0, 64, 256, 1_024] };
+    for &len in bursts {
+        let (ok, rounds) = exp::e12_burst_outcome(len, noise_horizon);
+        println!("{len:>10} {ok:>10} {rounds:>10}");
+        assert!(ok && rounds > len, "burst {len}: {ok}, {rounds}");
+    }
+
     // --- E9 ---------------------------------------------------------------
     println!("\n## E9 — substrate throughput (see `cargo bench -p goc-bench` for timings)");
     let (exec_rounds, vm_rounds) = if quick { (10_000, 1_000) } else { (100_000, 10_000) };

@@ -1,6 +1,7 @@
 //! Deterministic experiment runners shared by the `goc-testkit` timing
 //! benches and the `goc-report` table generator.
 
+use goc_core::channel::Noisy;
 use goc_core::enumeration::SliceEnumerator;
 use goc_core::harness::{compact_success, finite_success, SuccessReport};
 use goc_core::prelude::*;
@@ -630,6 +631,71 @@ pub fn e9_vm_instructions(rounds: u64) -> u64 {
     m.instructions_retired()
 }
 
+// ---------------------------------------------------------------------------
+// E12 — noise sweep: conquest under an adversarial channel
+// ---------------------------------------------------------------------------
+
+/// The drop-probability levels (in percent) swept by E12.
+pub fn e12_noise_levels(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![0, 20, 50]
+    } else {
+        vec![0, 10, 20, 30, 50, 70, 90]
+    }
+}
+
+/// One finite-universal run against a shift-3 relay with `drop_pct`% i.i.d.
+/// loss on BOTH directions of the user↔server link. Returns
+/// `(achieved, rounds)`. Sensing reads the world's ACK, which never crosses
+/// the faulted link — so noise can only slow conquest, never fake it.
+pub fn e12_noise_outcome(drop_pct: u64, horizon: u64) -> (bool, u64) {
+    let goal = toy::MagicWordGoal::new("hi");
+    let user = LevinUniversalUser::round_robin(
+        Box::new(toy::caesar_class("hi", 8, false)),
+        Box::new(toy::ack_sensing()),
+        16,
+    );
+    let p = drop_pct as f64 / 100.0;
+    let mut rng = GocRng::seed_from_u64(1200 + drop_pct);
+    let mut exec = Execution::with_channels(
+        goal.spawn_world(&mut rng),
+        Box::new(toy::RelayServer::with_shift(3)),
+        Box::new(user),
+        rng,
+        Box::new(Noisy::drops(p)),
+        Box::new(Noisy::drops(p)),
+    );
+    let t = exec.run(horizon);
+    let v = evaluate_finite(&goal, &t);
+    (v.achieved, v.rounds)
+}
+
+/// One finite-universal run through a total outage of `burst_len` rounds
+/// starting at round 0 on both directions. Returns `(achieved, rounds)`;
+/// the finite schedule bounds the loss, so conquest is mandatory and the
+/// rounds measure pure recovery cost.
+pub fn e12_burst_outcome(burst_len: u64, horizon: u64) -> (bool, u64) {
+    let goal = toy::MagicWordGoal::new("hi");
+    let user = LevinUniversalUser::round_robin(
+        Box::new(toy::caesar_class("hi", 8, false)),
+        Box::new(toy::ack_sensing()),
+        16,
+    );
+    let schedule = FaultSchedule::single(0, Fault::Burst { len: burst_len });
+    let mut rng = GocRng::seed_from_u64(1250);
+    let mut exec = Execution::with_channels(
+        goal.spawn_world(&mut rng),
+        Box::new(toy::RelayServer::with_shift(3)),
+        Box::new(user),
+        rng,
+        Box::new(Scheduled::new(schedule.clone())),
+        Box::new(Scheduled::new(schedule)),
+    );
+    let t = exec.run(horizon);
+    let v = evaluate_finite(&goal, &t);
+    (v.achieved, v.rounds)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,6 +787,16 @@ mod tests {
         let seq = with_thread_count(1, || e8_patience_report(8, 4));
         let par = with_thread_count(4, || e8_patience_report(8, 4));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn e12_noise_slows_but_never_stops_conquest() {
+        let (clean_ok, clean_rounds) = e12_noise_outcome(0, 100_000);
+        let (noisy_ok, noisy_rounds) = e12_noise_outcome(50, 100_000);
+        assert!(clean_ok && noisy_ok);
+        assert!(noisy_rounds >= clean_rounds, "{noisy_rounds} < {clean_rounds}");
+        let (burst_ok, burst_rounds) = e12_burst_outcome(200, 100_000);
+        assert!(burst_ok && burst_rounds > 200, "outage must delay past its own length");
     }
 
     #[test]

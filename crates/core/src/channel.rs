@@ -1,0 +1,655 @@
+//! Adversarial channels on the user↔server link.
+//!
+//! The theory's guarantees are statements about *executions*, and an
+//! execution is only as trustworthy as the link it runs over. This module
+//! makes the link a first-class, deterministic object: a [`Channel`] sits on
+//! each direction of the user↔server connection inside
+//! [`Execution`](crate::exec::Execution) and may drop, duplicate, reorder,
+//! corrupt, delay or burst-erase the messages crossing it.
+//!
+//! Two design rules keep every theorem-experiment reproducible:
+//!
+//! - **Determinism.** All channel randomness flows through the channel's own
+//!   [`GocRng`](crate::rng::GocRng) fork (streams 4 and 5 of the execution
+//!   seed), so a `(seed, schedule)` pair replays the exact same run forever.
+//! - **The default is exact.** [`Perfect`] is the identity: it consumes no
+//!   randomness and delivers every message untouched, so executions built
+//!   with [`Execution::new`](crate::exec::Execution::new) are byte-for-byte
+//!   identical to the engine without a channel layer (property-tested in
+//!   `tests/channel_props.rs`).
+//!
+//! Deterministic fault injection is driven by replayable [`FaultSchedule`]
+//! values — finite lists of `(round, Fault)` entries interpreted by the
+//! [`Scheduled`] channel. A finite schedule is *bounded-loss*: after its last
+//! entry drains, the channel is perfect again, so a helpful server remains
+//! helpful for any forgiving goal and Theorem 1 still applies — the
+//! metamorphic invariant `goc_testkit::conformance` sweeps. Probabilistic
+//! impairments ([`Noisy`], [`Garbler`]) and fixed latency ([`Latency`])
+//! cover the noise-sweep experiments, and [`Chained`] composes any stack of
+//! channels into one.
+
+use crate::msg::Message;
+use crate::strategy::StepCtx;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+/// A directed, possibly adversarial channel carrying one message per round.
+///
+/// `transmit` is called exactly once per round per direction by the
+/// execution engine: it receives the message sent this round and returns the
+/// message that will be delivered next round (possibly silence, possibly a
+/// message held over from an earlier round).
+///
+/// Implementations must be deterministic functions of their own state and
+/// the [`StepCtx`] (round number plus the channel's private rng stream);
+/// they never see world traffic — the paper's referee judges world states,
+/// and a channel that could tamper with the world channel would trivialize
+/// the safety question.
+pub trait Channel: Debug {
+    /// Transforms the message sent this round into the message delivered
+    /// next round.
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message;
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> String {
+        "channel".to_string()
+    }
+}
+
+/// Boxed channel, the form [`Execution`](crate::exec::Execution) stores.
+pub type BoxedChannel = Box<dyn Channel>;
+
+impl Channel for BoxedChannel {
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        (**self).transmit(ctx, msg)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The identity channel: every message is delivered untouched, one round
+/// later, and **no randomness is consumed**. This is the exact pre-channel
+/// behaviour of the execution engine.
+#[derive(Clone, Debug, Default)]
+pub struct Perfect;
+
+impl Channel for Perfect {
+    fn transmit(&mut self, _ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        msg
+    }
+
+    fn name(&self) -> String {
+        "perfect".to_string()
+    }
+}
+
+/// One composable channel fault, applied to the message of a single round.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The round's message is silently discarded.
+    Drop,
+    /// The message is delivered normally **and** a copy is re-delivered on
+    /// the following round (ahead of that round's natural arrival).
+    Duplicate,
+    /// The message arrives `rounds` rounds late, delivered *before* the
+    /// natural arrival of its release round.
+    Delay {
+        /// Extra rounds of latency (≥ 1 to be observable).
+        rounds: u64,
+    },
+    /// The message is held `depth` rounds and delivered *after* the natural
+    /// arrival of its release round — it swaps order with later traffic.
+    Reorder {
+        /// Rounds to hold the message back.
+        depth: u64,
+    },
+    /// Every payload byte is XORed with `mask`. Silence stays silence: a
+    /// channel can destroy information but cannot conjure a message out of
+    /// nothing (see [`Garbler`] for byzantine injection).
+    Corrupt {
+        /// XOR mask; `0` is the identity corruption.
+        mask: u8,
+    },
+    /// This round's message and everything sent in the next `len - 1`
+    /// rounds are discarded — a loss burst.
+    Burst {
+        /// Number of consecutive sending rounds erased (≥ 1).
+        len: u64,
+    },
+}
+
+/// A replayable, finite description of channel faults: at most one
+/// [`Fault`] per round, applied by [`Scheduled`] on the round the message is
+/// *sent*. Rounds without an entry deliver perfectly.
+///
+/// Because a schedule is finite it is automatically **bounded-loss**: only
+/// finitely many messages can be affected, after which the channel is
+/// perfect again. The conformance harness's viability sweep relies on this —
+/// any finite schedule preserves a server's helpfulness for forgiving goals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    entries: Vec<(u64, Fault)>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule (equivalent to [`Perfect`]).
+    pub fn empty() -> Self {
+        FaultSchedule { entries: Vec::new() }
+    }
+
+    /// A schedule with a single fault.
+    pub fn single(round: u64, fault: Fault) -> Self {
+        FaultSchedule { entries: vec![(round, fault)] }
+    }
+
+    /// Normalizes `(round, fault)` pairs into a schedule: entries are sorted
+    /// by round and, when several target the same round, the first listed
+    /// wins.
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, Fault)>) -> Self {
+        let mut entries: Vec<(u64, Fault)> = entries.into_iter().collect();
+        entries.sort_by_key(|&(round, _)| round);
+        entries.dedup_by_key(|&mut (round, _)| round);
+        FaultSchedule { entries }
+    }
+
+    /// The normalized `(round, fault)` entries, sorted by round.
+    pub fn entries(&self) -> &[(u64, Fault)] {
+        &self.entries
+    }
+
+    /// `true` if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The fault scheduled for `round`, if any.
+    pub fn fault_at(&self, round: u64) -> Option<&Fault> {
+        self.entries
+            .binary_search_by_key(&round, |&(r, _)| r)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The first round from which the schedule can no longer influence
+    /// traffic: every entry has fired and every held message has drained.
+    /// From this round on a [`Scheduled`] channel behaves like [`Perfect`]
+    /// (apart from a possibly non-empty queue order, which also drains).
+    pub fn quiet_after(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(round, fault)| match fault {
+                Fault::Delay { rounds } => round.saturating_add(*rounds).saturating_add(1),
+                Fault::Reorder { depth } => round.saturating_add(*depth).saturating_add(1),
+                Fault::Burst { len } => round.saturating_add(*len),
+                Fault::Duplicate => round.saturating_add(2),
+                Fault::Drop | Fault::Corrupt { .. } => round.saturating_add(1),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// XORs every payload byte with `mask`; silence is preserved.
+pub fn corrupt_message(msg: &Message, mask: u8) -> Message {
+    if msg.is_silence() {
+        return Message::silence();
+    }
+    Message::from_bytes(msg.as_bytes().iter().map(|b| b ^ mask).collect::<Vec<u8>>())
+}
+
+/// The deterministic fault-injection channel: applies a [`FaultSchedule`]
+/// entry to the message of each scheduled round; everything else passes
+/// through untouched. Consumes **no randomness**, so an empty schedule is
+/// observably identical to [`Perfect`].
+///
+/// Held messages (delay/reorder/duplicate copies) live in an internal queue;
+/// one message is delivered per round, earliest due first (delayed messages
+/// beat, reordered messages yield to, the natural arrival of their release
+/// round). A message due on a busy round slips to the next free one.
+#[derive(Clone, Debug)]
+pub struct Scheduled {
+    schedule: FaultSchedule,
+    /// Held messages as `(due_round, class, seq, msg)`; delivery picks the
+    /// minimum key. Class 0 = normal/delayed (beats the release round's
+    /// arrival), class 1 = reordered (yields to it).
+    held: Vec<(u64, u8, u64, Message)>,
+    seq: u64,
+    burst_until: u64,
+}
+
+impl Scheduled {
+    /// A channel driven by `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        Scheduled { schedule, held: Vec::new(), seq: 0, burst_until: 0 }
+    }
+
+    /// The schedule driving this channel.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    fn enqueue(&mut self, due: u64, class: u8, msg: Message) {
+        self.held.push((due, class, self.seq, msg));
+        self.seq += 1;
+    }
+
+    fn deliver(&mut self, round: u64) -> Message {
+        let best = self
+            .held
+            .iter()
+            .enumerate()
+            .filter(|(_, &(due, _, _, _))| due <= round)
+            .min_by_key(|(_, &(due, class, seq, _))| (due, class, seq))
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => self.held.remove(i).3,
+            None => Message::silence(),
+        }
+    }
+}
+
+impl Channel for Scheduled {
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        let round = ctx.round;
+        // A burst arms on its scheduled round even if nothing was sent.
+        if let Some(Fault::Burst { len }) = self.schedule.fault_at(round) {
+            self.burst_until = self.burst_until.max(round.saturating_add(*len));
+        }
+        if !msg.is_silence() && round >= self.burst_until {
+            match self.schedule.fault_at(round) {
+                None | Some(Fault::Burst { .. }) => self.enqueue(round, 0, msg),
+                Some(Fault::Drop) => {}
+                Some(Fault::Duplicate) => {
+                    self.enqueue(round, 0, msg.clone());
+                    self.enqueue(round + 1, 0, msg);
+                }
+                Some(&Fault::Delay { rounds }) => {
+                    self.enqueue(round.saturating_add(rounds), 0, msg)
+                }
+                Some(&Fault::Reorder { depth }) => {
+                    self.enqueue(round.saturating_add(depth), 1, msg)
+                }
+                Some(&Fault::Corrupt { mask }) => {
+                    self.enqueue(round, 0, corrupt_message(&msg, mask))
+                }
+            }
+        }
+        self.deliver(round)
+    }
+
+    fn name(&self) -> String {
+        format!("scheduled({} faults)", self.schedule.len())
+    }
+}
+
+/// A fixed-latency line: every message arrives `delay` extra rounds late,
+/// order preserved. This is the channel form of the old `Delayed` server
+/// wrapper, which now delegates here.
+#[derive(Clone, Debug)]
+pub struct Latency {
+    queue: VecDeque<Message>,
+    delay: usize,
+}
+
+impl Latency {
+    /// A line adding `delay` rounds of latency (0 is transparent).
+    pub fn new(delay: usize) -> Self {
+        let mut queue = VecDeque::with_capacity(delay + 1);
+        for _ in 0..delay {
+            queue.push_back(Message::silence());
+        }
+        Latency { queue, delay }
+    }
+
+    /// The configured latency in rounds.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+}
+
+impl Channel for Latency {
+    fn transmit(&mut self, _ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        self.queue.push_back(msg);
+        self.queue.pop_front().unwrap_or_else(Message::silence)
+    }
+
+    fn name(&self) -> String {
+        format!("latency({})", self.delay)
+    }
+}
+
+/// A memoryless noisy channel: each non-silent message is independently
+/// dropped with probability `drop_p`, and (if it survives) corrupted with
+/// probability `corrupt_p` by XORing every byte with a random non-zero mask.
+///
+/// Randomness comes from the channel's own rng stream. The rng discipline
+/// mirrors the old `Lossy` wrapper exactly — one `chance(drop_p)` draw per
+/// non-silent message, corruption draws only when `corrupt_p > 0` — so the
+/// wrapper can delegate here without perturbing seeded transcripts.
+#[derive(Clone, Debug)]
+pub struct Noisy {
+    drop_p: f64,
+    corrupt_p: f64,
+}
+
+impl Noisy {
+    /// Drops with probability `drop_p`, corrupts survivors with probability
+    /// `corrupt_p` (both clamped to `[0, 1]`).
+    pub fn new(drop_p: f64, corrupt_p: f64) -> Self {
+        Noisy { drop_p: drop_p.clamp(0.0, 1.0), corrupt_p: corrupt_p.clamp(0.0, 1.0) }
+    }
+
+    /// A purely lossy channel.
+    pub fn drops(p: f64) -> Self {
+        Noisy::new(p, 0.0)
+    }
+}
+
+impl Channel for Noisy {
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        if msg.is_silence() {
+            return msg;
+        }
+        if ctx.rng.chance(self.drop_p) {
+            return Message::silence();
+        }
+        if self.corrupt_p > 0.0 && ctx.rng.chance(self.corrupt_p) {
+            let mask = ctx.rng.byte() | 1; // non-zero: a real corruption
+            return corrupt_message(&msg, mask);
+        }
+        msg
+    }
+
+    fn name(&self) -> String {
+        format!("noisy(drop {}, corrupt {})", self.drop_p, self.corrupt_p)
+    }
+}
+
+/// A byzantine channel: with probability `p` per round it replaces the
+/// round's message — **including silence** — with 1..=`max_len` random
+/// bytes. Unlike [`Fault::Corrupt`], a garbler can fabricate traffic, which
+/// is exactly what the safety experiments need: garbage on the server link
+/// must never fool sensing grounded in the world's feedback.
+#[derive(Clone, Debug)]
+pub struct Garbler {
+    p: f64,
+    max_len: usize,
+}
+
+impl Garbler {
+    /// Garbles each round independently with probability `p` (clamped to
+    /// `[0, 1]`), emitting up to `max_len` random bytes.
+    pub fn new(p: f64, max_len: usize) -> Self {
+        Garbler { p: p.clamp(0.0, 1.0), max_len: max_len.max(1) }
+    }
+}
+
+impl Channel for Garbler {
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        if ctx.rng.chance(self.p) {
+            let len = ctx.rng.index(self.max_len) + 1;
+            Message::from_bytes(ctx.rng.bytes(len))
+        } else {
+            msg
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("garbler({}, {})", self.p, self.max_len)
+    }
+}
+
+/// Sequential composition of channels: the output of each stage feeds the
+/// next, all within the same round. `Chained::new(vec![])` is [`Perfect`].
+///
+/// Composition is how schedules and noise combine — e.g. a drop+reorder
+/// schedule in front of a corrupting [`Noisy`] stage models a link that is
+/// both adversarial and unreliable.
+#[derive(Debug)]
+pub struct Chained {
+    stages: Vec<BoxedChannel>,
+}
+
+impl Chained {
+    /// Chains `stages` in order.
+    pub fn new(stages: Vec<BoxedChannel>) -> Self {
+        Chained { stages }
+    }
+}
+
+impl Channel for Chained {
+    fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
+        let mut msg = msg;
+        for stage in &mut self.stages {
+            msg = stage.transmit(ctx, msg);
+        }
+        msg
+    }
+
+    fn name(&self) -> String {
+        let names: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
+        format!("chained[{}]", names.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::GocRng;
+
+    fn feed(chan: &mut impl Channel, msgs: &[&str], rounds: u64) -> Vec<Message> {
+        let mut rng = GocRng::seed_from_u64(0);
+        (0..rounds)
+            .map(|round| {
+                let msg = msgs
+                    .get(round as usize)
+                    .map(|s| Message::from(*s))
+                    .unwrap_or_else(Message::silence);
+                let mut ctx = StepCtx::new(round, &mut rng);
+                chan.transmit(&mut ctx, msg)
+            })
+            .collect()
+    }
+
+    fn m(s: &str) -> Message {
+        Message::from(s)
+    }
+
+    #[test]
+    fn perfect_is_identity() {
+        let out = feed(&mut Perfect, &["a", "b", "", "c"], 5);
+        assert_eq!(out, vec![m("a"), m("b"), m(""), m("c"), m("")]);
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let mut chan = Scheduled::new(FaultSchedule::empty());
+        let out = feed(&mut chan, &["a", "b", "c"], 4);
+        assert_eq!(out, vec![m("a"), m("b"), m("c"), m("")]);
+    }
+
+    #[test]
+    fn drop_discards_one_round() {
+        let mut chan = Scheduled::new(FaultSchedule::single(1, Fault::Drop));
+        let out = feed(&mut chan, &["a", "b", "c"], 3);
+        assert_eq!(out, vec![m("a"), m(""), m("c")]);
+    }
+
+    #[test]
+    fn corrupt_flips_bytes_and_preserves_silence() {
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Corrupt { mask: 0xFF }));
+        let out = feed(&mut chan, &["a"], 2);
+        assert_eq!(out[0], Message::from_bytes(vec![b'a' ^ 0xFF]));
+        assert_eq!(out[1], m(""));
+        assert_eq!(corrupt_message(&Message::silence(), 0xFF), Message::silence());
+    }
+
+    #[test]
+    fn corrupt_is_involutive() {
+        let msg = m("hello");
+        assert_eq!(corrupt_message(&corrupt_message(&msg, 0x5A), 0x5A), msg);
+    }
+
+    #[test]
+    fn delay_arrives_late_before_natural_arrival() {
+        // "a" delayed by 2: due at round 2, delivered there *before* "c".
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Delay { rounds: 2 }));
+        let out = feed(&mut chan, &["a", "b", "c", "", ""], 5);
+        assert_eq!(out, vec![m(""), m("b"), m("a"), m("c"), m("")]);
+    }
+
+    #[test]
+    fn reorder_swaps_with_later_traffic() {
+        // "a" reordered by depth 1: held to round 1, delivered *after* "b".
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Reorder { depth: 1 }));
+        let out = feed(&mut chan, &["a", "b", "", ""], 4);
+        assert_eq!(out, vec![m(""), m("b"), m("a"), m("")]);
+    }
+
+    #[test]
+    fn duplicate_redelivers_next_round() {
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Duplicate));
+        let out = feed(&mut chan, &["a", "", ""], 3);
+        assert_eq!(out, vec![m("a"), m("a"), m("")]);
+    }
+
+    #[test]
+    fn duplicate_copy_beats_next_arrival() {
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Duplicate));
+        let out = feed(&mut chan, &["a", "b", "", ""], 4);
+        assert_eq!(out, vec![m("a"), m("a"), m("b"), m("")]);
+    }
+
+    #[test]
+    fn burst_erases_a_window_even_across_silence() {
+        let mut chan = Scheduled::new(FaultSchedule::single(1, Fault::Burst { len: 3 }));
+        let out = feed(&mut chan, &["a", "b", "c", "d", "e"], 5);
+        // Rounds 1, 2, 3 erased; rounds 0 and 4 pass.
+        assert_eq!(out, vec![m("a"), m(""), m(""), m(""), m("e")]);
+    }
+
+    #[test]
+    fn schedule_normalizes_sorted_first_wins() {
+        let s = FaultSchedule::from_entries(vec![
+            (5, Fault::Drop),
+            (2, Fault::Duplicate),
+            (5, Fault::Corrupt { mask: 1 }),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.fault_at(2), Some(&Fault::Duplicate));
+        assert_eq!(s.fault_at(5), Some(&Fault::Drop), "first entry per round wins");
+        assert_eq!(s.fault_at(3), None);
+    }
+
+    #[test]
+    fn quiet_after_covers_held_messages() {
+        assert_eq!(FaultSchedule::empty().quiet_after(), 0);
+        assert_eq!(FaultSchedule::single(3, Fault::Drop).quiet_after(), 4);
+        assert_eq!(FaultSchedule::single(3, Fault::Delay { rounds: 5 }).quiet_after(), 9);
+        assert_eq!(FaultSchedule::single(2, Fault::Burst { len: 4 }).quiet_after(), 6);
+    }
+
+    #[test]
+    fn scheduled_consumes_no_randomness() {
+        let mut rng = GocRng::seed_from_u64(7);
+        let mut chan = Scheduled::new(FaultSchedule::single(0, Fault::Duplicate));
+        let before = rng.clone().next_u64();
+        for round in 0..4 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = chan.transmit(&mut ctx, m("x"));
+        }
+        assert_eq!(rng.next_u64(), before, "deterministic channels must not draw");
+    }
+
+    #[test]
+    fn latency_shifts_and_preserves_order() {
+        let mut chan = Latency::new(2);
+        let out = feed(&mut chan, &["a", "b", "c", "d"], 4);
+        assert_eq!(out, vec![m(""), m(""), m("a"), m("b")]);
+        assert_eq!(Latency::new(0).transmit(&mut StepCtx::new(0, &mut GocRng::seed_from_u64(0)), m("z")), m("z"));
+    }
+
+    #[test]
+    fn noisy_extremes() {
+        let mut rng = GocRng::seed_from_u64(0);
+        let mut never = Noisy::drops(0.0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        assert_eq!(never.transmit(&mut ctx, m("x")), m("x"));
+        let mut always = Noisy::drops(1.0);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        assert!(always.transmit(&mut ctx, m("x")).is_silence());
+        // Silence passes without consuming randomness.
+        let before = rng.clone().next_u64();
+        let mut ctx = StepCtx::new(1, &mut rng);
+        assert!(always.transmit(&mut ctx, Message::silence()).is_silence());
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn noisy_corruption_changes_but_never_silences() {
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut chan = Noisy::new(0.0, 1.0);
+        for round in 0..32 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let out = chan.transmit(&mut ctx, m("x"));
+            assert!(!out.is_silence());
+            assert_ne!(out, m("x"), "mask is forced non-zero");
+        }
+    }
+
+    #[test]
+    fn garbler_can_fabricate_from_silence() {
+        let mut rng = GocRng::seed_from_u64(5);
+        let mut chan = Garbler::new(1.0, 4);
+        let mut ctx = StepCtx::new(0, &mut rng);
+        let out = chan.transmit(&mut ctx, Message::silence());
+        assert!(!out.is_silence());
+        assert!(out.len() <= 4);
+    }
+
+    #[test]
+    fn chained_composes_in_order() {
+        let mut chan = Chained::new(vec![
+            Box::new(Scheduled::new(FaultSchedule::single(0, Fault::Drop))),
+            Box::new(Latency::new(1)),
+        ]);
+        let out = feed(&mut chan, &["a", "b", "c"], 4);
+        // "a" dropped by stage 1; survivors delayed one round by stage 2.
+        assert_eq!(out, vec![m(""), m(""), m("b"), m("c")]);
+        assert!(chan.name().starts_with("chained["));
+        let mut empty = Chained::new(Vec::new());
+        let out = feed(&mut empty, &["a"], 1);
+        assert_eq!(out, vec![m("a")]);
+    }
+
+    #[test]
+    fn same_seed_same_noise() {
+        let run = || {
+            let mut rng = GocRng::seed_from_u64(11);
+            let mut chan = Noisy::new(0.5, 0.5);
+            (0..64u64)
+                .map(|round| {
+                    let mut ctx = StepCtx::new(round, &mut rng);
+                    chan.transmit(&mut ctx, m("payload"))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(Perfect.name(), "perfect");
+        assert_eq!(Scheduled::new(FaultSchedule::empty()).name(), "scheduled(0 faults)");
+        assert_eq!(Latency::new(3).name(), "latency(3)");
+        assert_eq!(Noisy::drops(0.25).name(), "noisy(drop 0.25, corrupt 0)");
+        assert_eq!(Garbler::new(0.5, 8).name(), "garbler(0.5, 8)");
+    }
+}

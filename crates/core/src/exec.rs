@@ -9,7 +9,14 @@
 //! - the user's view (the sensing functions' input),
 //!
 //! into a [`Transcript`].
+//!
+//! Each direction of the user↔server link carries a
+//! [`Channel`](crate::channel::Channel); [`Execution::new`] installs
+//! [`Perfect`] channels (the exact identity), while
+//! [`Execution::with_channels`] runs the link through adversarial fault
+//! models from [`crate::channel`].
 
+use crate::channel::{BoxedChannel, Perfect};
 use crate::msg::{Message, ServerIn, UserIn, WorldIn};
 use crate::rng::GocRng;
 use crate::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy};
@@ -97,6 +104,13 @@ pub struct Execution<W: WorldStrategy> {
     user_rng: GocRng,
     server_rng: GocRng,
     world_rng: GocRng,
+    // Channels on the user↔server link (the adversarial surface of the
+    // theory). The world links stay direct: the referee judges world states,
+    // so tampering there would change the goal, not the communication.
+    up_channel: BoxedChannel,
+    down_channel: BoxedChannel,
+    up_rng: GocRng,
+    down_rng: GocRng,
     round: u64,
     // In-flight messages (sent last round, delivered next round).
     user_to_server: Message,
@@ -110,12 +124,29 @@ pub struct Execution<W: WorldStrategy> {
 }
 
 impl<W: WorldStrategy> Execution<W> {
-    /// Creates an execution. `rng` seeds three independent party streams.
+    /// Creates an execution with [`Perfect`] channels on both directions of
+    /// the user↔server link. `rng` seeds independent party streams.
     pub fn new(
         world: W,
         server: Box<dyn ServerStrategy>,
         user: Box<dyn UserStrategy>,
         rng: GocRng,
+    ) -> Self {
+        Execution::with_channels(world, server, user, rng, Box::new(Perfect), Box::new(Perfect))
+    }
+
+    /// Creates an execution with explicit channels: `up` carries user→server
+    /// traffic, `down` carries server→user traffic. Each channel draws from
+    /// its own rng fork (streams 4 and 5), so faulty channels never perturb
+    /// the party streams — with two [`Perfect`] channels this is
+    /// byte-for-byte [`Execution::new`].
+    pub fn with_channels(
+        world: W,
+        server: Box<dyn ServerStrategy>,
+        user: Box<dyn UserStrategy>,
+        rng: GocRng,
+        up: BoxedChannel,
+        down: BoxedChannel,
     ) -> Self {
         let initial = world.state();
         Execution {
@@ -125,6 +156,10 @@ impl<W: WorldStrategy> Execution<W> {
             user_rng: rng.fork(1),
             server_rng: rng.fork(2),
             world_rng: rng.fork(3),
+            up_channel: up,
+            down_channel: down,
+            up_rng: rng.fork(4),
+            down_rng: rng.fork(5),
             round: 0,
             user_to_server: Message::silence(),
             user_to_world: Message::silence(),
@@ -203,9 +238,17 @@ impl<W: WorldStrategy> Execution<W> {
         self.view.push(ViewEvent { round: self.round, received: user_in, sent: user_out.clone() });
         self.world_states.push(self.world.state());
 
-        self.user_to_server = user_out.to_server;
+        // The user↔server link runs through the channels; a Perfect channel
+        // is the identity and consumes no randomness.
+        self.user_to_server = {
+            let mut ctx = StepCtx::new(self.round, &mut self.up_rng);
+            self.up_channel.transmit(&mut ctx, user_out.to_server)
+        };
         self.user_to_world = user_out.to_world;
-        self.server_to_user = server_out.to_user;
+        self.server_to_user = {
+            let mut ctx = StepCtx::new(self.round, &mut self.down_rng);
+            self.down_channel.transmit(&mut ctx, server_out.to_user)
+        };
         self.server_to_world = server_out.to_world;
         self.world_to_user = world_out.to_user;
         self.world_to_server = world_out.to_server;
@@ -450,6 +493,67 @@ mod tests {
         let t2 = build().run(30);
         assert_eq!(t1.view, t2.view);
         assert_eq!(t1.world_states, t2.world_states);
+    }
+
+    #[test]
+    fn perfect_channels_match_default_construction() {
+        let plain = Execution::new(
+            Recorder::default(),
+            Box::new(EchoServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(42),
+        )
+        .run(30);
+        let chan = Execution::with_channels(
+            Recorder::default(),
+            Box::new(EchoServer),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(42),
+            Box::new(Perfect),
+            Box::new(Perfect),
+        )
+        .run(30);
+        assert_eq!(plain.view, chan.view);
+        assert_eq!(plain.world_states, chan.world_states);
+        assert_eq!(plain.stop, chan.stop);
+    }
+
+    #[test]
+    fn dropped_up_message_never_reaches_the_server() {
+        use crate::channel::{Fault, FaultSchedule, Scheduled};
+
+        // The user pings at round 0; with a Drop scheduled on the up link at
+        // round 0, the echo never happens.
+        let pinger = || {
+            FnUser::new("pinger", |ctx: &mut StepCtx<'_>, _in: &UserIn| {
+                if ctx.round == 0 {
+                    UserAction::Send(UserOut::to_server("ping"))
+                } else {
+                    UserAction::Send(UserOut::silence())
+                }
+            })
+        };
+        let t = Execution::with_channels(
+            Recorder::default(),
+            Box::new(EchoServer),
+            Box::new(pinger()),
+            GocRng::seed_from_u64(9),
+            Box::new(Scheduled::new(FaultSchedule::single(0, Fault::Drop))),
+            Box::new(Perfect),
+        )
+        .run(6);
+        assert!(t.view.events().iter().all(|ev| ev.received.from_server.is_silence()));
+
+        let t = Execution::with_channels(
+            Recorder::default(),
+            Box::new(EchoServer),
+            Box::new(pinger()),
+            GocRng::seed_from_u64(9),
+            Box::new(Perfect),
+            Box::new(Perfect),
+        )
+        .run(6);
+        assert!(t.view.events().iter().any(|ev| !ev.received.from_server.is_silence()));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! assert!(evaluate_finite(&goal, &t).achieved);
 //! ```
 
+pub mod channel;
 pub mod enumeration;
 pub mod exec;
 pub mod goal;
@@ -58,6 +59,7 @@ pub mod wrappers;
 
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
+    pub use crate::channel::{BoxedChannel, Channel, Fault, FaultSchedule, Perfect, Scheduled};
     pub use crate::enumeration::{
         ChainEnumerator, FnEnumerator, LinearSchedule, SliceEnumerator, StrategyEnumerator,
         TriangularSchedule,

@@ -15,6 +15,17 @@
 //! [`crate::validate`]. The universal constructions in [`crate::universal`]
 //! consume sensing: Theorem 1 states that safe + viable sensing suffices for
 //! a universal user strategy to exist.
+//!
+//! Safety is **unconditional with respect to the link**: it quantifies over
+//! every view the user could ever see, including views manufactured by an
+//! adversarial [`Channel`](crate::channel::Channel) on the user↔server
+//! link. A safe sensing therefore stays safe under arbitrary drop /
+//! duplicate / reorder / corrupt faults — faults may suppress positives
+//! (slowing the user) but can never mint an unsound one. Viability, by
+//! contrast, is a promise about *some* good pairing, and only survives
+//! faults that leave the pairing helpful (e.g. any finite
+//! [`FaultSchedule`](crate::channel::FaultSchedule)). The conformance sweep
+//! in `goc-testkit` checks both claims mechanically.
 
 use crate::view::ViewEvent;
 use std::fmt::Debug;

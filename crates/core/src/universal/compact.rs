@@ -27,6 +27,19 @@ use std::fmt;
 ///   negatives; since it recurs infinitely often in the schedule, the user
 ///   eventually adopts it after its last spurious negative and never leaves.
 ///
+/// # Behaviour under faulted channels
+///
+/// A faulted user↔server link (see [`crate::channel`]) can at worst inject
+/// spurious **negatives** — e.g. a dropped reply trips a
+/// [`Deadline`](crate::sensing::Deadline) — which cost extra switches but
+/// are harmless: the triangular schedule revisits every strategy infinitely
+/// often, so a finite fault schedule adds only finitely many spurious
+/// negatives and the settling argument goes through with a delayed "last
+/// negative". Safety needs no caveat at all: compact acceptability is judged
+/// by the referee on world states, and a safe sensing stays safe under any
+/// view the channel can manufacture. This is exercised mechanically by the
+/// `goc-testkit` conformance sweep.
+///
 /// # Examples
 ///
 /// ```

@@ -42,6 +42,22 @@ pub(super) const LOOKAHEAD: usize = 8;
 /// succeeds within *b* rounds, the universal user halts within
 /// O(2^i · b) rounds — the "essentially necessary" overhead of §3.
 ///
+/// # Behaviour under faulted channels
+///
+/// When the user↔server link carries a [`Channel`](crate::channel::Channel)
+/// fault, the argument degrades gracefully rather than breaking. Safety is
+/// untouched: it is a property of the *sensing* over the user's view, so no
+/// amount of link garbage can make a safe sensing emit an unsound positive —
+/// the user may be slowed, never fooled into a false halt. Viability
+/// survives any fault burst that is *finite* (a bounded-loss
+/// [`FaultSchedule`](crate::channel::FaultSchedule)): after the schedule
+/// goes quiet the faulted pairing is indistinguishable from a helpful one
+/// started late, and budget doubling re-grants the winning candidate enough
+/// clean consecutive rounds. Unbounded random loss keeps conquest
+/// almost-surely (each retry is an independent trial); only a channel
+/// faulty *forever at full strength* de-helpfulises the pairing. The
+/// conformance sweep in `goc-testkit` checks both halves mechanically.
+///
 /// # Examples
 ///
 /// ```

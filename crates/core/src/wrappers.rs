@@ -11,10 +11,22 @@
 //! - [`Lossy`] — drops outgoing messages with probability `p`.
 //! - [`ScrambledStart`] — runs the inner server from an "arbitrary" start
 //!   state by feeding it junk warm-up rounds first.
+//!
+//! Since the adversarial channel layer landed ([`crate::channel`]), the
+//! wrappers whose impairment is really a *link* property are thin aliases
+//! over channel primitives: [`Delayed`] rides on
+//! [`Latency`](crate::channel::Latency) and [`Lossy`] on
+//! [`Noisy`](crate::channel::Noisy), preserving their historical rng
+//! discipline byte-for-byte. [`PasswordLocked`], [`ScrambledStart`],
+//! [`Intermittent`] and [`Byzantine`] remain genuine *server-state*
+//! impairments a user↔server channel cannot express (they gate or corrupt
+//! the server's world-facing behaviour too). New tests should prefer
+//! [`Execution::with_channels`](crate::exec::Execution::with_channels) with
+//! explicit channels; the wrappers stay for server-class constructions.
 
+use crate::channel::{Channel, Latency, Noisy};
 use crate::msg::{Message, ServerIn, ServerOut};
 use crate::strategy::{BoxedServer, ServerStrategy, StepCtx};
-use std::collections::VecDeque;
 
 /// A server that ignores everything until it receives the exact password
 /// from the user, then behaves as the inner server.
@@ -69,41 +81,48 @@ impl ServerStrategy for PasswordLocked {
 }
 
 /// A server whose incoming user messages are delayed by `delay` rounds.
+///
+/// Thin alias over [`Latency`](crate::channel::Latency) applied to the
+/// inbound user link; prefer installing `Latency` as an up-channel via
+/// [`Execution::with_channels`](crate::exec::Execution::with_channels) in
+/// new code.
 #[derive(Debug)]
 pub struct Delayed {
     inner: BoxedServer,
-    queue: VecDeque<Message>,
-    delay: usize,
+    line: Latency,
 }
 
 impl Delayed {
     /// Delays user→server delivery by `delay` rounds.
     pub fn new(inner: BoxedServer, delay: usize) -> Self {
-        let mut queue = VecDeque::with_capacity(delay + 1);
-        for _ in 0..delay {
-            queue.push_back(Message::silence());
-        }
-        Delayed { inner, queue, delay }
+        Delayed { inner, line: Latency::new(delay) }
     }
 }
 
 impl ServerStrategy for Delayed {
     fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
-        self.queue.push_back(input.from_user.clone());
-        let delivered = self.queue.pop_front().unwrap_or_else(Message::silence);
+        let delivered = self.line.transmit(ctx, input.from_user.clone());
         let delayed_in = ServerIn { from_user: delivered, from_world: input.from_world.clone() };
         self.inner.step(ctx, &delayed_in)
     }
 
     fn name(&self) -> String {
-        format!("delayed({}, {})", self.delay, self.inner.name())
+        format!("delayed({}, {})", self.line.delay(), self.inner.name())
     }
 }
 
 /// A server whose outgoing messages are each dropped with probability `p`.
+///
+/// Thin alias over [`Noisy`](crate::channel::Noisy) applied to both server
+/// outputs, drawing from the server's rng stream in the historical order
+/// (`to_user` first, only on non-silent messages) so seeded transcripts are
+/// unchanged. Prefer a `Noisy` down-channel in new code; the wrapper form
+/// remains for losses on the server→world link, which channels deliberately
+/// cannot touch.
 #[derive(Debug)]
 pub struct Lossy {
     inner: BoxedServer,
+    link: Noisy,
     p: f64,
 }
 
@@ -111,19 +130,16 @@ impl Lossy {
     /// Drops each outgoing message independently with probability `p`
     /// (clamped to `[0, 1]`).
     pub fn new(inner: BoxedServer, p: f64) -> Self {
-        Lossy { inner, p: p.clamp(0.0, 1.0) }
+        let p = p.clamp(0.0, 1.0);
+        Lossy { inner, link: Noisy::drops(p), p }
     }
 }
 
 impl ServerStrategy for Lossy {
     fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
         let mut out = self.inner.step(ctx, input);
-        if !out.to_user.is_silence() && ctx.rng.chance(self.p) {
-            out.to_user = Message::silence();
-        }
-        if !out.to_world.is_silence() && ctx.rng.chance(self.p) {
-            out.to_world = Message::silence();
-        }
+        out.to_user = self.link.transmit(ctx, out.to_user);
+        out.to_world = self.link.transmit(ctx, out.to_world);
         out
     }
 
@@ -217,7 +233,10 @@ impl ServerStrategy for Intermittent {
 /// messages with random garbage.
 ///
 /// Used by safety experiments: garbage must never fool safe sensing into a
-/// false positive (the referee, not the channel, defines success).
+/// false positive (the referee, not the channel, defines success). This is
+/// a *server* impairment, not an alias of
+/// [`Garbler`](crate::channel::Garbler): one coin corrupts both outputs,
+/// including the server→world message no user↔server channel can reach.
 #[derive(Debug)]
 pub struct Byzantine {
     inner: BoxedServer,

@@ -5,6 +5,7 @@
 //! integers shrink toward their lower bound and never leave their range, so
 //! a shrunk counterexample is always a legal input of the original property.
 
+use goc_core::channel::{Fault, FaultSchedule};
 use goc_core::rng::GocRng;
 use std::rc::Rc;
 
@@ -224,6 +225,165 @@ where
     )
 }
 
+/// A well-founded "size" for a fault: `Drop` is minimal, then kinds in
+/// increasing structural weight, tie-broken by parameter. Shrinking only
+/// proposes strictly smaller faults under this order, so greedy shrinking
+/// terminates.
+fn fault_size(fault: &Fault) -> (u8, u64) {
+    match fault {
+        Fault::Drop => (0, 0),
+        Fault::Duplicate => (1, 0),
+        Fault::Corrupt { mask } => (2, *mask as u64),
+        Fault::Delay { rounds } => (3, *rounds),
+        Fault::Reorder { depth } => (4, *depth),
+        Fault::Burst { len } => (5, *len),
+    }
+}
+
+/// A single channel fault, parameters in `[1, max_param]`. Shrinks toward
+/// [`Fault::Drop`] (the structurally simplest fault) and toward smaller
+/// parameters within the same kind.
+pub fn fault(max_param: u64) -> Gen<Fault> {
+    let max_param = max_param.max(1);
+    Gen::new(
+        move |rng| match rng.below(6) {
+            0 => Fault::Drop,
+            1 => Fault::Duplicate,
+            2 => Fault::Corrupt { mask: rng.byte() | 1 },
+            3 => Fault::Delay { rounds: 1 + rng.below(max_param) },
+            4 => Fault::Reorder { depth: 1 + rng.below(max_param) },
+            _ => Fault::Burst { len: 1 + rng.below(max_param) },
+        },
+        |f: &Fault| {
+            let mut out = Vec::new();
+            if *f != Fault::Drop {
+                out.push(Fault::Drop);
+            }
+            let same_kind_smaller: Vec<Fault> = match f {
+                Fault::Drop | Fault::Duplicate => Vec::new(),
+                Fault::Corrupt { mask } => shrink_u64_toward(1, *mask as u64)
+                    .into_iter()
+                    .map(|m| Fault::Corrupt { mask: m as u8 })
+                    .collect(),
+                Fault::Delay { rounds } => shrink_u64_toward(1, *rounds)
+                    .into_iter()
+                    .map(|r| Fault::Delay { rounds: r })
+                    .collect(),
+                Fault::Reorder { depth } => shrink_u64_toward(1, *depth)
+                    .into_iter()
+                    .map(|d| Fault::Reorder { depth: d })
+                    .collect(),
+                Fault::Burst { len } => shrink_u64_toward(1, *len)
+                    .into_iter()
+                    .map(|l| Fault::Burst { len: l })
+                    .collect(),
+            };
+            out.extend(same_kind_smaller);
+            let size = fault_size(f);
+            out.retain(|cand| fault_size(cand) < size);
+            out
+        },
+    )
+}
+
+/// Wraps an entry-vector generator into a [`FaultSchedule`] generator. The
+/// schedule shrinks by shrinking the underlying entry vector (toward the
+/// empty schedule) and re-normalizing; normalization can only remove
+/// entries, so candidates stay strictly smaller.
+fn schedule_from_entries(inner: Gen<Vec<(u64, Fault)>>) -> Gen<FaultSchedule> {
+    let draw = inner.clone();
+    Gen::new(
+        move |rng| FaultSchedule::from_entries(draw.generate(rng)),
+        move |s: &FaultSchedule| {
+            inner
+                .shrink_candidates(&s.entries().to_vec())
+                .into_iter()
+                .map(FaultSchedule::from_entries)
+                .filter(|cand| cand != s)
+                .collect()
+        },
+    )
+}
+
+/// A general fault schedule: up to `max_faults` arbitrary faults on rounds
+/// `[0, max_round)` with parameters in `[1, max_param]`. Shrinks toward the
+/// empty schedule (and each fault toward `Drop`).
+pub fn fault_schedule(max_round: u64, max_faults: usize, max_param: u64) -> Gen<FaultSchedule> {
+    schedule_from_entries(vec_of(
+        tuple2(u64_in(0, max_round.max(1)), fault(max_param)),
+        0,
+        max_faults.max(1) + 1,
+    ))
+}
+
+/// A bounded-loss schedule: up to `max_drops` pure `Drop` faults. Losing
+/// finitely many messages never destroys a server's helpfulness for a
+/// forgiving goal, so viability must survive *every* value this generator
+/// can produce — the conformance harness's cleanest metamorphic class.
+pub fn bounded_loss_schedule(max_round: u64, max_drops: usize) -> Gen<FaultSchedule> {
+    let drop = Gen::new(|_rng: &mut GocRng| Fault::Drop, |_| Vec::new());
+    schedule_from_entries(vec_of(
+        tuple2(u64_in(0, max_round.max(1)), drop),
+        0,
+        max_drops.max(1) + 1,
+    ))
+}
+
+/// A bursty schedule: up to `max_bursts` loss bursts of length
+/// `[1, max_burst_len]` — clustered erasures, the adversary's answer to
+/// "random drops are easy".
+pub fn bursty_schedule(max_round: u64, max_bursts: usize, max_burst_len: u64) -> Gen<FaultSchedule> {
+    let max_burst_len = max_burst_len.max(1);
+    let burst = Gen::new(
+        move |rng: &mut GocRng| Fault::Burst { len: 1 + rng.below(max_burst_len) },
+        |f: &Fault| match f {
+            Fault::Burst { len } => shrink_u64_toward(1, *len)
+                .into_iter()
+                .map(|l| Fault::Burst { len: l })
+                .collect(),
+            _ => Vec::new(),
+        },
+    );
+    schedule_from_entries(vec_of(
+        tuple2(u64_in(0, max_round.max(1)), burst),
+        0,
+        max_bursts.max(1) + 1,
+    ))
+}
+
+/// An adversarial-prefix schedule: a dense barrage of arbitrary faults
+/// confined to rounds `[0, prefix_len)`, perfect forever after. Models a
+/// hostile warm-up — exactly the "arbitrary start state" quantifier of the
+/// theorems, expressed on the link instead of in the server.
+pub fn adversarial_prefix_schedule(prefix_len: u64, max_param: u64) -> Gen<FaultSchedule> {
+    let prefix_len = prefix_len.max(1);
+    let per_round = fault(max_param);
+    let shrink_vec = vec_of(
+        tuple2(u64_in(0, prefix_len), fault(max_param)),
+        0,
+        prefix_len as usize + 1,
+    );
+    Gen::new(
+        move |rng| {
+            let mut entries = Vec::new();
+            for round in 0..prefix_len {
+                if rng.chance(0.9) {
+                    entries.push((round, per_round.generate(rng)));
+                }
+            }
+            FaultSchedule::from_entries(entries)
+        },
+        move |s: &FaultSchedule| {
+            shrink_vec
+                .shrink_candidates(&s.entries().to_vec())
+                .into_iter()
+                .map(FaultSchedule::from_entries)
+                .filter(|cand| cand != s)
+                .collect()
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +441,91 @@ mod tests {
         let a = g.generate(&mut GocRng::seed_from_u64(9));
         let b = g.generate(&mut GocRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_shrinks_strictly_toward_drop() {
+        let g = fault(16);
+        let mut rng = GocRng::seed_from_u64(3);
+        for _ in 0..300 {
+            let f = g.generate(&mut rng);
+            for cand in g.shrink_candidates(&f) {
+                assert!(fault_size(&cand) < fault_size(&f), "{cand:?} !< {f:?}");
+            }
+        }
+        assert!(g.shrink_candidates(&Fault::Drop).is_empty(), "Drop is the bottom");
+        assert!(g.shrink_candidates(&Fault::Burst { len: 9 }).contains(&Fault::Drop));
+    }
+
+    #[test]
+    fn schedules_shrink_toward_empty() {
+        // Greedy-shrink any generated schedule against the always-failing
+        // property: the bottom must be the empty schedule.
+        for g in [
+            fault_schedule(64, 6, 8),
+            bounded_loss_schedule(64, 6),
+            bursty_schedule(64, 4, 8),
+            adversarial_prefix_schedule(12, 8),
+        ] {
+            let mut rng = GocRng::seed_from_u64(7);
+            let mut s = g.generate(&mut rng);
+            for _ in 0..10_000 {
+                match g.shrink_candidates(&s).into_iter().next() {
+                    Some(cand) => s = cand,
+                    None => break,
+                }
+            }
+            assert!(s.is_empty(), "did not bottom out at the empty schedule: {s:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_loss_schedules_are_pure_drops() {
+        let g = bounded_loss_schedule(100, 8);
+        let mut rng = GocRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            assert!(s.entries().iter().all(|(_, f)| *f == Fault::Drop));
+        }
+    }
+
+    #[test]
+    fn bursty_schedules_are_pure_bursts_with_bounded_length() {
+        let g = bursty_schedule(100, 4, 8);
+        let mut rng = GocRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            for (_, f) in s.entries() {
+                match f {
+                    Fault::Burst { len } => assert!((1..=8).contains(len)),
+                    other => panic!("non-burst fault {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_prefix_confined_to_prefix() {
+        let g = adversarial_prefix_schedule(10, 4);
+        let mut rng = GocRng::seed_from_u64(13);
+        let mut saw_nonempty = false;
+        for _ in 0..50 {
+            let s = g.generate(&mut rng);
+            saw_nonempty |= !s.is_empty();
+            assert!(s.entries().iter().all(|&(round, _)| round < 10));
+        }
+        assert!(saw_nonempty, "a dense prefix generator should rarely be empty");
+    }
+
+    #[test]
+    fn schedule_shrink_candidates_differ_from_input() {
+        let g = fault_schedule(32, 5, 6);
+        let mut rng = GocRng::seed_from_u64(14);
+        for _ in 0..100 {
+            let s = g.generate(&mut rng);
+            for cand in g.shrink_candidates(&s) {
+                assert_ne!(cand, s, "shrinker proposed a non-progress candidate");
+            }
+        }
     }
 }

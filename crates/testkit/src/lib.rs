@@ -38,6 +38,7 @@
 //! with `GOC_TESTKIT_SEED` (decimal or `0x`-prefixed).
 
 pub mod bench;
+pub mod conformance;
 pub mod gens;
 
 pub use gens::Gen;

@@ -1,0 +1,28 @@
+//! Top-level smoke test for the metamorphic conformance sweep.
+//!
+//! The full sweep (all goal/server-class/sensing triples × all schedule
+//! generators, deeper case counts) runs in CI via `goc-conformance`; this
+//! keeps a quick, deterministic slice in the tier-1 test suite.
+
+use goc_testkit::conformance::{sweep, SweepConfig};
+
+#[test]
+fn quick_conformance_sweep_holds() {
+    let report = sweep(&SweepConfig::quick(0xC0FFEE));
+    assert!(
+        report.safety_violations.is_empty(),
+        "safety violations:\n{}",
+        report.render()
+    );
+    assert!(report.holds(), "{}", report.render());
+}
+
+#[test]
+fn sweep_reports_are_reproducible() {
+    let mut cfg = SweepConfig::quick(0xBEEF);
+    cfg.cases = 2;
+    let a = sweep(&cfg).render();
+    let b = sweep(&cfg).render();
+    assert_eq!(a, b, "same seed must render the same report");
+    assert!(a.contains("RESULT: CONFORMANT"), "{a}");
+}

@@ -1,13 +1,19 @@
-//! Robustness of the universal constructions under degraded servers:
-//! intermittent, lossy, delayed, byzantine, scrambled-start — composed.
+//! Robustness of the universal constructions on degraded *links* and
+//! degraded servers.
 //!
 //! The theory's promise is exactly "helpful ⇒ conquered": as long as the
-//! wrapped server remains helpful for the class (and sensing stays safe and
-//! viable), the universal user must still achieve the goal; and garbage must
-//! never induce a false halt.
+//! server remains helpful for the class (and sensing stays safe and viable),
+//! the universal user must still achieve the goal; and garbage must never
+//! induce a false halt. Since the channel layer landed, link impairments are
+//! expressed as [`Channel`]s on the user↔server link — including composed
+//! faults (drop+reorder+corrupt) the old server-wrapper approach could not
+//! say at all — while genuinely server-side impairments (intermittence,
+//! passwords) keep using wrappers.
 
+use goc::core::channel::{Chained, Fault, FaultSchedule, Garbler, Latency, Noisy, Scheduled};
+use goc::core::strategy::SilentServer;
 use goc::core::toy;
-use goc::core::wrappers::{Byzantine, Delayed, Intermittent, Lossy, PasswordLocked, ScrambledStart};
+use goc::core::wrappers::{Intermittent, PasswordLocked};
 use goc::prelude::*;
 
 fn universal() -> LevinUniversalUser {
@@ -18,13 +24,32 @@ fn universal() -> LevinUniversalUser {
     )
 }
 
-fn run(server: BoxedServer, horizon: u64, seed: u64) -> goc::core::goal::FiniteVerdict {
+/// One universal-user run against `server` with explicit link channels.
+fn run_linked(
+    user: Box<dyn goc::core::strategy::UserStrategy>,
+    server: BoxedServer,
+    up: BoxedChannel,
+    down: BoxedChannel,
+    horizon: u64,
+    seed: u64,
+) -> goc::core::goal::FiniteVerdict {
     let goal = toy::MagicWordGoal::new("hi");
     let mut rng = GocRng::seed_from_u64(seed);
     let mut exec =
-        Execution::new(goal.spawn_world(&mut rng), server, Box::new(universal()), rng);
+        Execution::with_channels(goal.spawn_world(&mut rng), server, user, rng, up, down);
     let t = exec.run(horizon);
     evaluate_finite(&goal, &t)
+}
+
+fn run(server: BoxedServer, horizon: u64, seed: u64) -> goc::core::goal::FiniteVerdict {
+    run_linked(
+        Box::new(universal()),
+        server,
+        Box::new(Perfect),
+        Box::new(Perfect),
+        horizon,
+        seed,
+    )
 }
 
 #[test]
@@ -42,73 +67,118 @@ fn mostly_asleep_server_is_still_conquered() {
 }
 
 #[test]
-fn lossy_delayed_scrambled_composition_is_conquered() {
-    let server = ScrambledStart::new(
-        Box::new(Delayed::new(
-            Box::new(Lossy::new(Box::new(toy::RelayServer::with_shift(2)), 0.2)),
-            2,
-        )),
-        20,
+fn noisy_latent_link_is_conquered() {
+    // The old lossy+delayed+scrambled composition, expressed on the link:
+    // 20% loss in each direction plus 2 rounds of extra latency upstream.
+    let v = run_linked(
+        Box::new(universal()),
+        Box::new(toy::RelayServer::with_shift(2)),
+        Box::new(Chained::new(vec![Box::new(Noisy::drops(0.2)), Box::new(Latency::new(2))])),
+        Box::new(Noisy::drops(0.2)),
+        400_000,
+        3,
     );
-    let v = run(Box::new(server), 400_000, 3);
     assert!(v.achieved, "{v:?}");
 }
 
 #[test]
-fn byzantine_garbage_never_fools_safe_sensing() {
-    // A byzantine wrapper around an UNHELPFUL server: random garbage floods
-    // the channels, but ack sensing only fires on the world's genuine ACK,
-    // which never comes. For several seeds: no halt, ever.
+fn composed_drop_reorder_corrupt_schedule_is_conquered() {
+    // A composed deterministic fault barrage the wrapper approach could not
+    // express: scheduled drops, reorders and corruptions on BOTH directions,
+    // stacked with random loss. The schedule is finite, so helpfulness
+    // survives and conquest is mandatory.
+    let schedule = FaultSchedule::from_entries(vec![
+        (0, Fault::Burst { len: 16 }),
+        (20, Fault::Drop),
+        (21, Fault::Reorder { depth: 3 }),
+        (22, Fault::Corrupt { mask: 0xA5 }),
+        (23, Fault::Duplicate),
+        (24, Fault::Delay { rounds: 7 }),
+        (40, Fault::Reorder { depth: 11 }),
+        (41, Fault::Corrupt { mask: 0x0F }),
+    ]);
+    let v = run_linked(
+        Box::new(universal()),
+        Box::new(toy::RelayServer::with_shift(5)),
+        Box::new(Chained::new(vec![
+            Box::new(Scheduled::new(schedule.clone())),
+            Box::new(Noisy::drops(0.1)),
+        ])),
+        Box::new(Scheduled::new(schedule)),
+        400_000,
+        4,
+    );
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn garbling_link_never_fools_safe_sensing() {
+    // A byzantine DOWN link around an UNHELPFUL server: random garbage
+    // floods the user, but ack sensing only fires on the world's genuine
+    // ACK, which never comes. For several seeds: no halt, ever.
     for seed in 0..5u64 {
-        let server = Byzantine::new(Box::new(goc::core::strategy::SilentServer), 0.8, 8);
-        let v = run(Box::new(server), 30_000, 100 + seed);
+        let v = run_linked(
+            Box::new(universal()),
+            Box::new(SilentServer),
+            Box::new(Perfect),
+            Box::new(Garbler::new(0.8, 8)),
+            30_000,
+            100 + seed,
+        );
         assert!(!v.halted, "seed {seed}: garbage induced a halt: {v:?}");
         assert!(!v.achieved);
     }
 }
 
 #[test]
-fn byzantine_helpful_server_is_eventually_conquered() {
-    // 20% corruption of a helpful relay: the word still gets through often
-    // enough, and safe sensing only reacts to the genuine ACK.
-    let server = Byzantine::new(Box::new(toy::RelayServer::with_shift(4)), 0.2, 8);
-    let v = run(Box::new(server), 400_000, 7);
+fn garbling_link_around_helpful_server_is_eventually_conquered() {
+    // 20% garbling of both directions of a helpful relay: the word still
+    // gets through often enough, and safe sensing only reacts to the
+    // genuine ACK (which travels the untouchable world link).
+    let v = run_linked(
+        Box::new(universal()),
+        Box::new(toy::RelayServer::with_shift(4)),
+        Box::new(Garbler::new(0.2, 8)),
+        Box::new(Garbler::new(0.2, 8)),
+        400_000,
+        7,
+    );
     assert!(v.achieved, "{v:?}");
 }
 
-#[test]
-fn password_plus_dialect_composition() {
-    // The two obstacles combined: find the password AND the dialect. The
-    // class is the product {passwords} × {shifts}; cost multiplies, the
-    // outcome doesn't change.
-    #[derive(Debug)]
-    struct PwThenCompensate {
-        password: Vec<u8>,
-        shift: u8,
-        sent_pw: bool,
-        halt: Option<goc::core::strategy::Halt>,
-    }
-    impl goc::core::strategy::UserStrategy for PwThenCompensate {
-        fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
-            if self.halt.is_some() {
-                return UserOut::silence();
-            }
-            if input.from_world.as_bytes() == toy::ACK.as_bytes() {
-                self.halt = Some(goc::core::strategy::Halt::empty());
-                return UserOut::silence();
-            }
-            if !self.sent_pw {
-                self.sent_pw = true;
-                return UserOut::to_server(Message::from_bytes(self.password.clone()));
-            }
-            let phrase: Vec<u8> = b"hi".iter().map(|b| b.wrapping_sub(self.shift)).collect();
-            UserOut::to_server(Message::from_bytes(phrase))
-        }
-        fn halted(&self) -> Option<goc::core::strategy::Halt> {
-            self.halt.clone()
-        }
-    }
+/// A user that first sends its candidate password, then speaks the
+/// compensated magic word; halts on the world's ACK.
+#[derive(Debug)]
+struct PwThenCompensate {
+    password: Vec<u8>,
+    shift: u8,
+    sent_pw: bool,
+    halt: Option<goc::core::strategy::Halt>,
+}
 
+impl goc::core::strategy::UserStrategy for PwThenCompensate {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
+        if self.halt.is_some() {
+            return UserOut::silence();
+        }
+        if input.from_world.as_bytes() == toy::ACK.as_bytes() {
+            self.halt = Some(goc::core::strategy::Halt::empty());
+            return UserOut::silence();
+        }
+        if !self.sent_pw {
+            self.sent_pw = true;
+            return UserOut::to_server(Message::from_bytes(self.password.clone()));
+        }
+        let phrase: Vec<u8> = b"hi".iter().map(|b| b.wrapping_sub(self.shift)).collect();
+        UserOut::to_server(Message::from_bytes(phrase))
+    }
+    fn halted(&self) -> Option<goc::core::strategy::Halt> {
+        self.halt.clone()
+    }
+}
+
+/// The product class {4 passwords} × {4 shifts}, and its universal user.
+fn product_universal() -> LevinUniversalUser {
     let mut class = goc::core::enumeration::SliceEnumerator::new("pw×shift");
     for pw in 0..4u8 {
         for shift in 0..4u8 {
@@ -122,17 +192,45 @@ fn password_plus_dialect_composition() {
             });
         }
     }
-    let universal = LevinUniversalUser::round_robin(
-        Box::new(class),
-        Box::new(toy::ack_sensing()),
-        8,
+    LevinUniversalUser::round_robin(Box::new(class), Box::new(toy::ack_sensing()), 8)
+}
+
+#[test]
+fn password_plus_dialect_composition() {
+    // The two obstacles combined: find the password AND the dialect. The
+    // class is the product {passwords} × {shifts}; cost multiplies, the
+    // outcome doesn't change. PasswordLocked stays a server wrapper — a
+    // channel cannot model server-side state gating.
+    let v = run_linked(
+        Box::new(product_universal()),
+        Box::new(PasswordLocked::new(Box::new(toy::RelayServer::with_shift(3)), "2")),
+        Box::new(Perfect),
+        Box::new(Perfect),
+        100_000,
+        9,
     );
-    let goal = toy::MagicWordGoal::new("hi");
-    let mut rng = GocRng::seed_from_u64(9);
-    let server = PasswordLocked::new(Box::new(toy::RelayServer::with_shift(3)), "2");
-    let mut exec =
-        Execution::new(goal.spawn_world(&mut rng), Box::new(server), Box::new(universal), rng);
-    let t = exec.run(100_000);
-    let v = evaluate_finite(&goal, &t);
+    assert!(v.achieved, "{v:?}");
+}
+
+#[test]
+fn password_composition_survives_a_faulty_link() {
+    // The same product class behind a bounded-loss up-link: early attempts
+    // may lose the password (or the word) to the channel, but the schedule
+    // is finite — the enumeration's bigger-budget retries of the right
+    // candidate land after the link recovers, and conquest is mandatory.
+    let schedule = FaultSchedule::from_entries(vec![
+        (0, Fault::Burst { len: 12 }),
+        (15, Fault::Drop),
+        (16, Fault::Corrupt { mask: 0x10 }),
+        (17, Fault::Reorder { depth: 2 }),
+    ]);
+    let v = run_linked(
+        Box::new(product_universal()),
+        Box::new(PasswordLocked::new(Box::new(toy::RelayServer::with_shift(3)), "2")),
+        Box::new(Scheduled::new(schedule)),
+        Box::new(Noisy::drops(0.1)),
+        200_000,
+        9,
+    );
     assert!(v.achieved, "{v:?}");
 }

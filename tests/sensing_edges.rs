@@ -1,0 +1,184 @@
+//! Edge-case coverage for the sensing combinators.
+//!
+//! The universal constructions lean on these combinators at their extremes:
+//! `Grace`/`Deadline`/`Patience` at boundary parameters 0 and `u64::MAX`,
+//! `Either`'s verdict precedence, and `Counted`'s bookkeeping across resets.
+//! Each test drives the combinator with a scripted inner sensing so the
+//! expected indication sequence is explicit.
+
+use goc::core::msg::{UserIn, UserOut};
+use goc::core::sensing::{
+    AlwaysNegative, Counted, Deadline, Either, FnSensing, Grace, Indication, Patience, Sensing,
+};
+use goc::core::view::ViewEvent;
+
+use Indication::{Negative, Positive, Silent};
+
+fn event(round: u64) -> ViewEvent {
+    ViewEvent { round, received: UserIn::default(), sent: UserOut::silence() }
+}
+
+/// A sensing that replays a fixed script of indications, then stays silent.
+fn scripted(script: Vec<Indication>) -> impl Sensing {
+    FnSensing::new("scripted", (script, 0usize), |state, _ev: &ViewEvent| {
+        let (script, cursor) = state;
+        let out = script.get(*cursor).copied().unwrap_or(Silent);
+        *cursor += 1;
+        out
+    })
+}
+
+/// Drives `sensing` through `n` rounds and collects the indications.
+fn drive(sensing: &mut impl Sensing, n: u64) -> Vec<Indication> {
+    (0..n).map(|round| sensing.observe(&event(round))).collect()
+}
+
+// ---------------------------------------------------------------- Grace ----
+
+#[test]
+fn grace_zero_never_mutes_a_negative() {
+    let mut s = Grace::new(scripted(vec![Negative, Positive, Negative]), 0);
+    assert_eq!(drive(&mut s, 3), vec![Negative, Positive, Negative]);
+}
+
+#[test]
+fn grace_max_mutes_every_negative_but_passes_positives() {
+    let mut s = Grace::new(scripted(vec![Negative, Positive, Negative, Negative]), u64::MAX);
+    assert_eq!(drive(&mut s, 4), vec![Silent, Positive, Silent, Silent]);
+}
+
+#[test]
+fn grace_window_counts_observations_not_negatives() {
+    // grace = 2: the first two OBSERVATIONS are inside the window, so a
+    // negative on round 2 (the third observation) passes through.
+    let mut s = Grace::new(AlwaysNegative, 2);
+    assert_eq!(drive(&mut s, 4), vec![Silent, Silent, Negative, Negative]);
+}
+
+#[test]
+fn grace_reset_reopens_the_window() {
+    let mut s = Grace::new(AlwaysNegative, 1);
+    assert_eq!(drive(&mut s, 2), vec![Silent, Negative]);
+    s.reset();
+    assert_eq!(drive(&mut s, 2), vec![Silent, Negative]);
+}
+
+#[test]
+#[should_panic(expected = "positive timeout")]
+fn deadline_zero_panics() {
+    let _ = Deadline::new(AlwaysNegative, 0);
+}
+
+// -------------------------------------------------------------- Deadline ----
+
+#[test]
+fn deadline_one_turns_every_silent_round_negative() {
+    let mut s = Deadline::new(scripted(vec![Silent, Positive, Silent, Silent]), 1);
+    assert_eq!(drive(&mut s, 4), vec![Negative, Positive, Negative, Negative]);
+}
+
+#[test]
+fn deadline_max_never_fires() {
+    let mut s = Deadline::new(scripted(vec![]), u64::MAX);
+    assert_eq!(drive(&mut s, 64), vec![Silent; 64]);
+}
+
+#[test]
+fn deadline_rearms_after_firing_and_on_inner_indications() {
+    // timeout = 2: two quiet rounds fire a negative and restart the clock;
+    // any inner indication also restarts it.
+    let mut s = Deadline::new(scripted(vec![Silent, Silent, Silent, Positive, Silent]), 2);
+    assert_eq!(drive(&mut s, 6), vec![Silent, Negative, Silent, Positive, Silent, Negative]);
+}
+
+// -------------------------------------------------------------- Patience ----
+
+#[test]
+#[should_panic(expected = "positive threshold")]
+fn patience_zero_panics() {
+    let _ = Patience::new(AlwaysNegative, 0);
+}
+
+#[test]
+fn patience_one_passes_every_negative() {
+    let mut s = Patience::new(scripted(vec![Negative, Silent, Negative, Negative]), 1);
+    assert_eq!(drive(&mut s, 4), vec![Negative, Silent, Negative, Negative]);
+}
+
+#[test]
+fn patience_max_never_passes_a_negative() {
+    let mut s = Patience::new(AlwaysNegative, u64::MAX);
+    assert_eq!(drive(&mut s, 128), vec![Silent; 128]);
+}
+
+#[test]
+fn patience_streak_resets_on_any_non_negative() {
+    // patience = 2: two consecutive negatives are needed; a positive (or
+    // silence) in between restarts the streak.
+    let mut s = Patience::new(
+        scripted(vec![Negative, Positive, Negative, Negative, Negative, Negative]),
+        2,
+    );
+    assert_eq!(drive(&mut s, 6), vec![Silent, Positive, Silent, Negative, Silent, Negative]);
+}
+
+// ---------------------------------------------------------------- Either ----
+
+#[test]
+fn either_verdict_precedence_covers_the_full_matrix() {
+    // All nine (a, b) combinations: positives win, then negatives, then
+    // silence. Both sides are observed every round regardless of the other.
+    let menu = [Positive, Negative, Silent];
+    for &a_kind in &menu {
+        for &b_kind in &menu {
+            let mut s = Either::new(scripted(vec![a_kind]), scripted(vec![b_kind]));
+            let expected = if a_kind == Positive || b_kind == Positive {
+                Positive
+            } else if a_kind == Negative || b_kind == Negative {
+                Negative
+            } else {
+                Silent
+            };
+            assert_eq!(
+                s.observe(&event(0)),
+                expected,
+                "Either({a_kind:?}, {b_kind:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn either_advances_both_sides_even_when_one_dominates() {
+    // a is positive on round 0 only; b's script must still have advanced
+    // past its own round-0 entry when round 1 arrives.
+    let mut s = Either::new(
+        scripted(vec![Positive, Silent]),
+        scripted(vec![Negative, Positive]),
+    );
+    assert_eq!(s.observe(&event(0)), Positive); // a wins, b consumed Negative
+    assert_eq!(s.observe(&event(1)), Positive); // b's round-1 Positive, not its round-0 Negative
+}
+
+// --------------------------------------------------------------- Counted ----
+
+#[test]
+fn counted_passes_through_and_tallies_each_kind() {
+    let script = vec![Positive, Negative, Silent, Negative, Positive, Silent, Silent];
+    let mut s = Counted::new(scripted(script.clone()));
+    assert_eq!(drive(&mut s, 7), script);
+    assert_eq!(s.counts(), (2, 2, 3));
+}
+
+#[test]
+fn counted_reset_clears_counts_and_propagates_to_the_inner_sensing() {
+    // Nest Counted around Grace: after reset, the grace window must be
+    // reopened too, so the same script yields the same muted output.
+    let mut s = Counted::new(Grace::new(AlwaysNegative, 1));
+    assert_eq!(drive(&mut s, 3), vec![Silent, Negative, Negative]);
+    assert_eq!(s.counts(), (0, 2, 1));
+    s.reset();
+    assert_eq!(s.counts(), (0, 0, 0));
+    assert_eq!(drive(&mut s, 3), vec![Silent, Negative, Negative]);
+    assert_eq!(s.counts(), (0, 2, 1));
+}
