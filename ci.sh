@@ -11,10 +11,10 @@ echo "== build (release, offline) =="
 cargo build --release --offline
 
 echo "== tests (offline, sequential: GOC_THREADS=1) =="
-GOC_THREADS=1 cargo test -q --offline
+GOC_THREADS=1 cargo test -q --offline --workspace
 
 echo "== tests (offline, parallel trial engine: GOC_THREADS=4) =="
-GOC_THREADS=4 cargo test -q --offline
+GOC_THREADS=4 cargo test -q --offline --workspace
 
 echo "== bench harness smoke (quick, offline) =="
 rm -f target/goc-bench.jsonl  # JSON lines append; start the smoke run clean
@@ -24,9 +24,32 @@ GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e9_substrate
 GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e4_enumeration_overhead
 # e12 exercises the channel layer (noisy links + scheduled outage recovery).
 GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e12_noise_sweep
+# e13 prices the zero-copy round loop: settle arms (pooled+resume vs
+# eager+replay) feed the >= 2x gate below; the count-allocs feature makes
+# the steady arms record allocations per iteration for the zero-alloc gate.
+GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e13_zero_copy --features count-allocs
+
+echo "== E13 gate: pooled steady loop is allocation-free =="
+pooled_line=$(grep '"id":"steady_pooled"' target/goc-bench.jsonl | tail -n 1)
+printf '%s\n' "$pooled_line"
+grep -q '"allocs":0' <<<"$pooled_line" \
+  || { echo "CI FAIL: steady_pooled must record 0 allocs/iter"; exit 1; }
 
 echo "== experiment report smoke (quick) =="
 cargo run --release --offline -p goc-bench --bin goc-report -- --quick
+
+echo "== E13 gate: GOC_RESUME policy is observationally inert =="
+# Replay and Resume must be bit-for-bit equivalent across a *whole* report
+# run (every experiment, every table) — resuming a suspended candidate may
+# only change wall-clock, never an observable byte.
+rep_replay=$(GOC_RESUME=replay cargo run --release --offline -p goc-bench --bin goc-report -- --quick)
+rep_resume=$(GOC_RESUME=resume cargo run --release --offline -p goc-bench --bin goc-report -- --quick)
+if [ "$rep_replay" != "$rep_resume" ]; then
+  echo "CI FAIL: goc-report differs under GOC_RESUME=replay vs resume"
+  diff <(printf '%s\n' "$rep_replay") <(printf '%s\n' "$rep_resume") || true
+  exit 1
+fi
+echo "replay == resume (report identical)"
 
 echo "== conformance sweep (two seeds x GOC_THREADS=1/4, reproducible) =="
 # The metamorphic sweep must (a) report zero safety violations and (b)
@@ -51,5 +74,12 @@ printf '%s\n' "$summary"
 # speedup section — their absence means the bench metadata plumbing broke.
 grep -q "% hit" <<<"$summary" || { echo "CI FAIL: cache hit-rate missing from bench summary"; exit 1; }
 grep -q "parallel speedup" <<<"$summary" || { echo "CI FAIL: speedup section missing from bench summary"; exit 1; }
+
+echo "== E13 gate: settle improvement >= 2x (eager-replay vs pooled-resume, t1) =="
+ratio=$(grep -o '[0-9.]*x improvement' <<<"$summary" | tail -n 1 | grep -o '^[0-9.]*')
+[ -n "$ratio" ] || { echo "CI FAIL: E13 improvement line missing from bench summary"; exit 1; }
+echo "measured improvement: ${ratio}x"
+awk -v r="$ratio" 'BEGIN { exit !(r >= 2.0) }' \
+  || { echo "CI FAIL: E13 settle improvement ${ratio}x is below the 2x gate"; exit 1; }
 
 echo "CI OK"

@@ -10,6 +10,8 @@
 //!   (default `target/goc-bench.jsonl`).
 
 use goc_bench::experiments as exp;
+use goc_core::buf::CopyMode;
+use goc_core::prelude::ResumePolicy;
 use goc_testkit::bench::{default_json_path, fmt_ns, BenchRecord};
 
 fn main() {
@@ -50,8 +52,8 @@ fn bench_summary(path: &str) {
     }
     println!("# bench summary from {path} ({} records)\n", records.len());
     println!(
-        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10}",
-        "benchmark", "median", "p95", "min", "throughput", "threads", "cache"
+        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12}",
+        "benchmark", "median", "p95", "min", "throughput", "threads", "cache", "allocs"
     );
     let mut group = String::new();
     for r in &records {
@@ -75,20 +77,46 @@ fn bench_summary(path: &str) {
                 pct => format!("{pct:.0}% hit"),
             })
             .unwrap_or_default();
+        let allocs = r.allocs.map(|a| format!("{a}/iter")).unwrap_or_default();
         println!(
-            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10}",
+            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12}",
             format!("{}/{}", r.group, r.id),
             fmt_ns(r.median_ns),
             fmt_ns(r.p95_ns),
             fmt_ns(r.min_ns),
             throughput,
             threads,
-            cache
+            cache,
+            allocs
         );
     }
     speedup_section(&records);
+    e13_improvement_section(&records);
     if skipped > 0 {
         println!("\n({skipped} malformed lines skipped)");
+    }
+}
+
+/// Prints the E13 headline number: wall-clock improvement of the zero-copy
+/// engine (pooled buffers + `Resume`) over an honest reproduction of its
+/// predecessor (eager deep copies + `Replay`) on the 12-dialect settle
+/// workload, single-threaded. CI gates this at >= 2x.
+fn e13_improvement_section(records: &[BenchRecord]) {
+    // When a variant was benched more than once (appended runs), the latest
+    // record wins.
+    let median = |id: &str| records.iter().rev().find(|r| r.id == id).map(|r| r.median_ns);
+    let off = median("settle12_replay_eager@t1");
+    let on = median("settle12_resume_pooled@t1");
+    if let (Some(off), Some(on)) = (off, on) {
+        if on > 0 {
+            println!("\n## E13 zero-copy settle improvement (t1, eager-replay vs pooled-resume)");
+            println!(
+                "off {} -> on {}  ({:.2}x improvement)",
+                fmt_ns(off),
+                fmt_ns(on),
+                off as f64 / on as f64
+            );
+        }
     }
 }
 
@@ -268,6 +296,31 @@ fn report(quick: bool) {
     let (exec_rounds, vm_rounds) = if quick { (10_000, 1_000) } else { (100_000, 10_000) };
     println!("exec rounds executed:      {}", exp::e9_exec_rounds(exec_rounds));
     println!("vm instructions retired:   {}", exp::e9_vm_instructions(vm_rounds));
+
+    // --- E13 --------------------------------------------------------------
+    println!("\n## E13 — zero-copy round loop (revisit-policy parity on the 12-dialect class)");
+    let h13 = if quick { 2_400 } else { 8_000 };
+    let replay = exp::e13_settle12(ResumePolicy::Replay, CopyMode::Eager, h13);
+    let resume = exp::e13_settle12(ResumePolicy::Resume, CopyMode::Pooled, h13);
+    assert_eq!(replay, resume, "eager-replay and pooled-resume must settle identically");
+    println!("{:>8} {:>14}", "dialect", "settle round");
+    for (idx, settle) in resume.iter().enumerate() {
+        println!("{idx:>8} {settle:>14}");
+    }
+    let stats = goc_core::buf::with_pool(true, || {
+        let mut steady = exp::SteadyLoop::new();
+        goc_core::buf::reset_pool_stats();
+        let _ = steady.batch();
+        goc_core::buf::pool_stats()
+    });
+    println!(
+        "steady batch ({} rounds): pool hits = {}, misses = {}, recycled = {}",
+        exp::E13_STEADY_BATCH,
+        stats.hits,
+        stats.misses,
+        stats.recycled
+    );
+    assert_eq!(stats.misses, 0, "a warm steady batch must be served entirely from the pool");
 
     println!("\ndone.");
 }

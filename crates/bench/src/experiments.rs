@@ -1,6 +1,7 @@
 //! Deterministic experiment runners shared by the `goc-testkit` timing
 //! benches and the `goc-report` table generator.
 
+use goc_core::buf::CopyMode;
 use goc_core::channel::Noisy;
 use goc_core::enumeration::SliceEnumerator;
 use goc_core::harness::{compact_success, finite_success, SuccessReport};
@@ -696,6 +697,129 @@ pub fn e12_burst_outcome(burst_len: u64, horizon: u64) -> (bool, u64) {
     (v.achieved, v.rounds)
 }
 
+// ---------------------------------------------------------------------------
+// E13 — zero-copy round loop: resume policy × message pool
+// ---------------------------------------------------------------------------
+
+/// The E13 document: long enough (> `goc_core::buf::INLINE_CAP`) that every
+/// hot-path message — the framed job, the driver's decoded job, the tray
+/// report — spills to the heap, so buffer pooling is actually on the line.
+/// (E1's short document stays inline and would measure nothing.)
+pub const E13_DOCUMENT: &str = "zero-copy-manifesto-0123456789-abcdefghijklmnop";
+
+/// Rounds per steady-state batch. Each round retires two spilled messages
+/// into the recorded view; they return to the thread-local pool when
+/// [`Execution::reset_history`] drops the batch, so the batch must keep at
+/// most `POOL_CAP = 256` spills in flight for the next batch to be served
+/// entirely from the pool.
+pub const E13_STEADY_BATCH: u64 = 128;
+
+/// One E13 conquest: the compact universal user under `policy` (with the
+/// given message [`CopyMode`] forced for the whole run) settles on dialect
+/// `idx` of the E1 class. Returns the settle round (last bad prefix).
+///
+/// Judged through the borrowing [`TranscriptView`] path — the run never
+/// clones its history. `Replay` and `Resume` produce bit-identical
+/// executions (same rng stream per slot, same adoption order), so their
+/// settle rounds must agree; only the *work* per switch differs, which is
+/// what the E13 bench times. The "off" arm runs `Replay` under
+/// [`CopyMode::Eager`] — the honest pre-zero-copy engine, whose
+/// `Vec<u8>`-backed messages deep-copied on every channel hand-off and view
+/// append (each non-silent message is cloned several times per round by the
+/// round loop alone).
+pub fn e13_settle(idx: usize, policy: ResumePolicy, mode: CopyMode, horizon: u64) -> u64 {
+    goc_core::buf::with_copy_mode(mode, || {
+        let dialects = e1_dialects();
+        let goal = print::CompactPrintGoal::new(E13_DOCUMENT, 64);
+        let user = CompactUniversalUser::with_policy(
+            Box::new(print::dialect_class(E13_DOCUMENT, &dialects, true)),
+            Box::new(Deadline::new(print::tray_sensing(E13_DOCUMENT), 24)),
+            policy,
+        );
+        let mut rng = GocRng::seed_from_u64(1300 + idx as u64);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(print::DriverServer::new(dialects[idx].clone())),
+            Box::new(user),
+            rng,
+        );
+        exec.reserve_rounds(horizon);
+        for _ in 0..horizon {
+            exec.step();
+        }
+        let v = evaluate_compact_view(&goal, exec.transcript_view());
+        assert!(v.achieved(horizon / 10), "E13 idx {idx} policy {policy:?}: {v:?}");
+        v.last_bad_prefix.unwrap_or(0)
+    })
+}
+
+/// All 12 dialects conquered under `policy` via [`goc_core::par::par_map`];
+/// returns the settle rounds in dialect order. Trials are independent and
+/// order-preserved, so the vector is bit-identical for every `GOC_THREADS`.
+/// The copy mode is applied inside each trial (it is thread-local, so it
+/// must be scoped on the worker, not the caller).
+pub fn e13_settle12(policy: ResumePolicy, mode: CopyMode, horizon: u64) -> Vec<u64> {
+    let n = e1_dialects().len();
+    goc_core::par::par_map(n, |idx| e13_settle(idx, policy, mode, horizon))
+}
+
+/// A warmed steady-state printing system: an informed persistent user
+/// resubmitting [`E13_DOCUMENT`] every round against its own dialect's
+/// driver. Once warm, a [`batch`](SteadyLoop::batch) performs zero heap
+/// allocations when the pool is on — the property the `count-allocs` bench
+/// gate enforces.
+pub struct SteadyLoop {
+    exec: Execution<print::PrinterWorld>,
+}
+
+impl SteadyLoop {
+    /// Builds the system and runs one warmup batch (fills scratch buffers,
+    /// history capacity and the message pool).
+    pub fn new() -> Self {
+        let dialect = e1_dialects().remove(0);
+        let goal = print::CompactPrintGoal::new(E13_DOCUMENT, 64);
+        let user = print::PrintingUser::persistent(E13_DOCUMENT, dialect.clone())
+            .with_resubmit_every(1);
+        let mut rng = GocRng::seed_from_u64(1390);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(print::DriverServer::new(dialect)),
+            Box::new(user),
+            rng,
+        );
+        exec.reserve_rounds(2 * E13_STEADY_BATCH);
+        let mut steady = SteadyLoop { exec };
+        // Two warmup batches: the first grows scratch capacities and puts
+        // buffers into circulation, but leaves the pool a few spills below
+        // its equilibrium level (batch boundaries keep one round's messages
+        // in flight); the second tops the level up, after which a batch is
+        // served entirely from the pool.
+        steady.batch();
+        steady.batch();
+        steady
+    }
+
+    /// Runs one batch of [`E13_STEADY_BATCH`] rounds, then resets the
+    /// recorded history (returning the batch's spilled buffers to the
+    /// pool). Returns the world's total page count, so the optimiser
+    /// cannot elide the loop.
+    pub fn batch(&mut self) -> u64 {
+        for _ in 0..E13_STEADY_BATCH {
+            self.exec.step();
+        }
+        let pages =
+            self.exec.transcript_view().world_states.last().map(|s| s.total_pages).unwrap_or(0);
+        self.exec.reset_history();
+        pages
+    }
+}
+
+impl Default for SteadyLoop {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,6 +921,48 @@ mod tests {
         assert!(noisy_rounds >= clean_rounds, "{noisy_rounds} < {clean_rounds}");
         let (burst_ok, burst_rounds) = e12_burst_outcome(200, 100_000);
         assert!(burst_ok && burst_rounds > 200, "outage must delay past its own length");
+    }
+
+    #[test]
+    fn e13_replay_and_resume_settle_identically() {
+        // Bit-identical executions across both the policy axis and the copy
+        // mode axis: only the work per round/switch differs.
+        let replay = e13_settle(3, ResumePolicy::Replay, CopyMode::Eager, 8_000);
+        let resume = e13_settle(3, ResumePolicy::Resume, CopyMode::Pooled, 8_000);
+        assert_eq!(replay, resume, "Replay and Resume must settle at the same round");
+        assert!(resume > 0, "dialect 3 is not first: settling takes switches");
+    }
+
+    #[test]
+    fn e13_settle12_is_thread_count_invariant() {
+        use goc_core::par::with_thread_count;
+        let seq = with_thread_count(1, || e13_settle12(ResumePolicy::Resume, CopyMode::Pooled, 8_000));
+        let par = with_thread_count(4, || e13_settle12(ResumePolicy::Resume, CopyMode::Pooled, 8_000));
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), e1_dialects().len());
+    }
+
+    #[test]
+    fn e13_steady_batches_are_served_by_the_pool() {
+        goc_core::buf::with_pool(true, || {
+            let mut steady = SteadyLoop::new();
+            goc_core::buf::reset_pool_stats();
+            let before = steady.batch();
+            let after = steady.batch();
+            assert!(after > before, "the printer must keep printing");
+            let stats = goc_core::buf::pool_stats();
+            assert!(
+                stats.misses == 0 && stats.hits > 0,
+                "warm steady batches must never allocate a spill: {stats:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn e13_document_spills() {
+        assert!(E13_DOCUMENT.len() > goc_core::buf::INLINE_CAP);
+        let msg = Message::from_bytes(E13_DOCUMENT);
+        assert!(msg.len() > goc_core::buf::INLINE_CAP);
     }
 
     #[test]

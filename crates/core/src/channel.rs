@@ -50,6 +50,14 @@ pub trait Channel: Debug {
     /// next round.
     fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message;
 
+    /// A deterministic checkpoint: an independent copy of this channel in
+    /// its current state (including any in-flight messages), or `None` if
+    /// the channel cannot be checkpointed. See
+    /// [`UserStrategy::fork`](crate::strategy::UserStrategy::fork).
+    fn fork(&self) -> Option<BoxedChannel> {
+        None
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
         "channel".to_string()
@@ -62,6 +70,10 @@ pub type BoxedChannel = Box<dyn Channel>;
 impl Channel for BoxedChannel {
     fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
         (**self).transmit(ctx, msg)
+    }
+
+    fn fork(&self) -> Option<BoxedChannel> {
+        (**self).fork()
     }
 
     fn name(&self) -> String {
@@ -78,6 +90,10 @@ pub struct Perfect;
 impl Channel for Perfect {
     fn transmit(&mut self, _ctx: &mut StepCtx<'_>, msg: Message) -> Message {
         msg
+    }
+
+    fn fork(&self) -> Option<BoxedChannel> {
+        Some(Box::new(Perfect))
     }
 
     fn name(&self) -> String {
@@ -284,6 +300,10 @@ impl Channel for Scheduled {
         self.deliver(round)
     }
 
+    fn fork(&self) -> Option<BoxedChannel> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         format!("scheduled({} faults)", self.schedule.len())
     }
@@ -318,6 +338,10 @@ impl Channel for Latency {
     fn transmit(&mut self, _ctx: &mut StepCtx<'_>, msg: Message) -> Message {
         self.queue.push_back(msg);
         self.queue.pop_front().unwrap_or_else(Message::silence)
+    }
+
+    fn fork(&self) -> Option<BoxedChannel> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {
@@ -367,6 +391,10 @@ impl Channel for Noisy {
         msg
     }
 
+    fn fork(&self) -> Option<BoxedChannel> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         format!("noisy(drop {}, corrupt {})", self.drop_p, self.corrupt_p)
     }
@@ -401,6 +429,10 @@ impl Channel for Garbler {
         }
     }
 
+    fn fork(&self) -> Option<BoxedChannel> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         format!("garbler({}, {})", self.p, self.max_len)
     }
@@ -431,6 +463,12 @@ impl Channel for Chained {
             msg = stage.transmit(ctx, msg);
         }
         msg
+    }
+
+    fn fork(&self) -> Option<BoxedChannel> {
+        let stages: Option<Vec<BoxedChannel>> =
+            self.stages.iter().map(|s| s.fork()).collect();
+        Some(Box::new(Chained::new(stages?)))
     }
 
     fn name(&self) -> String {

@@ -53,6 +53,68 @@ impl<S> Transcript<S> {
             StopReason::HorizonExhausted => None,
         }
     }
+
+    /// A borrowing view of this transcript (no cloning).
+    pub fn as_view(&self) -> TranscriptView<'_, S> {
+        TranscriptView {
+            world_states: &self.world_states,
+            view: &self.view,
+            rounds: self.rounds,
+            stop: &self.stop,
+        }
+    }
+}
+
+/// A borrowing view of an execution's recorded history: same shape as
+/// [`Transcript`], zero copies.
+///
+/// Produced by [`Execution::transcript_view`] (over the live history) and
+/// [`Transcript::as_view`]. Sensing probes and referees that only *read* the
+/// history should consume this instead of a cloned [`Transcript`], so each
+/// probe costs O(new events) rather than O(history) — the clone-the-world
+/// snapshot is reserved for callers that genuinely need ownership.
+#[derive(Debug)]
+pub struct TranscriptView<'a, S> {
+    /// World states; `world_states[0]` is the initial state.
+    pub world_states: &'a [S],
+    /// The user's per-round view.
+    pub view: &'a UserView,
+    /// Number of rounds executed.
+    pub rounds: u64,
+    /// Why (or whether) the run stopped.
+    pub stop: &'a StopReason,
+}
+
+// Manual impls: the view only holds references, so it is `Copy` regardless
+// of whether `S` itself is (a derive would demand `S: Copy`).
+impl<S> Clone for TranscriptView<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for TranscriptView<'_, S> {}
+
+impl<'a, S> TranscriptView<'a, S> {
+    /// The user's halting verdict, if it halted.
+    pub fn halt(&self) -> Option<&'a Halt> {
+        match self.stop {
+            StopReason::UserHalted(h) => Some(h),
+            StopReason::HorizonExhausted => None,
+        }
+    }
+
+    /// An owned transcript, cloning the borrowed history.
+    pub fn to_transcript(&self) -> Transcript<S>
+    where
+        S: Clone,
+    {
+        Transcript {
+            world_states: self.world_states.to_vec(),
+            view: self.view.clone(),
+            rounds: self.rounds,
+            stop: self.stop.clone(),
+        }
+    }
 }
 
 /// A running (user, server, world) system.
@@ -121,6 +183,8 @@ pub struct Execution<W: WorldStrategy> {
     world_to_server: Message,
     world_states: Vec<W::State>,
     view: UserView,
+    // Owned StopReason backing the most recent `transcript_view` borrow.
+    stop_cache: StopReason,
 }
 
 impl<W: WorldStrategy> Execution<W> {
@@ -169,6 +233,7 @@ impl<W: WorldStrategy> Execution<W> {
             world_to_server: Message::silence(),
             world_states: vec![initial],
             view: UserView::new(),
+            stop_cache: StopReason::HorizonExhausted,
         }
     }
 
@@ -274,12 +339,7 @@ impl<W: WorldStrategy> Execution<W> {
                 }
             }
         }
-        Transcript {
-            world_states: self.world_states.clone(),
-            view: self.view.clone(),
-            rounds: self.round,
-            stop,
-        }
+        self.snapshot(stop)
     }
 
     /// Runs exactly `horizon` additional rounds, **ignoring** user halting:
@@ -292,10 +352,22 @@ impl<W: WorldStrategy> Execution<W> {
         for _ in 0..horizon {
             self.step();
         }
-        let stop = match self.user.halted() {
+        self.snapshot(self.stop_reason())
+    }
+
+    /// The stop reason the execution would report right now.
+    fn stop_reason(&self) -> StopReason {
+        match self.user.halted() {
             Some(h) => StopReason::UserHalted(h),
             None => StopReason::HorizonExhausted,
-        };
+        }
+    }
+
+    /// The single owned-snapshot site: clones the recorded history into a
+    /// [`Transcript`]. `run` and `run_for` both funnel through here;
+    /// read-only consumers should prefer
+    /// [`transcript_view`](Self::transcript_view).
+    fn snapshot(&self, stop: StopReason) -> Transcript<W::State> {
         Transcript {
             world_states: self.world_states.clone(),
             view: self.view.clone(),
@@ -304,19 +376,87 @@ impl<W: WorldStrategy> Execution<W> {
         }
     }
 
+    /// A borrowing view of the history so far — no cloning. The view's stop
+    /// reason reflects the user's current halt status.
+    pub fn transcript_view(&mut self) -> TranscriptView<'_, W::State> {
+        self.stop_cache = self.stop_reason();
+        TranscriptView {
+            world_states: &self.world_states,
+            view: &self.view,
+            rounds: self.round,
+            stop: &self.stop_cache,
+        }
+    }
+
+    /// Pre-reserves history capacity for `rounds` further rounds, so the
+    /// recording `Vec`s never reallocate inside the round loop. Benches use
+    /// this to make the steady-state loop allocation-free.
+    pub fn reserve_rounds(&mut self, rounds: u64) {
+        let rounds = usize::try_from(rounds).unwrap_or(usize::MAX);
+        self.world_states.reserve(rounds);
+        self.view.reserve(rounds);
+    }
+
+    /// Discards the recorded history (keeping its capacity) and re-records
+    /// the current world state as the new "initial" state. The round
+    /// counter, party states and in-flight messages are untouched.
+    ///
+    /// This is for long-running perf harnesses that would otherwise grow the
+    /// history without bound; referees judging the execution should be fed
+    /// the history *before* it is forgotten.
+    pub fn reset_history(&mut self) {
+        self.world_states.clear();
+        self.world_states.push(self.world.state());
+        self.view.clear();
+    }
+
     /// Consumes the execution and returns its final transcript without
     /// running further rounds.
     pub fn into_transcript(self) -> Transcript<W::State> {
-        let stop = match self.user.halted() {
-            Some(h) => StopReason::UserHalted(h),
-            None => StopReason::HorizonExhausted,
-        };
+        let stop = self.stop_reason();
         Transcript {
             world_states: self.world_states,
             view: self.view,
             rounds: self.round,
             stop,
         }
+    }
+}
+
+impl<W: WorldStrategy + Clone> Execution<W> {
+    /// A deterministic checkpoint of the entire execution: world, parties,
+    /// channels, rng streams, in-flight messages and recorded history.
+    ///
+    /// Returns `None` if the user, server or either channel cannot be
+    /// checkpointed (see
+    /// [`UserStrategy::fork`](crate::strategy::UserStrategy::fork)). The
+    /// fork and the original then evolve identically under identical
+    /// stepping — the recorded history is cloned, but each message buffer is
+    /// shared copy-on-write, so the clone is O(history length), not
+    /// O(history bytes).
+    pub fn fork(&self) -> Option<Self> {
+        Some(Execution {
+            world: self.world.clone(),
+            server: self.server.fork()?,
+            user: self.user.fork()?,
+            user_rng: self.user_rng.clone(),
+            server_rng: self.server_rng.clone(),
+            world_rng: self.world_rng.clone(),
+            up_channel: self.up_channel.fork()?,
+            down_channel: self.down_channel.fork()?,
+            up_rng: self.up_rng.clone(),
+            down_rng: self.down_rng.clone(),
+            round: self.round,
+            user_to_server: self.user_to_server.clone(),
+            user_to_world: self.user_to_world.clone(),
+            server_to_user: self.server_to_user.clone(),
+            server_to_world: self.server_to_world.clone(),
+            world_to_user: self.world_to_user.clone(),
+            world_to_server: self.world_to_server.clone(),
+            world_states: self.world_states.clone(),
+            view: self.view.clone(),
+            stop_cache: self.stop_cache.clone(),
+        })
     }
 }
 

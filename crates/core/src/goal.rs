@@ -15,7 +15,7 @@
 //!   approximated by [`CompactVerdict`]: success means the bad prefixes stop
 //!   occurring well before the horizon (a *stabilization window*).
 
-use crate::exec::Transcript;
+use crate::exec::{Transcript, TranscriptView};
 use crate::rng::GocRng;
 use crate::strategy::{Halt, WorldStrategy};
 
@@ -96,10 +96,19 @@ pub struct FiniteVerdict {
 ///
 /// See [`crate::toy`] for a complete worked goal.
 pub fn evaluate_finite<G: FiniteGoal>(goal: &G, transcript: &Transcript<StateOf<G>>) -> FiniteVerdict {
+    evaluate_finite_view(goal, transcript.as_view())
+}
+
+/// [`evaluate_finite`] over a borrowing [`TranscriptView`] — no transcript
+/// clone required.
+pub fn evaluate_finite_view<G: FiniteGoal>(
+    goal: &G,
+    transcript: TranscriptView<'_, StateOf<G>>,
+) -> FiniteVerdict {
     match transcript.halt() {
         Some(halt) => FiniteVerdict {
             halted: true,
-            achieved: goal.accepts(&transcript.world_states, halt),
+            achieved: goal.accepts(transcript.world_states, halt),
             rounds: transcript.rounds,
         },
         None => FiniteVerdict { halted: false, achieved: false, rounds: transcript.rounds },
@@ -141,6 +150,15 @@ impl CompactVerdict {
 pub fn evaluate_compact<G: CompactGoal>(
     goal: &G,
     transcript: &Transcript<StateOf<G>>,
+) -> CompactVerdict {
+    evaluate_compact_view(goal, transcript.as_view())
+}
+
+/// [`evaluate_compact`] over a borrowing [`TranscriptView`] — no transcript
+/// clone required.
+pub fn evaluate_compact_view<G: CompactGoal>(
+    goal: &G,
+    transcript: TranscriptView<'_, StateOf<G>>,
 ) -> CompactVerdict {
     let mut bad = 0u64;
     let mut last_bad = None;

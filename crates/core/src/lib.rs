@@ -37,6 +37,7 @@
 //! assert!(evaluate_finite(&goal, &t).achieved);
 //! ```
 
+pub mod buf;
 pub mod channel;
 pub mod enumeration;
 pub mod exec;
@@ -64,10 +65,10 @@ pub mod prelude {
         ChainEnumerator, FnEnumerator, LinearSchedule, SliceEnumerator, StrategyEnumerator,
         TriangularSchedule,
     };
-    pub use crate::exec::{Execution, StopReason, Transcript};
+    pub use crate::exec::{Execution, StopReason, Transcript, TranscriptView};
     pub use crate::goal::{
-        evaluate_compact, evaluate_finite, CompactGoal, CompactVerdict, FiniteGoal,
-        FiniteVerdict, Goal, GoalKind, StateOf,
+        evaluate_compact, evaluate_compact_view, evaluate_finite, evaluate_finite_view,
+        CompactGoal, CompactVerdict, FiniteGoal, FiniteVerdict, Goal, GoalKind, StateOf,
     };
     pub use crate::msg::{
         Message, Role, ServerIn, ServerOut, UserIn, UserOut, WorldIn, WorldOut,
@@ -77,6 +78,6 @@ pub mod prelude {
     pub use crate::strategy::{
         BoxedServer, BoxedUser, Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy,
     };
-    pub use crate::universal::{CompactUniversalUser, LevinUniversalUser};
+    pub use crate::universal::{CompactUniversalUser, LevinUniversalUser, ResumePolicy};
     pub use crate::view::{UserView, ViewEvent};
 }

@@ -8,6 +8,7 @@
 //! A [`Message`] is an arbitrary finite byte string; the empty message is
 //! *silence* (the party said nothing on that channel this round).
 
+use crate::buf::MsgBuf;
 use std::fmt;
 
 /// A single message on a channel: an arbitrary finite byte string.
@@ -15,6 +16,13 @@ use std::fmt;
 /// The empty message denotes silence. `Message` is deliberately unstructured:
 /// the whole point of the theory is that parties need not agree on a message
 /// format ahead of time.
+///
+/// Internally the payload is a [`MsgBuf`](crate::buf::MsgBuf): small
+/// messages live inline (no heap), large ones spill into a refcounted,
+/// pooled buffer. Cloning a message is therefore O(1) and allocation-free —
+/// the execution engine passes messages around by cheap copy-on-write
+/// handles, and a [`Perfect`](crate::channel::Perfect) channel delivers the
+/// identical buffer to the receiver.
 ///
 /// # Examples
 ///
@@ -27,17 +35,19 @@ use std::fmt;
 /// assert!(Message::silence().is_silence());
 /// ```
 #[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Message(Vec<u8>);
+pub struct Message(MsgBuf);
 
 impl Message {
     /// Creates the silent (empty) message.
-    pub fn silence() -> Self {
-        Message(Vec::new())
+    pub const fn silence() -> Self {
+        Message(MsgBuf::empty())
     }
 
-    /// Creates a message from raw bytes.
-    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Message(bytes.into())
+    /// Creates a message by copying raw bytes (into inline storage when they
+    /// fit, else into a pooled spill buffer). To *adopt* an owned `Vec`'s
+    /// allocation instead, use `Message::from(vec)`.
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Self {
+        Message(MsgBuf::from_slice(bytes.as_ref()))
     }
 
     /// Creates a message from a UTF-8 string.
@@ -46,7 +56,7 @@ impl Message {
     /// `FromStr` trait (construction is infallible).
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
-        Message(s.as_bytes().to_vec())
+        Message(MsgBuf::from_slice(s.as_bytes()))
     }
 
     /// Returns `true` if this message is silence (empty).
@@ -56,12 +66,13 @@ impl Message {
 
     /// The message payload as a byte slice.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        self.0.as_slice()
     }
 
-    /// Consumes the message, returning the underlying bytes.
+    /// Consumes the message, returning the underlying bytes. Uniquely held
+    /// spilled payloads are moved out without copying.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.0
+        self.0.into_vec()
     }
 
     /// The payload length in bytes.
@@ -77,7 +88,14 @@ impl Message {
 
     /// Interprets the payload as UTF-8 text if possible.
     pub fn to_text(&self) -> Option<&str> {
-        std::str::from_utf8(&self.0).ok()
+        std::str::from_utf8(self.0.as_slice()).ok()
+    }
+
+    /// Address of the heap payload, or `None` for inline payloads. Test
+    /// hook for the zero-copy guarantees (buffer identity across a
+    /// `Perfect` channel, clone sharing).
+    pub fn heap_ptr(&self) -> Option<*const u8> {
+        self.0.heap_ptr()
     }
 }
 
@@ -90,7 +108,7 @@ impl fmt::Debug for Message {
             Some(t) if t.chars().all(|c| !c.is_control()) => {
                 write!(f, "Message({t:?})")
             }
-            _ => write!(f, "Message(0x{})", hex(&self.0)),
+            _ => write!(f, "Message(0x{})", hex(self.as_bytes())),
         }
     }
 }
@@ -102,20 +120,20 @@ impl fmt::Display for Message {
         }
         match self.to_text() {
             Some(t) if t.chars().all(|c| !c.is_control()) => write!(f, "{t}"),
-            _ => write!(f, "0x{}", hex(&self.0)),
+            _ => write!(f, "0x{}", hex(self.as_bytes())),
         }
     }
 }
 
 impl From<Vec<u8>> for Message {
     fn from(v: Vec<u8>) -> Self {
-        Message(v)
+        Message(MsgBuf::from_vec(v))
     }
 }
 
 impl From<&[u8]> for Message {
     fn from(v: &[u8]) -> Self {
-        Message(v.to_vec())
+        Message(MsgBuf::from_slice(v))
     }
 }
 
@@ -127,13 +145,13 @@ impl From<&str> for Message {
 
 impl From<String> for Message {
     fn from(s: String) -> Self {
-        Message(s.into_bytes())
+        Message(MsgBuf::from_vec(s.into_bytes()))
     }
 }
 
 impl AsRef<[u8]> for Message {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.0.as_slice()
     }
 }
 

@@ -87,6 +87,16 @@ pub trait UserStrategy: Debug {
         None
     }
 
+    /// A deterministic checkpoint: an independent copy of this strategy in
+    /// its *current* state, or `None` if the strategy cannot be checkpointed
+    /// (e.g. it closes over external state). Stepping the fork with the same
+    /// context and inputs must produce exactly the outputs the original
+    /// would — this is what makes suspend/resume of candidates in the
+    /// universal users observationally equivalent to replay.
+    fn fork(&self) -> Option<BoxedUser> {
+        None
+    }
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
         "user".to_string()
@@ -100,6 +110,13 @@ pub trait UserStrategy: Debug {
 pub trait ServerStrategy: Debug {
     /// Executes one synchronous round.
     fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut;
+
+    /// A deterministic checkpoint of this server in its current state, or
+    /// `None` if the server cannot be checkpointed. See
+    /// [`UserStrategy::fork`].
+    fn fork(&self) -> Option<BoxedServer> {
+        None
+    }
 
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
@@ -136,6 +153,10 @@ impl UserStrategy for BoxedUser {
         (**self).halted()
     }
 
+    fn fork(&self) -> Option<BoxedUser> {
+        (**self).fork()
+    }
+
     fn name(&self) -> String {
         (**self).name()
     }
@@ -144,6 +165,10 @@ impl UserStrategy for BoxedUser {
 impl ServerStrategy for BoxedServer {
     fn step(&mut self, ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
         (**self).step(ctx, input)
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        (**self).fork()
     }
 
     fn name(&self) -> String {
@@ -162,6 +187,10 @@ impl UserStrategy for SilentUser {
         UserOut::silence()
     }
 
+    fn fork(&self) -> Option<BoxedUser> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         "silent-user".to_string()
     }
@@ -177,6 +206,10 @@ impl ServerStrategy for SilentServer {
         ServerOut::silence()
     }
 
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         "silent-server".to_string()
     }
@@ -189,6 +222,10 @@ pub struct EchoServer;
 impl ServerStrategy for EchoServer {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
         ServerOut::to_user(input.from_user.clone())
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {

@@ -190,6 +190,10 @@ impl ServerStrategy for RelayServer {
         ServerOut::to_world(shifted)
     }
 
+    fn fork(&self) -> Option<crate::strategy::BoxedServer> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> String {
         format!("caesar-relay(+{})", self.shift)
     }
@@ -243,6 +247,10 @@ impl UserStrategy for SayThrough {
 
     fn halted(&self) -> Option<Halt> {
         self.halt.clone()
+    }
+
+    fn fork(&self) -> Option<crate::strategy::BoxedUser> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {

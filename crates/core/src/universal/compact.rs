@@ -4,11 +4,80 @@ use super::schedule::Schedule;
 use super::SwitchRecord;
 use crate::enumeration::StrategyEnumerator;
 use crate::msg::{UserIn, UserOut};
+use crate::rng::GocRng;
 use crate::sensing::{BoxedSensing, Sensing};
 use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
 use crate::view::ViewEvent;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+
+/// How the universal user treats a candidate when the triangular schedule
+/// revisits it.
+///
+/// The paper's construction is defined extensionally — by what the candidate
+/// *would* output given its inputs — so any policy that reproduces those
+/// outputs is faithful. The three policies trade work for memory:
+///
+/// - [`Restart`](ResumePolicy::Restart): every visit starts a **fresh**
+///   candidate (the seed behaviour, and the default). Cheapest memory,
+///   but a revisited candidate has forgotten everything.
+/// - [`Replay`](ResumePolicy::Replay): every visit starts a fresh candidate
+///   and **re-feeds it the full recorded input history** of its previous
+///   visits before going live — the reference semantics for resumption, at
+///   O(history) cost per revisit (O(i²) total for candidate *i*).
+/// - [`Resume`](ResumePolicy::Resume): a candidate abandoned on a negative
+///   indication is **suspended** (its live state and private rng stream are
+///   parked in a slot) and taken back on revisit — O(1) per revisit.
+///
+/// `Replay` and `Resume` are observationally equivalent: a candidate's
+/// behaviour is a deterministic function of its private rng stream (forked
+/// position-independently from the user's stream, so the re-fork on replay
+/// reproduces it exactly) and the sequence of `(round, input)` pairs it is
+/// fed. The `resume_matches_replay` property test asserts the equivalence
+/// bit-for-bit; CI diffs whole `goc-report` runs under both policies.
+///
+/// `Restart` differs from both by design (a fresh candidate may e.g. re-send
+/// a greeting a replayed one would not repeat); it remains the default so
+/// seeded experiment outputs predating this type are unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ResumePolicy {
+    /// Fresh candidate on every visit (seed behaviour).
+    #[default]
+    Restart,
+    /// Fresh candidate re-fed its recorded history on every revisit.
+    Replay,
+    /// Suspend on abandonment, take the live state back on revisit.
+    Resume,
+}
+
+impl ResumePolicy {
+    /// Reads `GOC_RESUME` (`restart` | `replay` | `resume`; default
+    /// `restart`).
+    pub fn from_env() -> Self {
+        match std::env::var("GOC_RESUME").as_deref() {
+            Ok("replay") => ResumePolicy::Replay,
+            Ok("resume") => ResumePolicy::Resume,
+            _ => ResumePolicy::Restart,
+        }
+    }
+}
+
+/// Fork-stream namespace for per-candidate rng streams (see
+/// [`ResumePolicy`]): candidate `i` draws from
+/// `user_rng.fork(SLOT_STREAM_BASE + i)`. Forking is position-independent,
+/// so re-deriving the stream at replay time reproduces it exactly.
+const SLOT_STREAM_BASE: u64 = 0x5245_5355_4d45; // "RESUME"
+
+/// Per-candidate suspension state (policies other than `Restart`).
+#[derive(Debug, Default)]
+struct Slot {
+    /// The suspended live candidate (`Resume` only).
+    user: Option<BoxedUser>,
+    /// The suspended candidate's rng stream (`Resume` only).
+    rng: Option<GocRng>,
+    /// Every `(round, input)` fed to this candidate so far (`Replay` only).
+    history: Vec<(u64, UserIn)>,
+}
 
 /// The universal user strategy for **compact** goals (Theorem 1, compact
 /// case).
@@ -73,8 +142,22 @@ pub struct CompactUniversalUser {
     switches: Vec<SwitchRecord>,
     pending_switch: bool,
     /// Speculatively pre-built `(index, candidate)` slots, consumed strictly
-    /// in schedule order (see [`super::finite::LOOKAHEAD`]).
+    /// in schedule order (see [`super::finite::LOOKAHEAD`]). Only used under
+    /// [`ResumePolicy::Restart`]; the other policies draw from the schedule
+    /// one index at a time because a revisit may not build a candidate at
+    /// all.
     lookahead: VecDeque<(usize, BoxedUser)>,
+    policy: ResumePolicy,
+    /// Suspension slots, keyed by enumeration index (non-`Restart` only).
+    slots: BTreeMap<usize, Slot>,
+    /// The live candidate's private rng stream (non-`Restart` only);
+    /// `None` until the first step derives it from the step context.
+    slot_rng: Option<GocRng>,
+    /// Rounds re-fed to fresh candidates under [`ResumePolicy::Replay`].
+    replayed_rounds: u64,
+    /// Switches that took a suspended candidate back instead of building a
+    /// fresh one ([`ResumePolicy::Resume`] only).
+    resumed_switches: u64,
 }
 
 impl fmt::Debug for CompactUniversalUser {
@@ -90,19 +173,37 @@ impl fmt::Debug for CompactUniversalUser {
 
 impl CompactUniversalUser {
     /// Builds the universal user over `enumerator` with the given `sensing`,
-    /// using the (correct) triangular schedule.
+    /// using the (correct) triangular schedule and the revisit policy named
+    /// by the `GOC_RESUME` environment variable (default
+    /// [`Restart`](ResumePolicy::Restart), the seed behaviour). Setting
+    /// `GOC_RESUME=replay` or `=resume` must not change any experiment's
+    /// *outcome* — CI diffs whole report runs under both to enforce it.
     ///
     /// # Panics
     ///
     /// Panics if the enumeration is empty.
     pub fn new(enumerator: Box<dyn StrategyEnumerator>, sensing: BoxedSensing) -> Self {
+        Self::with_policy(enumerator, sensing, ResumePolicy::from_env())
+    }
+
+    /// [`CompactUniversalUser::new`] with an explicit [`ResumePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration is empty.
+    pub fn with_policy(
+        enumerator: Box<dyn StrategyEnumerator>,
+        sensing: BoxedSensing,
+        policy: ResumePolicy,
+    ) -> Self {
         assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
         let schedule = Schedule::triangular(enumerator.len());
-        Self::with_schedule(enumerator, sensing, schedule)
+        Self::with_schedule_and_policy(enumerator, sensing, schedule, policy)
     }
 
     /// Builds the universal user with an explicit schedule (ablation E8 uses
-    /// [`Schedule::linear`]).
+    /// [`Schedule::linear`]) and the `GOC_RESUME` revisit policy, as in
+    /// [`new`](Self::new).
     ///
     /// # Panics
     ///
@@ -112,6 +213,22 @@ impl CompactUniversalUser {
         enumerator: Box<dyn StrategyEnumerator>,
         sensing: BoxedSensing,
         schedule: Schedule,
+    ) -> Self {
+        Self::with_schedule_and_policy(enumerator, sensing, schedule, ResumePolicy::from_env())
+    }
+
+    /// Builds the universal user with an explicit schedule *and* an explicit
+    /// [`ResumePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the enumeration is empty or the schedule yields an index the
+    /// enumeration cannot instantiate.
+    pub fn with_schedule_and_policy(
+        enumerator: Box<dyn StrategyEnumerator>,
+        sensing: BoxedSensing,
+        schedule: Schedule,
+        policy: ResumePolicy,
     ) -> Self {
         assert!(!enumerator.is_empty(), "universal user needs a non-empty strategy class");
         let mut user = CompactUniversalUser {
@@ -123,8 +240,23 @@ impl CompactUniversalUser {
             switches: Vec::new(),
             pending_switch: false,
             lookahead: VecDeque::new(),
+            policy,
+            slots: BTreeMap::new(),
+            slot_rng: None,
+            replayed_rounds: 0,
+            resumed_switches: 0,
         };
-        let (first, candidate) = user.next_candidate();
+        let (first, candidate) = match policy {
+            ResumePolicy::Restart => user.next_candidate(),
+            _ => {
+                let first = user.schedule.next().expect("schedules are infinite");
+                let candidate = user
+                    .enumerator
+                    .strategy(first)
+                    .expect("schedule yielded an index outside the enumeration");
+                (first, candidate)
+            }
+        };
         user.current = candidate;
         user.current_index = first;
         user
@@ -145,6 +277,24 @@ impl CompactUniversalUser {
         &self.switches
     }
 
+    /// The revisit policy this user was built with.
+    pub fn policy(&self) -> ResumePolicy {
+        self.policy
+    }
+
+    /// Rounds re-fed to fresh candidates so far ([`ResumePolicy::Replay`]
+    /// only; zero otherwise). This is the quadratic work the `Resume` policy
+    /// eliminates.
+    pub fn replayed_rounds(&self) -> u64 {
+        self.replayed_rounds
+    }
+
+    /// Switches that took a suspended candidate back instead of building a
+    /// fresh one ([`ResumePolicy::Resume`] only; zero otherwise).
+    pub fn resumed_switches(&self) -> u64 {
+        self.resumed_switches
+    }
+
     /// Pops the next scheduled `(index, candidate)`, refilling the
     /// speculative lookahead in one [`StrategyEnumerator::batch`] call when
     /// it runs dry (same reasoning as the Levin user's lookahead:
@@ -163,14 +313,67 @@ impl CompactUniversalUser {
         self.lookahead.pop_front().expect("lookahead was just refilled")
     }
 
-    fn switch(&mut self, round: u64) {
-        let (next, fresh) = self.next_candidate();
+    fn switch(&mut self, ctx: &mut StepCtx<'_>) {
+        let round = ctx.round;
+        let next = match self.policy {
+            ResumePolicy::Restart => {
+                let (next, fresh) = self.next_candidate();
+                self.current = fresh;
+                next
+            }
+            ResumePolicy::Replay => {
+                let next = self.schedule.next().expect("schedules are infinite");
+                self.current = self
+                    .enumerator
+                    .strategy(next)
+                    .expect("schedule yielded an index outside the enumeration");
+                // Re-derive the candidate's private stream from scratch and
+                // re-feed its recorded history: position-independent forking
+                // guarantees this reconstructs the abandoned state exactly.
+                let mut rng = ctx.rng.fork(SLOT_STREAM_BASE + next as u64);
+                if let Some(slot) = self.slots.get(&next) {
+                    for (r, input) in &slot.history {
+                        let mut replay_ctx = StepCtx::new(*r, &mut rng);
+                        let _ = self.current.step(&mut replay_ctx, input);
+                    }
+                    self.replayed_rounds += slot.history.len() as u64;
+                }
+                self.slot_rng = Some(rng);
+                next
+            }
+            ResumePolicy::Resume => {
+                let next = self.schedule.next().expect("schedules are infinite");
+                // Suspend the abandoned candidate together with its rng
+                // position.
+                let old =
+                    std::mem::replace(&mut self.current, Box::new(crate::strategy::SilentUser));
+                let slot = self.slots.entry(self.current_index).or_default();
+                slot.user = Some(old);
+                slot.rng = self.slot_rng.take();
+                // Take the revisited candidate back, or build it fresh on a
+                // first visit.
+                match self.slots.get_mut(&next).and_then(|s| s.user.take()) {
+                    Some(user) => {
+                        self.current = user;
+                        self.slot_rng = self.slots.get_mut(&next).and_then(|s| s.rng.take());
+                        self.resumed_switches += 1;
+                    }
+                    None => {
+                        self.current = self
+                            .enumerator
+                            .strategy(next)
+                            .expect("schedule yielded an index outside the enumeration");
+                        self.slot_rng = Some(ctx.rng.fork(SLOT_STREAM_BASE + next as u64));
+                    }
+                }
+                next
+            }
+        };
         self.switches.push(SwitchRecord {
             round,
             from_index: self.current_index,
             to_index: next,
         });
-        self.current = fresh;
         self.current_index = next;
         self.sensing.reset();
         self.pending_switch = false;
@@ -180,9 +383,28 @@ impl CompactUniversalUser {
 impl UserStrategy for CompactUniversalUser {
     fn step(&mut self, ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
         if self.pending_switch {
-            self.switch(ctx.round);
+            self.switch(ctx);
         }
-        let out = self.current.step(ctx, input);
+        let out = if self.policy == ResumePolicy::Restart {
+            self.current.step(ctx, input)
+        } else {
+            // Candidates under Replay/Resume draw from a private,
+            // position-independently forked stream so that replaying or
+            // resuming reconstructs exactly the same randomness.
+            if self.slot_rng.is_none() {
+                self.slot_rng = Some(ctx.rng.fork(SLOT_STREAM_BASE + self.current_index as u64));
+            }
+            if self.policy == ResumePolicy::Replay {
+                self.slots
+                    .entry(self.current_index)
+                    .or_default()
+                    .history
+                    .push((ctx.round, input.clone()));
+            }
+            let rng = self.slot_rng.as_mut().expect("initialized above");
+            let mut slot_ctx = StepCtx::new(ctx.round, rng);
+            self.current.step(&mut slot_ctx, input)
+        };
         let event = ViewEvent { round: ctx.round, received: input.clone(), sent: out.clone() };
         let indication = self.sensing.observe(&event);
         if indication.is_negative() {
@@ -358,5 +580,113 @@ mod tests {
         assert!(format!("{u:?}").contains("CompactUniversalUser"));
         assert!(u.name().contains("compact-universal"));
         assert!(UserStrategy::halted(&u).is_none());
+    }
+
+    #[test]
+    fn resume_policy_default_is_restart() {
+        assert_eq!(ResumePolicy::default(), ResumePolicy::Restart);
+        assert_eq!(universal(4, 5).policy(), ResumePolicy::Restart);
+    }
+
+    /// A stateful candidate: emits its own step count, so whether a revisit
+    /// remembers previous visits is directly observable in the output.
+    #[derive(Clone, Debug, Default)]
+    struct CounterUser {
+        n: u64,
+    }
+
+    impl UserStrategy for CounterUser {
+        fn step(&mut self, _ctx: &mut StepCtx<'_>, _input: &UserIn) -> UserOut {
+            let out = UserOut {
+                to_server: crate::msg::Message::from(format!("{}", self.n)),
+                to_world: crate::msg::Message::silence(),
+            };
+            self.n += 1;
+            out
+        }
+    }
+
+    /// Builds a universal user over two stateful counters whose sensing
+    /// (Deadline with timeout 1 and no acks) fires a negative every round,
+    /// forcing a switch per round.
+    fn counting_universal(policy: ResumePolicy) -> CompactUniversalUser {
+        let class = crate::enumeration::SliceEnumerator::new("counters")
+            .with(|| Box::new(CounterUser::default()) as BoxedUser)
+            .with(|| Box::new(CounterUser::default()) as BoxedUser);
+        CompactUniversalUser::with_policy(
+            Box::new(class),
+            Box::new(Deadline::new(toy::ack_sensing(), 1)),
+            policy,
+        )
+    }
+
+    fn drive(mut u: CompactUniversalUser, rounds: u64) -> (Vec<UserOut>, CompactUniversalUser) {
+        let mut rng = GocRng::seed_from_u64(9);
+        let mut outs = Vec::new();
+        for round in 0..rounds {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            outs.push(u.step(&mut ctx, &UserIn::default()));
+        }
+        (outs, u)
+    }
+
+    #[test]
+    fn resume_matches_replay_bit_for_bit() {
+        let (replay_out, replay) = drive(counting_universal(ResumePolicy::Replay), 60);
+        let (resume_out, resume) = drive(counting_universal(ResumePolicy::Resume), 60);
+        assert_eq!(replay_out, resume_out);
+        assert_eq!(replay.switch_log(), resume.switch_log());
+        assert_eq!(resume.replayed_rounds(), 0);
+        assert!(resume.resumed_switches() > 0, "revisits should resume");
+        assert!(replay.replayed_rounds() > 0, "revisits should replay");
+        assert_eq!(replay.resumed_switches(), 0);
+    }
+
+    #[test]
+    fn resume_remembers_state_restart_forgets() {
+        let (restart_out, _) = drive(counting_universal(ResumePolicy::Restart), 20);
+        let (resume_out, _) = drive(counting_universal(ResumePolicy::Resume), 20);
+        // Fresh candidates always emit "0"; a resumed candidate keeps
+        // counting across revisits.
+        assert!(restart_out
+            .iter()
+            .all(|o| o.to_server == crate::msg::Message::from("0")));
+        assert!(resume_out
+            .iter()
+            .any(|o| o.to_server != crate::msg::Message::from("0")));
+        // With two slots sharing 20 rounds, the busier counter must have
+        // advanced well past 0 by the end.
+        let max_count: u64 = resume_out
+            .iter()
+            .map(|o| {
+                std::str::from_utf8(o.to_server.as_bytes()).unwrap().parse::<u64>().unwrap()
+            })
+            .max()
+            .unwrap();
+        assert!(max_count >= 10, "resumed counters should advance well past 0, got {max_count}");
+    }
+
+    #[test]
+    fn replay_policy_still_achieves_the_goal() {
+        for policy in [ResumePolicy::Replay, ResumePolicy::Resume] {
+            let goal = toy::CompactMagicWordGoal::new("hi", 16);
+            let user = CompactUniversalUser::with_policy(
+                Box::new(toy::caesar_class("hi", 8, true)),
+                Box::new(Deadline::new(toy::ack_sensing(), 8)),
+                policy,
+            );
+            let mut rng = GocRng::seed_from_u64(42);
+            let mut exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(toy::RelayServer::with_shift(5)),
+                Box::new(user),
+                rng,
+            );
+            let t = exec.run(4000);
+            assert!(
+                evaluate_compact(&goal, &t).achieved(500),
+                "policy {policy:?} failed to settle"
+            );
+        }
     }
 }

@@ -75,6 +75,14 @@ impl ServerStrategy for PasswordLocked {
         ServerOut::silence()
     }
 
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(PasswordLocked {
+            inner: self.inner.fork()?,
+            password: self.password.clone(),
+            unlocked: self.unlocked,
+        }))
+    }
+
     fn name(&self) -> String {
         format!("password-locked({} bytes, {})", self.password.len(), self.inner.name())
     }
@@ -104,6 +112,10 @@ impl ServerStrategy for Delayed {
         let delivered = self.line.transmit(ctx, input.from_user.clone());
         let delayed_in = ServerIn { from_user: delivered, from_world: input.from_world.clone() };
         self.inner.step(ctx, &delayed_in)
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(Delayed { inner: self.inner.fork()?, line: self.line.clone() }))
     }
 
     fn name(&self) -> String {
@@ -141,6 +153,10 @@ impl ServerStrategy for Lossy {
         out.to_user = self.link.transmit(ctx, out.to_user);
         out.to_world = self.link.transmit(ctx, out.to_world);
         out
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(Lossy { inner: self.inner.fork()?, link: self.link.clone(), p: self.p }))
     }
 
     fn name(&self) -> String {
@@ -185,6 +201,14 @@ impl ServerStrategy for ScrambledStart {
         self.inner.step(ctx, input)
     }
 
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(ScrambledStart {
+            inner: self.inner.fork()?,
+            warmup: self.warmup,
+            done: self.done,
+        }))
+    }
+
     fn name(&self) -> String {
         format!("scrambled({}, {})", self.warmup, self.inner.name())
     }
@@ -222,6 +246,10 @@ impl ServerStrategy for Intermittent {
         } else {
             ServerOut::silence()
         }
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(Intermittent { inner: self.inner.fork()?, on: self.on, off: self.off }))
     }
 
     fn name(&self) -> String {
@@ -265,6 +293,14 @@ impl ServerStrategy for Byzantine {
         } else {
             out
         }
+    }
+
+    fn fork(&self) -> Option<BoxedServer> {
+        Some(Box::new(Byzantine {
+            inner: self.inner.fork()?,
+            p: self.p,
+            max_garbage: self.max_garbage,
+        }))
     }
 
     fn name(&self) -> String {
@@ -381,6 +417,25 @@ mod tests {
     #[should_panic(expected = "positive on-phase")]
     fn intermittent_zero_on_panics() {
         let _ = Intermittent::new(Box::new(EchoServer), 0, 1);
+    }
+
+    #[test]
+    fn fork_preserves_wrapper_state() {
+        let mut rng = GocRng::seed_from_u64(3);
+        let mut s = PasswordLocked::new(Box::new(EchoServer), "pw");
+        let _ = s.step(&mut ctx(&mut rng), &user_says("pw"));
+        assert!(s.is_unlocked());
+        let mut f = s.fork().expect("password-locked over echo is forkable");
+        let out = f.step(&mut ctx(&mut rng), &user_says("hello"));
+        assert_eq!(out.to_user, Message::from("hello"));
+
+        // A fork taken mid-flight carries the latency queue with it.
+        let mut d = Delayed::new(Box::new(EchoServer), 2);
+        let _ = d.step(&mut ctx(&mut rng), &user_says("a"));
+        let _ = d.step(&mut ctx(&mut rng), &user_says("b"));
+        let mut df = d.fork().expect("delayed over echo is forkable");
+        assert_eq!(d.step(&mut ctx(&mut rng), &user_says("c")).to_user, Message::from("a"));
+        assert_eq!(df.step(&mut ctx(&mut rng), &user_says("c")).to_user, Message::from("a"));
     }
 
     #[test]

@@ -225,3 +225,217 @@ fn compact_universal_index_in_range() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy round loop: resume/replay, copy modes, fork checkpoints
+// ---------------------------------------------------------------------------
+
+/// Drives the toy compact system — magic-word goal, caesar class, shift
+/// relay, the given fault schedule on both directions of the user↔server
+/// link — under a revisit `policy` and a buffer [`CopyMode`], and returns
+/// everything the outside can observe: the full user view and the compact
+/// verdict.
+fn compact_conquest(
+    policy: ResumePolicy,
+    mode: goc_core::buf::CopyMode,
+    shift: u8,
+    timeout: u64,
+    faults: &FaultSchedule,
+    horizon: u64,
+) -> (Vec<ViewEvent>, bool, Option<u64>) {
+    goc_core::buf::with_copy_mode(mode, || {
+        let goal = toy::CompactMagicWordGoal::new("hi", 16);
+        let user = CompactUniversalUser::with_policy(
+            Box::new(toy::caesar_class("hi", 8, true)),
+            Box::new(Deadline::new(toy::ack_sensing(), timeout)),
+            policy,
+        );
+        let mut rng = GocRng::seed_from_u64(77);
+        let mut exec = Execution::with_channels(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::with_shift(shift)),
+            Box::new(user),
+            rng,
+            Box::new(Scheduled::new(faults.clone())),
+            Box::new(Scheduled::new(faults.clone())),
+        );
+        exec.reserve_rounds(horizon);
+        for _ in 0..horizon {
+            exec.step();
+        }
+        let t = exec.transcript_view();
+        let v = evaluate_compact_view(&goal, t);
+        (t.view.events().to_vec(), v.achieved(horizon / 8), v.last_bad_prefix)
+    })
+}
+
+/// Resume-from-suspension is observationally equivalent to
+/// replay-from-scratch for every (server shift × sensing patience × fault
+/// schedule): candidates are suspended at whatever rounds the faults and the
+/// deadline conspire to produce, and the two policies must still yield
+/// byte-identical user views and identical verdicts. The pooled/unpooled
+/// axis is folded into the same comparison, so a pool bug that leaked into
+/// observable behaviour would also trip this property.
+#[test]
+fn resume_matches_replay_under_faults() {
+    check(
+        "resume_matches_replay_under_faults",
+        gens::tuple3(
+            gens::u8_in(0, 7),
+            gens::u64_in(2, 12),
+            gens::fault_schedule(200, 4, 64),
+        ),
+        |(shift, timeout, faults)| {
+            let replay = compact_conquest(
+                ResumePolicy::Replay,
+                goc_core::buf::CopyMode::Unpooled,
+                *shift,
+                *timeout,
+                faults,
+                1_200,
+            );
+            let resume = compact_conquest(
+                ResumePolicy::Resume,
+                goc_core::buf::CopyMode::Pooled,
+                *shift,
+                *timeout,
+                faults,
+                1_200,
+            );
+            prop_assert_eq!(&replay.0, &resume.0, "user views must be byte-identical");
+            prop_assert_eq!(replay.1, resume.1, "achievement must agree");
+            prop_assert_eq!(replay.2, resume.2, "settle rounds must agree");
+            Ok(())
+        },
+    );
+}
+
+/// All three [`CopyMode`]s — pooled COW, unpooled COW and the eager
+/// value-semantics reproduction of the pre-zero-copy engine — are
+/// observationally inert: same views, same verdicts.
+#[test]
+fn copy_modes_are_observationally_inert() {
+    use goc_core::buf::CopyMode;
+    check(
+        "copy_modes_are_observationally_inert",
+        gens::tuple2(gens::u8_in(0, 7), gens::bursty_schedule(150, 3, 20)),
+        |(shift, faults)| {
+            let pooled = compact_conquest(
+                ResumePolicy::Resume, CopyMode::Pooled, *shift, 8, faults, 800,
+            );
+            for mode in [CopyMode::Unpooled, CopyMode::Eager] {
+                let other = compact_conquest(
+                    ResumePolicy::Resume, mode, *shift, 8, faults, 800,
+                );
+                prop_assert_eq!(&pooled.0, &other.0, "views differ under {:?}", mode);
+                prop_assert_eq!(pooled.1, other.1);
+                prop_assert_eq!(pooled.2, other.2);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `Execution::fork` is a transparent checkpoint: forking at an arbitrary
+/// suspend point and carrying the fork to the horizon yields exactly the
+/// run the original would have produced — and actually does produce, when
+/// stepped alongside.
+#[test]
+fn fork_checkpoint_is_transparent() {
+    check(
+        "fork_checkpoint_is_transparent",
+        gens::tuple3(
+            gens::u8_in(0, 7),
+            gens::u64_in(0, 300),
+            gens::bounded_loss_schedule(100, 5),
+        ),
+        |(shift, suspend_at, faults)| {
+            let horizon = 400u64;
+            let build = || {
+                let goal = toy::CompactMagicWordGoal::new("hi", 16);
+                let user = toy::caesar_class("hi", 8, true)
+                    .strategy(*shift as usize)
+                    .expect("class has 8 strategies");
+                let mut rng = GocRng::seed_from_u64(21);
+                Execution::with_channels(
+                    goal.spawn_world(&mut rng),
+                    Box::new(toy::RelayServer::with_shift(*shift)),
+                    user,
+                    rng,
+                    Box::new(Scheduled::new(faults.clone())),
+                    Box::new(Scheduled::new(faults.clone())),
+                )
+            };
+            // Arm 1: the uninterrupted reference run.
+            let mut straight = build();
+            for _ in 0..horizon {
+                straight.step();
+            }
+            // Arm 2: run to the suspend point, fork, finish both sides.
+            let mut original = build();
+            let at = (*suspend_at).min(horizon);
+            for _ in 0..at {
+                original.step();
+            }
+            let mut forked = original.fork().expect("toy strategies are forkable");
+            for _ in at..horizon {
+                original.step();
+                forked.step();
+            }
+            let reference = straight.transcript_view().view.events().to_vec();
+            prop_assert_eq!(&reference, &original.transcript_view().view.events().to_vec());
+            prop_assert_eq!(&reference, &forked.transcript_view().view.events().to_vec());
+            Ok(())
+        },
+    );
+}
+
+/// Whole [`SuccessReport`]s are bit-identical across revisit policies *and*
+/// across `GOC_THREADS` — the report a CI run diffs under
+/// `GOC_RESUME=replay` vs `=resume` cannot depend on either knob.
+#[test]
+fn success_reports_survive_policy_and_thread_count() {
+    use goc_core::harness::compact_success;
+    use goc_core::par::with_thread_count;
+    check(
+        "success_reports_survive_policy_and_thread_count",
+        gens::tuple2(gens::u64_in(4, 10), gens::u64_in(0, 1 << 20)),
+        |&(timeout, seed)| {
+            let goal = toy::CompactMagicWordGoal::new("hi", 16);
+            let report = |policy: ResumePolicy, threads: usize| {
+                with_thread_count(threads, || {
+                    compact_success(
+                        &goal,
+                        &|| Box::new(toy::RelayServer::with_shift(3)),
+                        &|| {
+                            Box::new(CompactUniversalUser::with_policy(
+                                Box::new(toy::caesar_class("hi", 8, true)),
+                                Box::new(Deadline::new(toy::ack_sensing(), timeout)),
+                                policy,
+                            ))
+                        },
+                        4,
+                        1_200,
+                        150,
+                        seed,
+                    )
+                })
+            };
+            let baseline = report(ResumePolicy::Replay, 1);
+            for (policy, threads) in [
+                (ResumePolicy::Replay, 4),
+                (ResumePolicy::Resume, 1),
+                (ResumePolicy::Resume, 4),
+            ] {
+                prop_assert_eq!(
+                    &baseline,
+                    &report(policy, threads),
+                    "report drifted under {:?} at {} threads",
+                    policy,
+                    threads
+                );
+            }
+            Ok(())
+        },
+    );
+}

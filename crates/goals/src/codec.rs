@@ -21,21 +21,37 @@ pub enum Encoding {
 impl Encoding {
     /// Encodes a payload into the wire form.
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len());
+        self.encode_into(payload, &mut out);
+        out
+    }
+
+    /// [`encode`](Self::encode) appending into a caller-provided buffer —
+    /// the allocation-free form for hot loops.
+    pub fn encode_into(&self, payload: &[u8], out: &mut Vec<u8>) {
         match *self {
-            Encoding::Identity => payload.to_vec(),
-            Encoding::Xor(m) => payload.iter().map(|b| b ^ m).collect(),
-            Encoding::Rot(s) => payload.iter().map(|b| b.wrapping_add(s)).collect(),
-            Encoding::Reverse => payload.iter().rev().copied().collect(),
+            Encoding::Identity => out.extend_from_slice(payload),
+            Encoding::Xor(m) => out.extend(payload.iter().map(|b| b ^ m)),
+            Encoding::Rot(s) => out.extend(payload.iter().map(|b| b.wrapping_add(s))),
+            Encoding::Reverse => out.extend(payload.iter().rev().copied()),
         }
     }
 
     /// Decodes wire bytes back into the payload.
     pub fn decode(&self, wire: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(wire.len());
+        self.decode_into(wire, &mut out);
+        out
+    }
+
+    /// [`decode`](Self::decode) appending into a caller-provided buffer —
+    /// the allocation-free form for hot loops.
+    pub fn decode_into(&self, wire: &[u8], out: &mut Vec<u8>) {
         match *self {
-            Encoding::Identity => wire.to_vec(),
-            Encoding::Xor(m) => wire.iter().map(|b| b ^ m).collect(),
-            Encoding::Rot(s) => wire.iter().map(|b| b.wrapping_sub(s)).collect(),
-            Encoding::Reverse => wire.iter().rev().copied().collect(),
+            Encoding::Identity => out.extend_from_slice(wire),
+            Encoding::Xor(m) => out.extend(wire.iter().map(|b| b ^ m)),
+            Encoding::Rot(s) => out.extend(wire.iter().map(|b| b.wrapping_sub(s))),
+            Encoding::Reverse => out.extend(wire.iter().rev().copied()),
         }
     }
 

@@ -72,12 +72,15 @@ impl Dialect {
 #[derive(Clone, Debug)]
 pub struct DriverServer {
     dialect: Dialect,
+    /// Scratch buffer for building `JOB:` submissions without a per-round
+    /// allocation.
+    job_buf: Vec<u8>,
 }
 
 impl DriverServer {
     /// A driver speaking `dialect`.
     pub fn new(dialect: Dialect) -> Self {
-        DriverServer { dialect }
+        DriverServer { dialect, job_buf: Vec::new() }
     }
 
     /// The driver's dialect.
@@ -88,14 +91,20 @@ impl DriverServer {
 
 impl ServerStrategy for DriverServer {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
-        match self.dialect.parse_job(input.from_user.as_bytes()) {
-            Some(document) => {
-                let mut job = JOB_PREFIX.to_vec();
-                job.extend_from_slice(&document);
-                ServerOut::to_world(Message::from_bytes(job))
-            }
-            None => ServerOut::silence(),
+        let Some((&op, payload)) = input.from_user.as_bytes().split_first() else {
+            return ServerOut::silence();
+        };
+        if op != self.dialect.opcode || payload.is_empty() {
+            return ServerOut::silence();
         }
+        self.job_buf.clear();
+        self.job_buf.extend_from_slice(JOB_PREFIX);
+        self.dialect.encoding.decode_into(payload, &mut self.job_buf);
+        ServerOut::to_world(Message::from_bytes(&self.job_buf))
+    }
+
+    fn fork(&self) -> Option<goc_core::strategy::BoxedServer> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {

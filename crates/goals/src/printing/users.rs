@@ -19,29 +19,25 @@ pub struct PrintingUser {
     persistent: bool,
     halt: Option<Halt>,
     resubmit_every: u64,
+    /// The framed submission, built once: the dialect and document never
+    /// change, so every resubmission is a copy-on-write clone of this
+    /// message.
+    framed: Message,
 }
 
 impl PrintingUser {
     /// A finite-goal user printing `document` in `dialect`.
     pub fn new(document: impl AsRef<[u8]>, dialect: Dialect) -> Self {
-        PrintingUser {
-            document: document.as_ref().to_vec(),
-            dialect,
-            persistent: false,
-            halt: None,
-            resubmit_every: 1,
-        }
+        let document = document.as_ref().to_vec();
+        let framed = Message::from_bytes(dialect.frame_job(&document));
+        PrintingUser { document, dialect, persistent: false, halt: None, resubmit_every: 1, framed }
     }
 
     /// A compact-goal user reprinting `document` in `dialect` forever.
     pub fn persistent(document: impl AsRef<[u8]>, dialect: Dialect) -> Self {
-        PrintingUser {
-            document: document.as_ref().to_vec(),
-            dialect,
-            persistent: true,
-            halt: None,
-            resubmit_every: 4,
-        }
+        let document = document.as_ref().to_vec();
+        let framed = Message::from_bytes(dialect.frame_job(&document));
+        PrintingUser { document, dialect, persistent: true, halt: None, resubmit_every: 4, framed }
     }
 
     /// Sets the resubmission period of a persistent user.
@@ -73,7 +69,7 @@ impl UserStrategy for PrintingUser {
             }
         }
         if ctx.round.is_multiple_of(self.resubmit_every) {
-            UserOut::to_server(Message::from_bytes(self.dialect.frame_job(&self.document)))
+            UserOut::to_server(self.framed.clone())
         } else {
             UserOut::silence()
         }
@@ -81,6 +77,10 @@ impl UserStrategy for PrintingUser {
 
     fn halted(&self) -> Option<Halt> {
         self.halt.clone()
+    }
+
+    fn fork(&self) -> Option<goc_core::strategy::BoxedUser> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {

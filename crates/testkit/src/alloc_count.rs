@@ -1,0 +1,95 @@
+//! Optional global-allocator instrumentation for the bench harness.
+//!
+//! Behind the (default-off) `count-allocs` feature this module installs a
+//! counting wrapper around the system allocator and exposes its running
+//! totals. The bench harness ([`crate::bench`]) uses the counters to record
+//! **allocations per iteration** into the JSONL stream, which is how CI
+//! enforces the zero-allocation steady-state contract of the pooled round
+//! loop (experiment E13).
+//!
+//! Without the feature every function here is a stub that reports counting
+//! as disabled, so the default build carries no allocator interposition and
+//! no atomic traffic.
+
+/// `true` when the crate was built with `count-allocs` and the counting
+/// allocator is installed.
+pub fn enabled() -> bool {
+    cfg!(feature = "count-allocs")
+}
+
+/// Running total of allocation calls (`alloc`, `alloc_zeroed`, `realloc`)
+/// since process start. Always 0 without the `count-allocs` feature.
+pub fn allocs() -> u64 {
+    #[cfg(feature = "count-allocs")]
+    {
+        counting::ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        0
+    }
+}
+
+/// Running total of `dealloc` calls since process start. Always 0 without
+/// the `count-allocs` feature.
+pub fn frees() -> u64 {
+    #[cfg(feature = "count-allocs")]
+    {
+        counting::FREES.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        0
+    }
+}
+
+#[cfg(feature = "count-allocs")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static FREES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator plus relaxed counters. Counting must never perturb
+    /// what it measures, so there is no locking and no allocation here.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            FREES.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+#[cfg(all(test, feature = "count-allocs"))]
+mod tests {
+    #[test]
+    fn counters_advance_on_allocation() {
+        let before = super::allocs();
+        let v: Vec<u8> = Vec::with_capacity(1024);
+        std::hint::black_box(&v);
+        drop(v);
+        assert!(super::allocs() > before);
+        assert!(super::enabled());
+    }
+}

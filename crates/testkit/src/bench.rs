@@ -62,6 +62,10 @@ pub struct BenchRecord {
     pub cache_hits: Option<u64>,
     /// Candidate-cache misses observed during the same probe run.
     pub cache_misses: Option<u64>,
+    /// Heap allocations per iteration (steady state: minimum over probe
+    /// passes), when the harness was built with the
+    /// `count-allocs` feature. See [`crate::alloc_count`].
+    pub allocs: Option<u64>,
 }
 
 impl BenchRecord {
@@ -91,6 +95,9 @@ impl BenchRecord {
         }
         if let Some(m) = self.cache_misses {
             let _ = write!(s, ",\"cache_misses\":{m}");
+        }
+        if let Some(a) = self.allocs {
+            let _ = write!(s, ",\"allocs\":{a}");
         }
         s.push('}');
         s
@@ -136,6 +143,7 @@ impl BenchRecord {
             threads: get_n("threads"),
             cache_hits: get_n("cache_hits"),
             cache_misses: get_n("cache_misses"),
+            allocs: get_n("allocs"),
         })
     }
 }
@@ -280,6 +288,9 @@ pub struct BenchMeta {
     pub cache_hits: Option<u64>,
     /// Candidate-cache misses during the same run.
     pub cache_misses: Option<u64>,
+    /// Explicit allocations-per-iteration override. When `None` and the
+    /// `count-allocs` feature is on, the harness measures it itself.
+    pub allocs: Option<u64>,
 }
 
 /// A benchmark group: times closures and reports per-iteration statistics.
@@ -380,6 +391,26 @@ impl Bench {
             let ns = t.elapsed().as_nanos() / iters as u128;
             per_iter_ns.push(ns.min(u64::MAX as u128) as u64);
         }
+        // Allocation probe: after the timed passes (pools and scratch
+        // buffers warm), measure allocator calls over whole batches and keep
+        // the best batch — the steady-state allocs per iteration.
+        let allocs = match meta.allocs {
+            Some(a) => Some(a),
+            None if crate::alloc_count::enabled() => {
+                let mut best = u64::MAX;
+                for _ in 0..3 {
+                    let before = crate::alloc_count::allocs();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let delta = crate::alloc_count::allocs().saturating_sub(before);
+                    best = best.min(delta / iters);
+                }
+                Some(best)
+            }
+            None => None,
+        };
+
         per_iter_ns.sort_unstable();
         let n = per_iter_ns.len();
         let min_ns = per_iter_ns[0];
@@ -400,6 +431,7 @@ impl Bench {
             threads: meta.threads,
             cache_hits: meta.cache_hits,
             cache_misses: meta.cache_misses,
+            allocs,
         };
         let mut line = format!(
             "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
@@ -419,6 +451,9 @@ impl Bench {
         }
         if let Some(rate) = rec.cache_hit_rate() {
             let _ = write!(line, "  [cache {:.0}%]", rate * 100.0);
+        }
+        if let Some(a) = rec.allocs {
+            let _ = write!(line, "  [{a} allocs/iter]");
         }
         println!("{line}");
         let json = rec.to_json_line();
@@ -468,6 +503,7 @@ mod tests {
             threads: None,
             cache_hits: None,
             cache_misses: None,
+            allocs: None,
         }
     }
 
@@ -499,6 +535,16 @@ mod tests {
         rec.cache_hits = Some(0);
         rec.cache_misses = Some(0);
         assert_eq!(rec.cache_hit_rate(), None, "0/0 lookups is no rate, not 0%");
+    }
+
+    #[test]
+    fn json_line_roundtrips_with_allocs() {
+        let mut rec = sample_record();
+        rec.allocs = Some(0);
+        let line = rec.to_json_line();
+        assert!(line.contains("\"allocs\":0"));
+        let parsed = BenchRecord::parse_json_line(&line).expect("parses");
+        assert_eq!(parsed, rec);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::gens::{
 use crate::{check_result, CaseError, Config};
 use goc_core::channel::{FaultSchedule, Scheduled};
 use goc_core::exec::Execution;
-use goc_core::goal::{evaluate_compact, evaluate_finite, CompactGoal, Goal};
+use goc_core::goal::{evaluate_compact_view, evaluate_finite_view, CompactGoal, Goal};
 use goc_core::rng::GocRng;
 use goc_core::sensing::{BoxedSensing, Deadline, Sensing};
 use goc_core::strategy::{BoxedServer, SilentServer};
@@ -194,12 +194,21 @@ fn run_finite(
         Box::new(Scheduled::new(schedule.clone())),
         Box::new(Scheduled::new(schedule.clone())),
     );
-    let t = exec.run(horizon);
-    let v = evaluate_finite(&goal, &t);
+    // Drive the run on the borrowing path: step until halt or horizon, then
+    // judge through [`TranscriptView`] — the sweep never clones the history.
+    exec.reserve_rounds(horizon);
+    for _ in 0..horizon {
+        exec.step();
+        if exec.transcript_view().halt().is_some() {
+            break;
+        }
+    }
+    let t = exec.transcript_view();
+    let v = evaluate_finite_view(&goal, t);
     let false_positive_round = first_unsound_positive(
         finite_sensing(deadline),
-        &t.view,
-        &t.world_states,
+        t.view,
+        t.world_states,
         |prefix| prefix.last().map(|s| s.heard_count > 0).unwrap_or(false),
     );
     RunOutcome { halted: v.halted, achieved: v.achieved, false_positive_round }
@@ -222,12 +231,17 @@ fn run_compact(server: BoxedServer, schedule: &FaultSchedule, seed: u64, horizon
         Box::new(Scheduled::new(schedule.clone())),
         Box::new(Scheduled::new(schedule.clone())),
     );
-    let t = exec.run_for(horizon);
-    let v = evaluate_compact(&goal, &t);
+    // Compact goals ignore halting: run the full horizon, judge the view.
+    exec.reserve_rounds(horizon);
+    for _ in 0..horizon {
+        exec.step();
+    }
+    let t = exec.transcript_view();
+    let v = evaluate_compact_view(&goal, t);
     let false_positive_round = first_unsound_positive(
         Box::new(toy::ack_sensing()),
-        &t.view,
-        &t.world_states,
+        t.view,
+        t.world_states,
         |prefix| goal.prefix_acceptable(prefix),
     );
     RunOutcome {

@@ -37,6 +37,7 @@
 //! Override the number of cases with `GOC_TESTKIT_CASES` and the root seed
 //! with `GOC_TESTKIT_SEED` (decimal or `0x`-prefixed).
 
+pub mod alloc_count;
 pub mod bench;
 pub mod conformance;
 pub mod gens;

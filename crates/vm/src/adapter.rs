@@ -44,6 +44,10 @@ pub struct VmUser {
     /// Halt state as observed through the cache (mirrors what
     /// `machine.halted()` would be after replay).
     halted_view: Option<Vec<u8>>,
+    /// Reusable round buffers: one `RoundIo` lives as long as the candidate,
+    /// so steady-state rounds reuse its allocations instead of building
+    /// fresh `Vec`s.
+    io: RoundIo,
 }
 
 impl VmUser {
@@ -66,6 +70,7 @@ impl VmUser {
             prefix_hash: cache::PREFIX_EMPTY,
             pending_replay: Vec::new(),
             halted_view: None,
+            io: RoundIo::default(),
         }
     }
 
@@ -114,35 +119,44 @@ impl VmUser {
             return (hit.out_a, hit.out_b);
         }
         for (a, b) in self.pending_replay.drain(..) {
-            let mut io = RoundIo::with_inputs(a, b);
-            self.machine.round(&mut io);
+            self.io.set_inputs(&a, &b);
+            self.machine.round(&mut self.io);
         }
-        let mut io = RoundIo::with_inputs(in_a.to_vec(), in_b.to_vec());
-        self.machine.round(&mut io);
+        self.io.set_inputs(in_a, in_b);
+        self.machine.round(&mut self.io);
         let halted = self.machine.halted().map(<[u8]>::to_vec);
         cache::insert(
             key,
             self.machine.program().as_bytes(),
-            CachedRound { out_a: io.out_a.clone(), out_b: io.out_b.clone(), halted: halted.clone() },
+            CachedRound {
+                out_a: self.io.out_a.clone(),
+                out_b: self.io.out_b.clone(),
+                halted: halted.clone(),
+            },
         );
         self.halted_view = halted;
-        (io.out_a, io.out_b)
+        (self.io.out_a.clone(), self.io.out_b.clone())
     }
 }
 
 impl UserStrategy for VmUser {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
-        let (out_a, out_b) = if self.use_cache {
-            self.cached_round(input.from_server.as_bytes(), input.from_world.as_bytes())
+        if self.use_cache {
+            let (out_a, out_b) =
+                self.cached_round(input.from_server.as_bytes(), input.from_world.as_bytes());
+            UserOut { to_server: Message::from_bytes(out_a), to_world: Message::from_bytes(out_b) }
         } else {
-            let mut io = RoundIo::with_inputs(
-                input.from_server.as_bytes().to_vec(),
-                input.from_world.as_bytes().to_vec(),
-            );
-            self.machine.round(&mut io);
-            (io.out_a, io.out_b)
-        };
-        UserOut { to_server: Message::from_bytes(out_a), to_world: Message::from_bytes(out_b) }
+            self.io.set_inputs(input.from_server.as_bytes(), input.from_world.as_bytes());
+            self.machine.round(&mut self.io);
+            UserOut {
+                to_server: Message::from_bytes(&self.io.out_a),
+                to_world: Message::from_bytes(&self.io.out_b),
+            }
+        }
+    }
+
+    fn fork(&self) -> Option<goc_core::strategy::BoxedUser> {
+        Some(Box::new(self.clone()))
     }
 
     fn halted(&self) -> Option<Halt> {
@@ -162,12 +176,14 @@ impl UserStrategy for VmUser {
 #[derive(Clone, Debug)]
 pub struct VmServer {
     machine: Machine,
+    /// Reusable round buffers (see [`VmUser::io`]).
+    io: RoundIo,
 }
 
 impl VmServer {
     /// Mounts `program` as a server strategy (default fuel).
     pub fn new(program: Program) -> Self {
-        VmServer { machine: Machine::new(program) }
+        VmServer { machine: Machine::new(program), io: RoundIo::default() }
     }
 
     /// Mounts `program` with an explicit per-round fuel budget.
@@ -176,7 +192,7 @@ impl VmServer {
     ///
     /// Panics if `fuel == 0`.
     pub fn with_fuel(program: Program, fuel: u32) -> Self {
-        VmServer { machine: Machine::with_fuel(program, fuel) }
+        VmServer { machine: Machine::with_fuel(program, fuel), io: RoundIo::default() }
     }
 
     /// The underlying machine.
@@ -187,15 +203,16 @@ impl VmServer {
 
 impl ServerStrategy for VmServer {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &ServerIn) -> ServerOut {
-        let mut io = RoundIo::with_inputs(
-            input.from_user.as_bytes().to_vec(),
-            input.from_world.as_bytes().to_vec(),
-        );
-        self.machine.round(&mut io);
+        self.io.set_inputs(input.from_user.as_bytes(), input.from_world.as_bytes());
+        self.machine.round(&mut self.io);
         ServerOut {
-            to_user: Message::from_bytes(io.out_a),
-            to_world: Message::from_bytes(io.out_b),
+            to_user: Message::from_bytes(&self.io.out_a),
+            to_world: Message::from_bytes(&self.io.out_b),
         }
+    }
+
+    fn fork(&self) -> Option<goc_core::strategy::BoxedServer> {
+        Some(Box::new(self.clone()))
     }
 
     fn name(&self) -> String {

@@ -37,6 +37,24 @@ impl RoundIo {
     pub fn with_inputs(in_a: impl Into<Vec<u8>>, in_b: impl Into<Vec<u8>>) -> Self {
         RoundIo { in_a: in_a.into(), in_b: in_b.into(), out_a: Vec::new(), out_b: Vec::new() }
     }
+
+    /// Empties all four boxes, keeping their allocations, so one `RoundIo`
+    /// can be reused for every round of a candidate's run without
+    /// per-round buffer churn.
+    pub fn reset(&mut self) {
+        self.in_a.clear();
+        self.in_b.clear();
+        self.out_a.clear();
+        self.out_b.clear();
+    }
+
+    /// [`reset`](Self::reset) followed by copying the given inbox contents
+    /// in place.
+    pub fn set_inputs(&mut self, in_a: &[u8], in_b: &[u8]) {
+        self.reset();
+        self.in_a.extend_from_slice(in_a);
+        self.in_b.extend_from_slice(in_b);
+    }
 }
 
 /// A running strategy VM.
