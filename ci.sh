@@ -51,6 +51,29 @@ if [ "$rep_replay" != "$rep_resume" ]; then
 fi
 echo "replay == resume (report identical)"
 
+echo "== obs gate: traces are byte-identical across thread counts =="
+# With GOC_TRACE set, the observability layer records spans/events per
+# trial and flushes them in task-index order, so the JSONL trace must be
+# byte-for-byte identical at any GOC_THREADS. (The disabled-path cost is
+# covered by the E13 allocs:0 gate above: obs is compiled in there, and
+# the steady loop still records zero allocations per iteration.)
+rm -f target/goc-trace-t1.jsonl target/goc-trace-t4.jsonl
+GOC_TRACE=target/goc-trace-t1.jsonl GOC_THREADS=1 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+GOC_TRACE=target/goc-trace-t4.jsonl GOC_THREADS=4 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+[ -s target/goc-trace-t1.jsonl ] || { echo "CI FAIL: GOC_TRACE produced an empty trace"; exit 1; }
+cmp target/goc-trace-t1.jsonl target/goc-trace-t4.jsonl \
+  || { echo "CI FAIL: GOC_TRACE output differs between GOC_THREADS=1 and 4"; exit 1; }
+echo "traces identical ($(wc -l < target/goc-trace-t1.jsonl) records)"
+
+echo "== obs gate: trace readers consume the file =="
+tsum=$(cargo run --release --offline -p goc-bench --bin goc-report -- --trace-summary target/goc-trace-t1.jsonl)
+printf '%s\n' "$tsum"
+grep -q "spans" <<<"$tsum" || { echo "CI FAIL: trace summary missing spans section"; exit 1; }
+ttree=$(cargo run --release --offline -p goc-bench --bin goc-trace -- target/goc-trace-t1.jsonl)
+grep -q "exec.run" <<<"$ttree" || { echo "CI FAIL: goc-trace tree missing exec.run spans"; exit 1; }
+
 echo "== conformance sweep (two seeds x GOC_THREADS=1/4, reproducible) =="
 # The metamorphic sweep must (a) report zero safety violations and (b)
 # render byte-identically across thread counts — any failing schedule must

@@ -8,6 +8,9 @@
 //! - `--bench-summary [PATH]`: instead of regenerating the series, print a
 //!   table from the JSON lines the in-tree bench harness appended to `PATH`
 //!   (default `target/goc-bench.jsonl`).
+//! - `--trace-summary [PATH]`: print span/event/metric aggregates from a
+//!   `GOC_TRACE` JSONL file (default `target/goc-trace.jsonl`); record one
+//!   with `GOC_TRACE=target/goc-trace.jsonl goc-report --quick`.
 
 use goc_bench::experiments as exp;
 use goc_core::buf::CopyMode;
@@ -25,8 +28,38 @@ fn main() {
         bench_summary(&path);
         return;
     }
+    if let Some(i) = args.iter().position(|a| a == "--trace-summary") {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "target/goc-trace.jsonl".to_string());
+        trace_summary(&path);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     report(quick);
+    // With GOC_TRACE set, close the trace with the deterministic metric
+    // totals (process-scoped metrics are excluded by design so the file
+    // stays byte-identical across GOC_THREADS).
+    goc_core::obs::flush_metrics();
+}
+
+/// Prints aggregates of a `GOC_TRACE` JSONL file (spans, events, exported
+/// metrics) via the shared reader in [`goc_bench::tracefile`].
+fn trace_summary(path: &str) {
+    let (lines, skipped) = match goc_bench::tracefile::load(path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!(
+                "goc-report: cannot read {path}: {e}\n\
+                 record a trace first: GOC_TRACE={path} goc-report --quick"
+            );
+            std::process::exit(1);
+        }
+    };
+    let summary = goc_bench::tracefile::summarize(&lines);
+    print!("{}", goc_bench::tracefile::render_summary(path, &summary, skipped));
 }
 
 /// Prints a table of the bench results recorded in `path` (JSON lines

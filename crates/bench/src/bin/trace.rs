@@ -1,0 +1,48 @@
+//! `goc-trace` — renders a `GOC_TRACE` JSONL file as a flame-style tree.
+//!
+//! Usage: `goc-trace <trace.jsonl> [--summary]`
+//!
+//! Spans nest by their enter/exit structure, per-task streams aggregate
+//! by span path, and candidate lifecycle events attach as leaves under
+//! the span they occurred in. The cost column sums span **exit values**
+//! (logical rounds), so two traces of the same workload render
+//! identically regardless of machine or `GOC_THREADS` — byte-equality of
+//! the underlying files is ci.sh-gated.
+//!
+//! `--summary` prints the flat aggregate table (the same section
+//! `goc-report --trace-summary` embeds) instead of the tree.
+
+use goc_bench::tracefile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let summary_mode = args.iter().any(|a| a == "--summary");
+    let path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: goc-trace <trace.jsonl> [--summary]");
+            eprintln!("record one with: GOC_TRACE=trace.jsonl cargo run -p goc-bench --bin goc-report -- --quick");
+            std::process::exit(1);
+        }
+    };
+    let (lines, skipped) = match tracefile::load(&path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("goc-trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if summary_mode {
+        let summary = tracefile::summarize(&lines);
+        print!("{}", tracefile::render_summary(&path, &summary, skipped));
+        return;
+    }
+    let summary = tracefile::summarize(&lines);
+    println!(
+        "# goc-trace {path} — {} records, {} tasks{}",
+        summary.records,
+        summary.tasks,
+        if skipped > 0 { format!(", {skipped} unparsed lines") } else { String::new() }
+    );
+    print!("{}", tracefile::render_tree(&lines));
+}

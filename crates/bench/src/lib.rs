@@ -10,3 +10,4 @@
 //! numbers in EXPERIMENTS.md are exactly reproducible.
 
 pub mod experiments;
+pub mod tracefile;

@@ -1,0 +1,278 @@
+//! Reading and aggregating `GOC_TRACE` JSONL files.
+//!
+//! `goc_core::obs` writes the trace and owns the line format ([`parse`
+//! lives there](goc_core::obs::parse_line)); this module is the reader
+//! side shared by `goc-report --trace-summary` (flat aggregates) and the
+//! `goc-trace` binary (a flame-style tree). Values in a trace are logical
+//! — rounds, indices, counts — so every figure printed here is
+//! reproducible across machines and thread counts.
+
+use goc_core::obs::{parse_line, TraceLine};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Loads and parses a trace file, in file order. Unparseable lines are
+/// counted, not fatal: a trace may be appended to by several runs.
+pub fn load(path: &str) -> std::io::Result<(Vec<TraceLine>, usize)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = Vec::new();
+    let mut skipped = 0usize;
+    for raw in text.lines().filter(|l| !l.trim().is_empty()) {
+        match parse_line(raw) {
+            Some(line) => lines.push(line),
+            None => skipped += 1,
+        }
+    }
+    Ok((lines, skipped))
+}
+
+/// Flat aggregates over one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Total parsed records.
+    pub records: usize,
+    /// Number of task boundary markers.
+    pub tasks: usize,
+    /// Per span name: completed spans and their entry/exit value sums.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Per event name: occurrences.
+    pub events: BTreeMap<String, u64>,
+    /// Exported metric lines, in file order.
+    pub metrics: Vec<TraceLine>,
+}
+
+/// Aggregate over all closures of one span name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanAgg {
+    /// Completed (entered and exited) spans.
+    pub count: u64,
+    /// Sum of entry annotations.
+    pub enter_sum: u64,
+    /// Sum of exit annotations (e.g. total rounds executed).
+    pub exit_sum: u64,
+}
+
+/// Builds the flat [`Summary`] of a parsed trace.
+pub fn summarize(lines: &[TraceLine]) -> Summary {
+    let mut s = Summary { records: lines.len(), ..Summary::default() };
+    // Pending entry values per span name; spans of one name close LIFO
+    // within a task stream.
+    let mut open: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for line in lines {
+        match line {
+            TraceLine::Task { .. } => s.tasks += 1,
+            TraceLine::Enter { name, value } => {
+                open.entry(name).or_default().push(*value);
+            }
+            TraceLine::Exit { name, value } => {
+                let enter = open.get_mut(name.as_str()).and_then(Vec::pop).unwrap_or(0);
+                let agg = s.spans.entry(name.clone()).or_default();
+                agg.count += 1;
+                agg.enter_sum += enter;
+                agg.exit_sum += *value;
+            }
+            TraceLine::Event { name, .. } => {
+                *s.events.entry(name.clone()).or_default() += 1;
+            }
+            TraceLine::Metric { .. } | TraceLine::Hist { .. } => s.metrics.push(line.clone()),
+        }
+    }
+    s
+}
+
+/// Renders the `--trace-summary` section.
+pub fn render_summary(path: &str, summary: &Summary, skipped: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# trace summary from {path} ({} records, {} tasks{})",
+        summary.records,
+        summary.tasks,
+        if skipped > 0 { format!(", {skipped} unparsed lines") } else { String::new() }
+    );
+    if !summary.spans.is_empty() {
+        let _ = writeln!(out, "\n## spans");
+        let _ = writeln!(out, "{:<28} {:>8} {:>14} {:>14}", "span", "count", "enter Σ", "exit Σ");
+        for (name, agg) in &summary.spans {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>14} {:>14}",
+                name, agg.count, agg.enter_sum, agg.exit_sum
+            );
+        }
+    }
+    if !summary.events.is_empty() {
+        let _ = writeln!(out, "\n## events");
+        let _ = writeln!(out, "{:<28} {:>8}", "event", "count");
+        for (name, count) in &summary.events {
+            let _ = writeln!(out, "{:<28} {:>8}", name, count);
+        }
+    }
+    if !summary.metrics.is_empty() {
+        let _ = writeln!(out, "\n## exported metrics (deterministic scope)");
+        for m in &summary.metrics {
+            match m {
+                TraceLine::Metric { name, kind, value } => {
+                    let _ = writeln!(out, "{name:<28} {kind:<8} {value}");
+                }
+                TraceLine::Hist { name, count, sum, buckets } => {
+                    let mean = if *count > 0 { *sum as f64 / *count as f64 } else { 0.0 };
+                    let peak = buckets.iter().max_by_key(|(_, c)| *c);
+                    let mode = peak
+                        .map(|(b, _)| {
+                            // Bucket b holds values of bit length b:
+                            // [2^(b-1), 2^b) — print the range upper bound.
+                            if *b == 0 { "0".to_string() } else { format!("<2^{b}") }
+                        })
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "{name:<28} hist     count {count}, sum {sum}, mean {mean:.1}, mode {mode}"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// One node of the flame tree: a span path (e.g. `harness.trial` →
+/// `exec.run`), with events attached as leaves.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    count: u64,
+    exit_sum: u64,
+    children: BTreeMap<String, Node>,
+    events: BTreeMap<String, u64>,
+}
+
+/// Renders the flame-style per-phase breakdown for `goc-trace`: spans
+/// nest by their enter/exit structure (reset at every task boundary, so a
+/// truncated task cannot corrupt its successors), siblings aggregate by
+/// name, and the cost column is the span's **exit value sum** — logical
+/// rounds, not wall-clock, which is what makes two traces comparable.
+pub fn render_tree(lines: &[TraceLine]) -> String {
+    fn node_at<'a>(root: &'a mut Node, path: &[String]) -> &'a mut Node {
+        let mut node = root;
+        for name in path {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        node
+    }
+    let mut root = Node::default();
+    // Current open-span path as a list of names; indexes into the tree.
+    let mut stack: Vec<String> = Vec::new();
+    for line in lines {
+        match line {
+            TraceLine::Task { .. } => stack.clear(),
+            TraceLine::Enter { name, .. } => stack.push(name.clone()),
+            TraceLine::Exit { name, value } => {
+                // Tolerate truncated traces: pop to the matching name if
+                // it is open, otherwise drop the exit.
+                if let Some(pos) = stack.iter().rposition(|n| n == name) {
+                    stack.truncate(pos + 1);
+                    let node = node_at(&mut root, &stack);
+                    node.count += 1;
+                    node.exit_sum += *value;
+                    stack.pop();
+                }
+            }
+            TraceLine::Event { name, .. } => {
+                *node_at(&mut root, &stack).events.entry(name.clone()).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+    let total: u64 = root.children.values().map(|n| n.exit_sum).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<44} {:>8} {:>14} {:>7}", "span / event", "count", "exit Σ", "share");
+    render_node(&mut out, &root, 0, total.max(1));
+    out
+}
+
+fn render_node(out: &mut String, node: &Node, depth: usize, total: u64) {
+    for (name, child) in &node.children {
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let share = 100.0 * child.exit_sum as f64 / total as f64;
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>14} {:>6.1}%",
+            label, child.count, child.exit_sum, share
+        );
+        for (event, count) in &child.events {
+            let elabel = format!("{}· {}", "  ".repeat(depth + 1), event);
+            let _ = writeln!(out, "{elabel:<44} {count:>8} {:>14} {:>7}", "", "");
+        }
+        render_node(out, child, depth + 1, total);
+    }
+    // Events recorded outside any span (top level of a task).
+    if depth == 0 {
+        for (event, count) in &node.events {
+            let _ = writeln!(out, "{:<44} {:>8} {:>14} {:>7}", format!("· {event}"), count, "", "");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goc_core::obs::TraceLine as T;
+
+    fn sample() -> Vec<T> {
+        vec![
+            T::Task { index: 0 },
+            T::Enter { name: "harness.trial".into(), value: 0 },
+            T::Enter { name: "exec.run".into(), value: 100 },
+            T::Event { name: "universal.spawn".into(), value: 1 },
+            T::Exit { name: "exec.run".into(), value: 42 },
+            T::Exit { name: "harness.trial".into(), value: 42 },
+            T::Task { index: 1 },
+            T::Enter { name: "harness.trial".into(), value: 1 },
+            T::Enter { name: "exec.run".into(), value: 100 },
+            T::Exit { name: "exec.run".into(), value: 58 },
+            T::Exit { name: "harness.trial".into(), value: 58 },
+            T::Metric { name: "exec.rounds".into(), kind: "counter".into(), value: 100 },
+        ]
+    }
+
+    #[test]
+    fn summarize_counts_spans_events_metrics() {
+        let s = summarize(&sample());
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.spans["exec.run"].count, 2);
+        assert_eq!(s.spans["exec.run"].exit_sum, 100);
+        assert_eq!(s.spans["exec.run"].enter_sum, 200);
+        assert_eq!(s.events["universal.spawn"], 1);
+        assert_eq!(s.metrics.len(), 1);
+        let text = render_summary("x.jsonl", &s, 0);
+        assert!(text.contains("exec.run"), "{text}");
+        assert!(text.contains("exec.rounds"), "{text}");
+    }
+
+    #[test]
+    fn tree_nests_spans_and_attaches_events() {
+        let text = render_tree(&sample());
+        assert!(text.contains("harness.trial"), "{text}");
+        // exec.run is nested under harness.trial (indented).
+        assert!(text.contains("  exec.run"), "{text}");
+        assert!(text.contains("universal.spawn"), "{text}");
+        // Both exec.run closures aggregate into one node with exit Σ 100.
+        assert!(text.contains("100"), "{text}");
+    }
+
+    #[test]
+    fn tree_resets_at_task_boundaries() {
+        // A task that never closes its span must not swallow the next task.
+        let lines = vec![
+            T::Task { index: 0 },
+            T::Enter { name: "exec.run".into(), value: 9 },
+            T::Task { index: 1 },
+            T::Enter { name: "exec.run".into(), value: 9 },
+            T::Exit { name: "exec.run".into(), value: 7 },
+        ];
+        let text = render_tree(&lines);
+        assert!(text.contains("exec.run"), "{text}");
+        assert!(!text.contains("  exec.run"), "spans leaked across tasks: {text}");
+    }
+}

@@ -229,6 +229,7 @@ fn recycle(mut inner: Box<SpillInner>) {
         });
         if kept {
             bump(|s| s.recycled += 1);
+            crate::obs_count_nd!("pool.recycled", 1u64);
         }
     }
 }
@@ -237,11 +238,13 @@ fn spill_from_slice(bytes: &[u8]) -> Spill {
     match take_inner() {
         Some(mut inner) => {
             bump(|s| s.hits += 1);
+            crate::obs_count_nd!("pool.hit", 1u64);
             inner.data.extend_from_slice(bytes);
             Spill::from_inner(inner)
         }
         None => {
             bump(|s| s.misses += 1);
+            crate::obs_count_nd!("pool.miss", 1u64);
             Spill::from_inner(Box::new(SpillInner {
                 refs: AtomicUsize::new(1),
                 data: bytes.to_vec(),
@@ -254,6 +257,7 @@ fn spill_from_vec(vec: Vec<u8>) -> Spill {
     match take_inner() {
         Some(mut inner) => {
             bump(|s| s.hits += 1);
+            crate::obs_count_nd!("pool.hit", 1u64);
             // Adopt the caller's Vec wholesale; the pooled (empty) Vec is
             // dropped in its place. No allocation either way.
             inner.data = vec;
@@ -261,6 +265,7 @@ fn spill_from_vec(vec: Vec<u8>) -> Spill {
         }
         None => {
             bump(|s| s.misses += 1);
+            crate::obs_count_nd!("pool.miss", 1u64);
             Spill::from_inner(Box::new(SpillInner { refs: AtomicUsize::new(1), data: vec }))
         }
     }

@@ -281,21 +281,36 @@ impl Channel for Scheduled {
         if !msg.is_silence() && round >= self.burst_until {
             match self.schedule.fault_at(round) {
                 None | Some(Fault::Burst { .. }) => self.enqueue(round, 0, msg),
-                Some(Fault::Drop) => {}
+                Some(Fault::Drop) => {
+                    crate::obs_event!("channel.fault.drop", round);
+                    crate::obs_count!("channel.faults", 1u64);
+                }
                 Some(Fault::Duplicate) => {
+                    crate::obs_event!("channel.fault.duplicate", round);
+                    crate::obs_count!("channel.faults", 1u64);
                     self.enqueue(round, 0, msg.clone());
                     self.enqueue(round + 1, 0, msg);
                 }
                 Some(&Fault::Delay { rounds }) => {
+                    crate::obs_event!("channel.fault.delay", round);
+                    crate::obs_count!("channel.faults", 1u64);
                     self.enqueue(round.saturating_add(rounds), 0, msg)
                 }
                 Some(&Fault::Reorder { depth }) => {
+                    crate::obs_event!("channel.fault.reorder", round);
+                    crate::obs_count!("channel.faults", 1u64);
                     self.enqueue(round.saturating_add(depth), 1, msg)
                 }
                 Some(&Fault::Corrupt { mask }) => {
+                    crate::obs_event!("channel.fault.corrupt", round);
+                    crate::obs_count!("channel.faults", 1u64);
                     self.enqueue(round, 0, corrupt_message(&msg, mask))
                 }
             }
+        } else if !msg.is_silence() {
+            // Inside an armed burst: the message is erased.
+            crate::obs_event!("channel.fault.burst_erase", round);
+            crate::obs_count!("channel.faults", 1u64);
         }
         self.deliver(round)
     }
@@ -382,9 +397,11 @@ impl Channel for Noisy {
             return msg;
         }
         if ctx.rng.chance(self.drop_p) {
+            crate::obs_count!("channel.noisy.dropped", 1u64);
             return Message::silence();
         }
         if self.corrupt_p > 0.0 && ctx.rng.chance(self.corrupt_p) {
+            crate::obs_count!("channel.noisy.corrupted", 1u64);
             let mask = ctx.rng.byte() | 1; // non-zero: a real corruption
             return corrupt_message(&msg, mask);
         }
@@ -422,6 +439,7 @@ impl Garbler {
 impl Channel for Garbler {
     fn transmit(&mut self, ctx: &mut StepCtx<'_>, msg: Message) -> Message {
         if ctx.rng.chance(self.p) {
+            crate::obs_count!("channel.garbled", 1u64);
             let len = ctx.rng.index(self.max_len) + 1;
             Message::from_bytes(ctx.rng.bytes(len))
         } else {

@@ -327,6 +327,8 @@ impl<W: WorldStrategy> Execution<W> {
     /// The halting check runs after each round, so a user that halts in its
     /// `step` stops the run at the end of that round.
     pub fn run(&mut self, horizon: u64) -> Transcript<W::State> {
+        let start = self.round;
+        let mut span = crate::obs::span("exec.run", horizon);
         let mut stop = StopReason::HorizonExhausted;
         if let Some(h) = self.user.halted() {
             stop = StopReason::UserHalted(h);
@@ -339,6 +341,13 @@ impl<W: WorldStrategy> Execution<W> {
                 }
             }
         }
+        let executed = self.round - start;
+        span.set_exit(executed);
+        crate::obs_count!("exec.rounds", executed);
+        crate::obs_hist!("exec.run.rounds", executed);
+        if matches!(stop, StopReason::UserHalted(_)) {
+            crate::obs_count!("exec.halts", 1u64);
+        }
         self.snapshot(stop)
     }
 
@@ -349,9 +358,13 @@ impl<W: WorldStrategy> Execution<W> {
     /// forever regardless of what the user does; [`run`](Self::run) is the
     /// driver for finite goals.
     pub fn run_for(&mut self, horizon: u64) -> Transcript<W::State> {
+        let mut span = crate::obs::span("exec.run_for", horizon);
         for _ in 0..horizon {
             self.step();
         }
+        span.set_exit(horizon);
+        crate::obs_count!("exec.rounds", horizon);
+        crate::obs_hist!("exec.run.rounds", horizon);
         self.snapshot(self.stop_reason())
     }
 

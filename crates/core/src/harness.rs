@@ -108,11 +108,13 @@ pub fn finite_success<G: FiniteGoal + Sync>(
     seed: u64,
 ) -> SuccessReport {
     let outcomes = par::par_map(trials as usize, |trial| {
+        let mut span = crate::obs::span("harness.trial", trial as u64);
         let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
         let world = goal.spawn_world(&mut rng);
         let mut exec = Execution::new(world, server(), user(), rng);
         let t = exec.run(horizon);
         let v = evaluate_finite(goal, &t);
+        span.set_exit(v.rounds);
         (v.achieved, v.rounds)
     });
     collect_report(trials, outcomes)
@@ -131,12 +133,15 @@ pub fn compact_success<G: CompactGoal + Sync>(
     seed: u64,
 ) -> SuccessReport {
     let outcomes = par::par_map(trials as usize, |trial| {
+        let mut span = crate::obs::span("harness.trial", trial as u64);
         let mut rng = GocRng::seed_from_u64(seed).fork(trial as u64);
         let world = goal.spawn_world(&mut rng);
         let mut exec = Execution::new(world, server(), user(), rng);
         let t = exec.run_for(horizon);
         let v = evaluate_compact(goal, &t);
-        (v.achieved(window), v.last_bad_prefix.unwrap_or(0))
+        let settle = v.last_bad_prefix.unwrap_or(0);
+        span.set_exit(settle);
+        (v.achieved(window), settle)
     });
     collect_report(trials, outcomes)
 }

@@ -46,6 +46,7 @@ pub mod harness;
 pub mod helpful;
 pub mod msg;
 pub mod multi;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod score;

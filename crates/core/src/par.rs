@@ -87,27 +87,48 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = thread_count().min(n.max(1));
+    // When the recorder is on, each task's observability records are
+    // captured in a per-task buffer and flushed in index order below —
+    // the same merge discipline as the results — so the record stream is
+    // bit-identical at any thread count. Off (the default), `tracing` is
+    // false and both paths are exactly the pre-observability code.
+    let tracing = crate::obs::enabled();
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        if !tracing {
+            return (0..n).map(f).collect();
+        }
+        return (0..n)
+            .map(|i| {
+                let (v, records) = crate::obs::task_capture(|| f(i));
+                crate::obs::flush_task(i as u64, records);
+                v
+            })
+            .collect();
     }
     // Chunks of ~n/(4·threads) amortize cursor contention while letting fast
     // workers steal the tail of a slow worker's share.
     let chunk = (n / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    type Keyed<T> = (usize, T, Vec<crate::obs::Record>);
+    let results: Mutex<Vec<Keyed<T>>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
                 // Workers run nested par_map calls sequentially.
                 with_thread_count(1, || {
-                    let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut local: Vec<Keyed<T>> = Vec::new();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         for i in start..(start + chunk).min(n) {
-                            local.push((i, f(i)));
+                            if tracing {
+                                let (v, records) = crate::obs::task_capture(|| f(i));
+                                local.push((i, v, records));
+                            } else {
+                                local.push((i, f(i), Vec::new()));
+                            }
                         }
                     }
                     results.lock().unwrap().extend(local);
@@ -117,8 +138,14 @@ where
     });
     let mut pairs = results.into_inner().unwrap();
     debug_assert_eq!(pairs.len(), n);
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, v)| v).collect()
+    pairs.sort_unstable_by_key(|&(i, _, _)| i);
+    pairs
+        .into_iter()
+        .map(|(i, v, records)| {
+            crate::obs::flush_task(i as u64, records);
+            v
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@ pub struct ChannelStats {
     pub bytes_sent: u64,
     /// Total payload bytes received by the user.
     pub bytes_received: u64,
+    /// Rounds in which the user sent nothing on either channel. Counted
+    /// per event, so a round where the user speaks on both channels at
+    /// once is still exactly one speaking round.
+    pub silent_rounds: u64,
 }
 
 impl ChannelStats {
@@ -38,6 +42,9 @@ impl ChannelStats {
                 s.sent_to_world += 1;
                 s.bytes_sent += ev.sent.to_world.len() as u64;
             }
+            if ev.sent.to_server.is_silence() && ev.sent.to_world.is_silence() {
+                s.silent_rounds += 1;
+            }
             if !ev.received.from_server.is_silence() {
                 s.recv_from_server += 1;
                 s.bytes_received += ev.received.from_server.len() as u64;
@@ -50,17 +57,13 @@ impl ChannelStats {
         s
     }
 
-    /// Fraction of rounds in which the user said nothing at all.
+    /// Fraction of rounds in which the user said nothing at all — exact,
+    /// from the per-round [`silent_rounds`](Self::silent_rounds) count.
     pub fn user_silence_rate(&self) -> f64 {
         if self.rounds == 0 {
             return 1.0;
         }
-        // sent_to_* counts are per-channel; a round is silent if neither
-        // channel carried a message — approximated from totals (exact when
-        // the user never uses both channels in one round, which holds for
-        // every strategy in this workspace).
-        let speaking = (self.sent_to_server + self.sent_to_world).min(self.rounds);
-        1.0 - speaking as f64 / self.rounds as f64
+        self.silent_rounds as f64 / self.rounds as f64
     }
 }
 
@@ -75,11 +78,15 @@ pub fn render<S: Clone + Debug>(transcript: &Transcript<S>, limit: usize) -> Str
     } else {
         (0..limit).chain(n - limit..n).collect()
     };
+    // Rounds outside the window and all-silent rounds inside it are both
+    // elided; consecutive elisions of either kind merge into one marker so
+    // the printed round numbers never jump without an accounting line.
     let mut last: Option<usize> = None;
+    let mut elided: u64 = 0;
     for &i in &events {
         if let Some(prev) = last {
             if i > prev + 1 {
-                let _ = writeln!(out, "  … {} rounds elided …", i - prev - 1);
+                elided += (i - prev - 1) as u64;
             }
         }
         last = Some(i);
@@ -98,9 +105,17 @@ pub fn render<S: Clone + Debug>(transcript: &Transcript<S>, limit: usize) -> Str
             parts.push(format!("u→w {}", ev.sent.to_world));
         }
         if parts.is_empty() {
+            elided += 1;
             continue;
         }
+        if elided > 0 {
+            let _ = writeln!(out, "  … {elided} rounds elided …");
+            elided = 0;
+        }
         let _ = writeln!(out, "  r{:>5}: {}", ev.round, parts.join(" | "));
+    }
+    if elided > 0 {
+        let _ = writeln!(out, "  … {elided} rounds elided …");
     }
     out
 }
@@ -157,6 +172,130 @@ mod tests {
         assert!(text.contains("halted(heard)"), "{text}");
         assert!(text.contains("u→s hi"), "{text}");
         assert!(text.contains("w→u ACK"), "{text}");
+    }
+
+    #[test]
+    fn silence_rate_is_exact_when_both_channels_speak_in_one_round() {
+        use crate::msg::{Message, UserIn, UserOut};
+        use crate::view::ViewEvent;
+
+        // Round 0: the user speaks on BOTH channels at once. Rounds 1–3:
+        // silence. The old totals-based approximation counted two speaking
+        // rounds (2/4 = 0.5 silence); the exact rate is 3/4.
+        let mut view = UserView::new();
+        view.push(ViewEvent {
+            round: 0,
+            received: UserIn::default(),
+            sent: UserOut {
+                to_server: Message::from_bytes(b"hi".to_vec()),
+                to_world: Message::from_bytes(b"lo".to_vec()),
+            },
+        });
+        for round in 1..4 {
+            view.push(ViewEvent {
+                round,
+                received: UserIn::default(),
+                sent: UserOut::silence(),
+            });
+        }
+        let stats = ChannelStats::of(&view);
+        assert_eq!(stats.rounds, 4);
+        assert_eq!(stats.sent_to_server, 1);
+        assert_eq!(stats.sent_to_world, 1);
+        assert_eq!(stats.silent_rounds, 3);
+        assert_eq!(stats.user_silence_rate(), 0.75);
+    }
+
+    #[test]
+    fn render_marks_silent_rounds_inside_the_window() {
+        use crate::exec::StopReason;
+        use crate::msg::{Message, UserIn, UserOut};
+        use crate::view::ViewEvent;
+
+        // Traffic at rounds 0 and 5, silence at 1–4 — all inside the
+        // printed window. The old renderer skipped the silent rounds with
+        // no marker, so the output jumped from r0 to r5 unexplained.
+        let mut view = UserView::new();
+        for round in 0..6u64 {
+            let sent = if round == 0 || round == 5 {
+                UserOut {
+                    to_server: Message::from_bytes(b"x".to_vec()),
+                    to_world: Message::silence(),
+                }
+            } else {
+                UserOut::silence()
+            };
+            view.push(ViewEvent { round, received: UserIn::default(), sent });
+        }
+        let t = Transcript {
+            world_states: Vec::<()>::new(),
+            view,
+            rounds: 6,
+            stop: StopReason::HorizonExhausted,
+        };
+        let text = render(&t, 10);
+        assert!(text.contains("… 4 rounds elided …"), "{text}");
+        assert!(text.contains("r    0"), "{text}");
+        assert!(text.contains("r    5"), "{text}");
+    }
+
+    #[test]
+    fn render_merges_window_gap_with_adjacent_silence() {
+        use crate::exec::StopReason;
+        use crate::msg::{Message, UserIn, UserOut};
+        use crate::view::ViewEvent;
+
+        // 20 rounds, traffic only at 0 and 19, window limit 3: the silent
+        // rounds inside the head/tail windows merge with the out-of-window
+        // gap into a single 18-round marker.
+        let mut view = UserView::new();
+        for round in 0..20u64 {
+            let sent = if round == 0 || round == 19 {
+                UserOut {
+                    to_server: Message::from_bytes(b"x".to_vec()),
+                    to_world: Message::silence(),
+                }
+            } else {
+                UserOut::silence()
+            };
+            view.push(ViewEvent { round, received: UserIn::default(), sent });
+        }
+        let t = Transcript {
+            world_states: Vec::<()>::new(),
+            view,
+            rounds: 20,
+            stop: StopReason::HorizonExhausted,
+        };
+        let text = render(&t, 3);
+        assert!(text.contains("… 18 rounds elided …"), "{text}");
+    }
+
+    #[test]
+    fn render_marks_trailing_silence() {
+        use crate::exec::StopReason;
+        use crate::msg::{Message, UserIn, UserOut};
+        use crate::view::ViewEvent;
+
+        let mut view = UserView::new();
+        for round in 0..5u64 {
+            let sent = if round == 0 {
+                UserOut {
+                    to_server: Message::from_bytes(b"x".to_vec()),
+                    to_world: Message::silence(),
+                }
+            } else {
+                UserOut::silence()
+            };
+            view.push(ViewEvent { round, received: UserIn::default(), sent });
+        }
+        let t = Transcript {
+            world_states: Vec::<()>::new(),
+            view,
+            rounds: 5,
+            stop: StopReason::HorizonExhausted,
+        };
+        let text = render(&t, 10);
+        assert!(text.trim_end().ends_with("… 4 rounds elided …"), "{text}");
     }
 
     #[test]

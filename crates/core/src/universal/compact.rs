@@ -315,14 +315,17 @@ impl CompactUniversalUser {
 
     fn switch(&mut self, ctx: &mut StepCtx<'_>) {
         let round = ctx.round;
+        crate::obs_event!("universal.eliminate", self.current_index);
         let next = match self.policy {
             ResumePolicy::Restart => {
                 let (next, fresh) = self.next_candidate();
+                crate::obs_event!("universal.spawn", next);
                 self.current = fresh;
                 next
             }
             ResumePolicy::Replay => {
                 let next = self.schedule.next().expect("schedules are infinite");
+                crate::obs_event!("universal.spawn", next);
                 self.current = self
                     .enumerator
                     .strategy(next)
@@ -345,6 +348,7 @@ impl CompactUniversalUser {
                 let next = self.schedule.next().expect("schedules are infinite");
                 // Suspend the abandoned candidate together with its rng
                 // position.
+                crate::obs_event!("universal.suspend", self.current_index);
                 let old =
                     std::mem::replace(&mut self.current, Box::new(crate::strategy::SilentUser));
                 let slot = self.slots.entry(self.current_index).or_default();
@@ -354,11 +358,13 @@ impl CompactUniversalUser {
                 // first visit.
                 match self.slots.get_mut(&next).and_then(|s| s.user.take()) {
                     Some(user) => {
+                        crate::obs_event!("universal.resume", next);
                         self.current = user;
                         self.slot_rng = self.slots.get_mut(&next).and_then(|s| s.rng.take());
                         self.resumed_switches += 1;
                     }
                     None => {
+                        crate::obs_event!("universal.spawn", next);
                         self.current = self
                             .enumerator
                             .strategy(next)
@@ -369,6 +375,7 @@ impl CompactUniversalUser {
                 next
             }
         };
+        crate::obs_count!("universal.switches", 1u64);
         self.switches.push(SwitchRecord {
             round,
             from_index: self.current_index,

@@ -219,6 +219,9 @@ impl LevinUniversalUser {
 
     fn switch(&mut self, round: u64) {
         let (next, budget, fresh) = self.next_candidate();
+        crate::obs_event!("universal.eliminate", self.current_index);
+        crate::obs_event!("universal.spawn", next);
+        crate::obs_count!("universal.switches", 1u64);
         self.switches.push(SwitchRecord {
             round,
             from_index: self.current_index,

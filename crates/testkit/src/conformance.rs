@@ -398,6 +398,10 @@ pub fn sweep(cfg: &SweepConfig) -> ConformanceReport {
         let exec_seed = cfg.seed ^ fnv1a(prop.name.as_bytes());
         let run = prop.run;
         let expect_conquest = prop.expect_conquest;
+        // Span per property: enter = generated cases, exit = 1 iff the
+        // property held. The sweep is deterministic by construction, so
+        // these records are safe to export at any thread count.
+        let mut span = goc_core::obs::span("conformance.property", cfg.cases);
         let result = check_result(tk, &prop.name, prop.gen, move |schedule| {
             let outcome = run(schedule, exec_seed);
             if let Some(round) = outcome.false_positive_round {
@@ -417,6 +421,8 @@ pub fn sweep(cfg: &SweepConfig) -> ConformanceReport {
             }
             Ok(())
         });
+        span.set_exit(result.is_ok() as u64);
+        drop(span);
         match result {
             Ok(()) => report.passed.push(prop.name),
             Err(failure) => {

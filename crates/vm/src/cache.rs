@@ -31,14 +31,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Number of independent cache shards (reduces lock contention when the
 /// parallel harness runs many trials at once). Must be a power of two.
 const SHARD_COUNT: usize = 16;
 
-/// Per-shard entry cap; a shard that grows past this is cleared wholesale.
-/// Bounds memory at roughly `SHARD_COUNT * SHARD_CAP` rounds of output.
+/// Per-shard entry cap; a shard that grows past this evicts roughly half
+/// of its entries (see [`insert`]). Bounds memory at roughly
+/// `SHARD_COUNT * SHARD_CAP` rounds of output.
 const SHARD_CAP: usize = 1 << 16;
 
 /// The memoised outcome of one VM round.
@@ -73,8 +74,16 @@ struct Entry {
     round: CachedRound,
 }
 
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<RoundKey, Entry>,
+    /// Bumped on every half-eviction; selects which hash bit decides who
+    /// survives, so repeated evictions don't starve the same keys.
+    evict_epoch: u32,
+}
+
 struct Shard {
-    map: Mutex<HashMap<RoundKey, Entry>>,
+    state: Mutex<ShardState>,
 }
 
 struct Cache {
@@ -88,11 +97,21 @@ static CACHE: OnceLock<Cache> = OnceLock::new();
 fn cache() -> &'static Cache {
     CACHE.get_or_init(|| Cache {
         shards: (0..SHARD_COUNT)
-            .map(|_| Shard { map: Mutex::new(HashMap::new()) })
+            .map(|_| Shard { state: Mutex::new(ShardState::default()) })
             .collect(),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),
     })
+}
+
+/// Locks a shard, recovering from poisoning. A `par` worker that panics
+/// mid-operation poisons the shard it holds; the map itself is never left
+/// in a broken state by a panic here (HashMap operations are
+/// panic-atomic for our key/value types, and entries are verified against
+/// the full program bytes on every read), so the poison flag carries no
+/// information and unrelated trials must not cascade-panic on it.
+fn lock_shard(shard: &Shard) -> std::sync::MutexGuard<'_, ShardState> {
+    shard.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn shard_of(key: &RoundKey) -> &'static Shard {
@@ -148,29 +167,61 @@ pub fn extend_prefix(prefix: u128, in_a: &[u8], in_b: &[u8]) -> u128 {
 /// the hit/miss counters.
 pub fn lookup(key: &RoundKey, program: &[u8]) -> Option<CachedRound> {
     let shard = shard_of(key);
-    let map = shard.map.lock().unwrap();
-    match map.get(key) {
+    let state = lock_shard(shard);
+    match state.map.get(key) {
         Some(entry) if &*entry.program == program => {
             cache().hits.fetch_add(1, Ordering::Relaxed);
+            goc_core::obs_count_nd!("vm.cache.hit", 1u64);
             Some(entry.round.clone())
         }
         _ => {
             cache().misses.fetch_add(1, Ordering::Relaxed);
+            goc_core::obs_count_nd!("vm.cache.miss", 1u64);
             None
         }
     }
 }
 
+/// Mixes a key into one well-stirred word with a splitmix64 finalizer.
+/// Each word gets its own odd multiplier before the XOR so the mix stays
+/// key-dependent even for key families where the plain XOR (the one
+/// [`shard_of`] uses) is constant within a shard; any single bit then
+/// splits a shard's population roughly in half.
+fn evict_mix(key: &RoundKey) -> u64 {
+    let mut x = key.program_hash.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (key.prefix_hash as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+        ^ ((key.prefix_hash >> 64) as u64).wrapping_mul(0x1656_67b1_9e37_79f9)
+        ^ key.fuel as u64;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
 /// Records the outcome of one round under `key`. Overwriting an existing
 /// entry is harmless (the function is deterministic, so the value is the
 /// same — or belongs to a colliding program, which `lookup` re-verifies).
+///
+/// A shard at [`SHARD_CAP`] evicts roughly half of its entries — those
+/// whose mixed hash has the epoch-selected bit set — instead of clearing
+/// wholesale, so a long-running search keeps half of its warm entries
+/// across the cap. Evicted entries only cost a re-execution on the next
+/// miss; observable behaviour is unchanged.
 pub fn insert(key: RoundKey, program: &[u8], round: CachedRound) {
     let shard = shard_of(&key);
-    let mut map = shard.map.lock().unwrap();
-    if map.len() >= SHARD_CAP {
-        map.clear();
+    let mut state = lock_shard(shard);
+    if state.map.len() >= SHARD_CAP {
+        let bit = state.evict_epoch % 64;
+        state.evict_epoch = state.evict_epoch.wrapping_add(1);
+        let before = state.map.len();
+        state.map.retain(|k, _| (evict_mix(k) >> bit) & 1 == 0);
+        let evicted = before - state.map.len();
+        goc_core::obs_count_nd!("vm.cache.evict", evicted as u64);
     }
-    map.insert(key, Entry { program: program.into(), round });
+    state.map.insert(key, Entry { program: program.into(), round });
+    goc_core::obs_gauge_max_nd!("vm.cache.entries_peak", state.map.len() as u64);
 }
 
 /// Snapshot of the cache hit/miss counters.
@@ -213,13 +264,27 @@ pub fn reset_stats() {
 /// Drops every memoised round (counters are left alone).
 pub fn clear() {
     for shard in &cache().shards {
-        shard.map.lock().unwrap().clear();
+        lock_shard(shard).map.clear();
     }
+}
+
+/// Total number of memoised rounds currently held, across all shards.
+pub fn entry_count() -> usize {
+    cache().shards.iter().map(|shard| lock_shard(shard).map.len()).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The cache is process-global; tests that assert on hit/miss or
+    /// occupancy serialize here so the eviction test cannot drop another
+    /// test's entry between its insert and its lookup.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 
     fn key(p: u64, prefix: u128) -> RoundKey {
         RoundKey { program_hash: p, fuel: 256, prefix_hash: prefix }
@@ -231,6 +296,7 @@ mod tests {
 
     #[test]
     fn insert_then_lookup_roundtrips() {
+        let _g = test_guard();
         let k = key(program_hash(b"prog-x"), PREFIX_EMPTY);
         insert(k, b"prog-x", round(7));
         assert_eq!(lookup(&k, b"prog-x"), Some(round(7)));
@@ -238,12 +304,99 @@ mod tests {
 
     #[test]
     fn program_hash_collision_is_a_miss_not_a_wrong_hit() {
+        let _g = test_guard();
         // Same key, different recorded program bytes: the byte comparison
         // must refuse to serve the entry.
         let k = key(0x1234, PREFIX_EMPTY ^ 0x5555);
         insert(k, b"real", round(1));
         assert_eq!(lookup(&k, b"impostor"), None);
         assert_eq!(lookup(&k, b"real"), Some(round(1)));
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_instead_of_cascading() {
+        let _g = test_guard();
+        let k = key(program_hash(b"poison-prog"), PREFIX_EMPTY ^ 0xabcd);
+        insert(k, b"poison-prog", round(9));
+        // Poison the shard: a thread panics while holding its lock, the
+        // way a panicking `par` worker would mid-`insert`.
+        let shard = shard_of(&k);
+        let _ = std::thread::spawn(move || {
+            let _held = shard.state.lock().unwrap();
+            panic!("poisoning the shard on purpose");
+        })
+        .join();
+        assert!(shard.state.is_poisoned());
+        // Every entry point must keep working on the poisoned shard.
+        assert_eq!(lookup(&k, b"poison-prog"), Some(round(9)));
+        let k2 = key(program_hash(b"poison-prog"), extend_prefix(PREFIX_EMPTY ^ 0xabcd, b"x", b""));
+        insert(k2, b"poison-prog", round(10));
+        assert_eq!(lookup(&k2, b"poison-prog"), Some(round(10)));
+        let _ = entry_count();
+        clear();
+        assert_eq!(lookup(&k, b"poison-prog"), None);
+    }
+
+    #[test]
+    fn full_shard_evicts_half_not_everything() {
+        let _g = test_guard();
+        clear();
+        // All keys land in one shard: `shard_of` mixes the three hash
+        // words, so keep program_hash equal to the low word of the prefix
+        // — the XOR cancels and every key picks shard 0.
+        let shard_pinned = |i: u64| {
+            let prefix = (i + 1) as u128; // low 64 bits only
+            RoundKey { program_hash: i + 1, fuel: 256, prefix_hash: prefix }
+        };
+        for i in 0..SHARD_CAP as u64 {
+            insert(shard_pinned(i), b"evict-prog", round((i % 251) as u8));
+        }
+        assert_eq!(entry_count(), SHARD_CAP);
+        // The next insert trips the cap: roughly half survives (plus the
+        // new entry), instead of the old wholesale clear.
+        insert(shard_pinned(SHARD_CAP as u64), b"evict-prog", round(1));
+        let after = entry_count();
+        assert!(after < SHARD_CAP, "no eviction happened: {after}");
+        assert!(
+            after > SHARD_CAP / 4 && after <= SHARD_CAP / 2 + SHARD_CAP / 4,
+            "eviction should keep roughly half, kept {after} of {SHARD_CAP}"
+        );
+        // The just-inserted entry always survives its own eviction.
+        assert_eq!(lookup(&shard_pinned(SHARD_CAP as u64), b"evict-prog"), Some(round(1)));
+        // And survivors are still served (sample for at least one hit).
+        let survivors = (0..64).filter(|&i| lookup(&shard_pinned(i), b"evict-prog").is_some()).count();
+        assert!(survivors > 0, "no sampled survivor found after half-eviction");
+        clear();
+    }
+
+    #[test]
+    fn evictions_are_counted_in_the_metrics_registry() {
+        let _g = test_guard();
+        clear();
+        let nd_total = |name: &str| {
+            goc_core::obs::metrics_snapshot(Some(goc_core::obs::Scope::Process))
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or(0)
+        };
+        let before = nd_total("vm.cache.evict");
+        let ((), _records) = goc_core::obs::capture(|| {
+            let pinned = |i: u64| RoundKey {
+                program_hash: i + 1,
+                fuel: 256,
+                prefix_hash: (i + 1) as u128,
+            };
+            for i in 0..=SHARD_CAP as u64 {
+                insert(pinned(i), b"evict-metric-prog", round(2));
+            }
+        });
+        let evicted = nd_total("vm.cache.evict") - before;
+        assert!(
+            evicted > SHARD_CAP as u64 / 4,
+            "eviction counter should record roughly half a shard, got {evicted}"
+        );
+        clear();
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::sync::Arc;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
-    match it.next() {
+    let code = match it.next() {
         Some("demo") => cmd_demo(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("vm-asm") => cmd_vm_asm(&args[1..]),
@@ -46,7 +46,11 @@ fn main() -> ExitCode {
             eprintln!("unknown command `{other}`\n\n{HELP}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Close out a `GOC_TRACE` file with the deterministic metric totals;
+    // a no-op (two relaxed loads) when tracing is off.
+    goc::core::obs::flush_metrics();
+    code
 }
 
 const HELP: &str = "\
