@@ -10,8 +10,11 @@ export CARGO_NET_OFFLINE=true
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests (offline, sequential: GOC_THREADS=1) =="
-GOC_THREADS=1 cargo test -q --offline --workspace
+echo "== tests (offline, sequential: GOC_THREADS=1, batch VM on) =="
+GOC_THREADS=1 GOC_BATCH=1 cargo test -q --offline --workspace
+
+echo "== tests (offline, sequential: GOC_THREADS=1, batch VM off) =="
+GOC_THREADS=1 GOC_BATCH=0 cargo test -q --offline --workspace
 
 echo "== tests (offline, parallel trial engine: GOC_THREADS=4) =="
 GOC_THREADS=4 cargo test -q --offline --workspace
@@ -28,6 +31,10 @@ GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e12_noise_sweep
 # eager+replay) feed the >= 2x gate below; the count-allocs feature makes
 # the steady arms record allocations per iteration for the zero-alloc gate.
 GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e13_zero_copy --features count-allocs
+# e14 prices the batch VM interpreter: both arms force their interpreter
+# in-process (with_batch), so no GOC_BATCH env is needed here; the scalar
+# and batch medians feed the >= 2x gate below.
+GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e14_batch
 
 echo "== E13 gate: pooled steady loop is allocation-free =="
 pooled_line=$(grep '"id":"steady_pooled"' target/goc-bench.jsonl | tail -n 1)
@@ -51,13 +58,27 @@ if [ "$rep_replay" != "$rep_resume" ]; then
 fi
 echo "replay == resume (report identical)"
 
+echo "== E14 gate: GOC_BATCH is observationally inert =="
+# The batch interpreter and the scalar path must be bit-for-bit equivalent
+# across a whole report run — lockstep dispatch, predecoded programs, and
+# arena-backed buffers may only change wall-clock, never an observable byte.
+rep_scalar=$(GOC_BATCH=0 cargo run --release --offline -p goc-bench --bin goc-report -- --quick)
+rep_batch=$(GOC_BATCH=1 cargo run --release --offline -p goc-bench --bin goc-report -- --quick)
+if [ "$rep_scalar" != "$rep_batch" ]; then
+  echo "CI FAIL: goc-report differs under GOC_BATCH=0 vs 1"
+  diff <(printf '%s\n' "$rep_scalar") <(printf '%s\n' "$rep_batch") || true
+  exit 1
+fi
+echo "scalar == batch (report identical)"
+
 echo "== obs gate: traces are byte-identical across thread counts =="
 # With GOC_TRACE set, the observability layer records spans/events per
 # trial and flushes them in task-index order, so the JSONL trace must be
 # byte-for-byte identical at any GOC_THREADS. (The disabled-path cost is
 # covered by the E13 allocs:0 gate above: obs is compiled in there, and
 # the steady loop still records zero allocations per iteration.)
-rm -f target/goc-trace-t1.jsonl target/goc-trace-t4.jsonl
+rm -f target/goc-trace-t1.jsonl target/goc-trace-t4.jsonl \
+      target/goc-trace-t1-scalar.jsonl target/goc-trace-t4-scalar.jsonl
 GOC_TRACE=target/goc-trace-t1.jsonl GOC_THREADS=1 \
   cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
 GOC_TRACE=target/goc-trace-t4.jsonl GOC_THREADS=4 \
@@ -65,7 +86,19 @@ GOC_TRACE=target/goc-trace-t4.jsonl GOC_THREADS=4 \
 [ -s target/goc-trace-t1.jsonl ] || { echo "CI FAIL: GOC_TRACE produced an empty trace"; exit 1; }
 cmp target/goc-trace-t1.jsonl target/goc-trace-t4.jsonl \
   || { echo "CI FAIL: GOC_TRACE output differs between GOC_THREADS=1 and 4"; exit 1; }
-echo "traces identical ($(wc -l < target/goc-trace-t1.jsonl) records)"
+# ... and across the interpreter flag: the batch VM's extra machinery is
+# nondeterministic-scoped (vm.batch.*, vm.arena.*), so the deterministic
+# trace stream must not move by a byte when GOC_BATCH flips, at either
+# thread count.
+GOC_TRACE=target/goc-trace-t1-scalar.jsonl GOC_THREADS=1 GOC_BATCH=0 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+GOC_TRACE=target/goc-trace-t4-scalar.jsonl GOC_THREADS=4 GOC_BATCH=0 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+cmp target/goc-trace-t1.jsonl target/goc-trace-t1-scalar.jsonl \
+  || { echo "CI FAIL: GOC_TRACE output differs between GOC_BATCH=1 and 0 at GOC_THREADS=1"; exit 1; }
+cmp target/goc-trace-t4.jsonl target/goc-trace-t4-scalar.jsonl \
+  || { echo "CI FAIL: GOC_TRACE output differs between GOC_BATCH=1 and 0 at GOC_THREADS=4"; exit 1; }
+echo "traces identical ($(wc -l < target/goc-trace-t1.jsonl) records, threads x batch)"
 
 echo "== obs gate: trace readers consume the file =="
 tsum=$(cargo run --release --offline -p goc-bench --bin goc-report -- --trace-summary target/goc-trace-t1.jsonl)
@@ -104,5 +137,15 @@ ratio=$(grep -o '[0-9.]*x improvement' <<<"$summary" | tail -n 1 | grep -o '^[0-
 echo "measured improvement: ${ratio}x"
 awk -v r="$ratio" 'BEGIN { exit !(r >= 2.0) }' \
   || { echo "CI FAIL: E13 settle improvement ${ratio}x is below the 2x gate"; exit 1; }
+
+echo "== E14 gate: batch settle improvement >= 2x (scalar vs batch VM, t1) =="
+# The E14 line deliberately reads "x batch improvement" so the E13 grep
+# above (which requires "x improvement" adjacent) cannot match it, and
+# vice versa.
+ratio14=$(grep -o '[0-9.]*x batch improvement' <<<"$summary" | tail -n 1 | grep -o '^[0-9.]*')
+[ -n "$ratio14" ] || { echo "CI FAIL: E14 improvement line missing from bench summary"; exit 1; }
+echo "measured batch improvement: ${ratio14}x"
+awk -v r="$ratio14" 'BEGIN { exit !(r >= 2.0) }' \
+  || { echo "CI FAIL: E14 batch settle improvement ${ratio14}x is below the 2x gate"; exit 1; }
 
 echo "CI OK"

@@ -1,0 +1,27 @@
+//! E14 — the batch VM interpreter, measured end to end.
+//!
+//! One comparison: a finite-Levin settle over a VM-program class whose
+//! early candidates are fuel-burning self-jump programs, run once with the
+//! exact scalar interpreter (`GOC_BATCH=0` semantics, forced via
+//! [`goc_vm::batch::with_batch`]) and once with the predecoded batch path.
+//! Both arms compute the identical settle round — only interpretation
+//! speed differs. `ci.sh` gates the batch arm at >= 2x the scalar median.
+//!
+//! Runs at `t1`: the workload is a single conversation, so threading only
+//! adds scheduler noise to what is purely a dispatch-loop comparison.
+
+use goc_bench::experiments as exp;
+use goc_core::par::with_thread_count;
+use goc_testkit::bench::{Bench, BenchMeta};
+
+fn main() {
+    let mut g = Bench::group("e14_batch").samples(10);
+    let meta = || BenchMeta { threads: Some(1), ..BenchMeta::default() };
+    g.bench_tagged("levin_settle_scalar@t1", meta(), || {
+        with_thread_count(1, || exp::e14_levin_vm_settle(false))
+    });
+    g.bench_tagged("levin_settle_batch@t1", meta(), || {
+        with_thread_count(1, || exp::e14_levin_vm_settle(true))
+    });
+    g.finish();
+}

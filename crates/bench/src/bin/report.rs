@@ -48,7 +48,7 @@ fn main() {
 /// Prints aggregates of a `GOC_TRACE` JSONL file (spans, events, exported
 /// metrics) via the shared reader in [`goc_bench::tracefile`].
 fn trace_summary(path: &str) {
-    let (lines, skipped) = match goc_bench::tracefile::load(path) {
+    let (lines, stats) = match goc_bench::tracefile::load(path) {
         Ok(v) => v,
         Err(e) => {
             eprintln!(
@@ -59,7 +59,7 @@ fn trace_summary(path: &str) {
         }
     };
     let summary = goc_bench::tracefile::summarize(&lines);
-    print!("{}", goc_bench::tracefile::render_summary(path, &summary, skipped));
+    print!("{}", goc_bench::tracefile::render_summary(path, &summary, stats));
 }
 
 /// Prints a table of the bench results recorded in `path` (JSON lines
@@ -125,6 +125,7 @@ fn bench_summary(path: &str) {
     }
     speedup_section(&records);
     e13_improvement_section(&records);
+    e14_improvement_section(&records);
     if skipped > 0 {
         println!("\n({skipped} malformed lines skipped)");
     }
@@ -148,6 +149,28 @@ fn e13_improvement_section(records: &[BenchRecord]) {
                 fmt_ns(off),
                 fmt_ns(on),
                 off as f64 / on as f64
+            );
+        }
+    }
+}
+
+/// Prints the E14 headline number: wall-clock improvement of the batch
+/// (predecoded) VM interpreter over the exact scalar path on the
+/// finite-Levin settle workload, single-threaded. CI gates this at >= 2x.
+/// The "batch improvement" wording is deliberate — it keeps this line out
+/// of the E13 gate's `x improvement` grep.
+fn e14_improvement_section(records: &[BenchRecord]) {
+    let median = |id: &str| records.iter().rev().find(|r| r.id == id).map(|r| r.median_ns);
+    let scalar = median("levin_settle_scalar@t1");
+    let batch = median("levin_settle_batch@t1");
+    if let (Some(scalar), Some(batch)) = (scalar, batch) {
+        if batch > 0 {
+            println!("\n## E14 batch interpreter settle improvement (t1, scalar vs batch VM)");
+            println!(
+                "scalar {} -> batch {}  ({:.2}x batch improvement)",
+                fmt_ns(scalar),
+                fmt_ns(batch),
+                scalar as f64 / batch as f64
             );
         }
     }
@@ -354,6 +377,16 @@ fn report(quick: bool) {
         stats.recycled
     );
     assert_eq!(stats.misses, 0, "a warm steady batch must be served entirely from the pool");
+
+    // --- E14 --------------------------------------------------------------
+    println!("\n## E14 — batch VM interpreter (scalar-vs-batch settle parity)");
+    let scalar_settle = exp::e14_levin_vm_settle(false);
+    let batch_settle = exp::e14_levin_vm_settle(true);
+    assert_eq!(
+        scalar_settle, batch_settle,
+        "scalar and batch interpreters must settle identically"
+    );
+    println!("finite-Levin settle round (both interpreters): {batch_settle}");
 
     println!("\ndone.");
 }

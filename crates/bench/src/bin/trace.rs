@@ -25,7 +25,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (lines, skipped) = match tracefile::load(&path) {
+    let (lines, stats) = match tracefile::load(&path) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("goc-trace: cannot read {path}: {e}");
@@ -34,15 +34,20 @@ fn main() {
     };
     if summary_mode {
         let summary = tracefile::summarize(&lines);
-        print!("{}", tracefile::render_summary(&path, &summary, skipped));
+        print!("{}", tracefile::render_summary(&path, &summary, stats));
         return;
     }
     let summary = tracefile::summarize(&lines);
+    let mut skipped_note = String::new();
+    if stats.skipped_lines > 0 {
+        skipped_note.push_str(&format!(", {} unparsed lines", stats.skipped_lines));
+    }
+    if stats.skipped_pairs > 0 {
+        skipped_note.push_str(&format!(", {} malformed bucket pairs", stats.skipped_pairs));
+    }
     println!(
-        "# goc-trace {path} — {} records, {} tasks{}",
-        summary.records,
-        summary.tasks,
-        if skipped > 0 { format!(", {skipped} unparsed lines") } else { String::new() }
+        "# goc-trace {path} — {} records, {} tasks{skipped_note}",
+        summary.records, summary.tasks,
     );
     print!("{}", tracefile::render_tree(&lines));
 }

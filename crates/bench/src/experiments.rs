@@ -820,6 +820,52 @@ impl Default for SteadyLoop {
     }
 }
 
+// ---------------------------------------------------------------------------
+// E14 — batch VM interpretation: finite-Levin settle over a program class
+// ---------------------------------------------------------------------------
+
+/// Horizon for the E14 settle runs (the winning program settles well before
+/// this).
+pub const E14_HORIZON: u64 = 100_000;
+
+/// Per-round fuel for E14 candidates. High enough that the `jmp`-spinning
+/// burner programs scheduled before the winner dominate the run with VM
+/// interpretation work — the workload the batch interpreter accelerates.
+pub const E14_FUEL: u32 = 8_192;
+
+/// One finite-Levin conquest over a small VM-program class (alphabet
+/// `{jmp, emit.a, 'h'}`, length ≤ 3), interpreted by the batch (`true`) or
+/// exact scalar (`false`) VM path; returns the settle round.
+///
+/// The class plants `[emit.a 'h']` a few indices behind several programs
+/// that decode to self-jumps and burn their full fuel every round, so the
+/// run's cost is VM dispatch, not harness bookkeeping. The candidate cache
+/// is pinned **off** so both arms measure interpretation itself, and the
+/// interpreter choice is forced via [`goc_vm::batch::with_batch`] — the two
+/// arms must settle on the identical round (`goc-report` asserts parity).
+pub fn e14_levin_vm_settle(batch: bool) -> u64 {
+    goc_vm::batch::with_batch(batch, || {
+        let class = goc_vm::ProgramEnumerator::over(vec![0x0b, 0x01, b'h'])
+            .with_max_len(3)
+            .with_fuel(E14_FUEL)
+            .with_cache(false);
+        let goal = toy::MagicWordGoal::new("h");
+        let user =
+            LevinUniversalUser::new(Box::new(class), Box::new(toy::ack_sensing()), 8);
+        let mut rng = GocRng::seed_from_u64(1_400);
+        let mut exec = Execution::new(
+            goal.spawn_world(&mut rng),
+            Box::new(toy::RelayServer::default()),
+            Box::new(user),
+            rng,
+        );
+        let t = exec.run(E14_HORIZON);
+        let v = evaluate_finite(&goal, &t);
+        assert!(v.achieved, "E14 settle (batch={batch}): {v:?}");
+        v.rounds
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

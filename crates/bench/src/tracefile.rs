@@ -7,23 +7,59 @@
 //! — rounds, indices, counts — so every figure printed here is
 //! reproducible across machines and thread counts.
 
-use goc_core::obs::{parse_line, TraceLine};
+use goc_core::obs::{parse_line_lenient, TraceLine};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Loads and parses a trace file, in file order. Unparseable lines are
-/// counted, not fatal: a trace may be appended to by several runs.
-pub fn load(path: &str) -> std::io::Result<(Vec<TraceLine>, usize)> {
+/// What [`load`] managed (and failed) to parse.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Lines parsed into [`TraceLine`]s.
+    pub parsed: usize,
+    /// Non-blank lines that parsed as nothing this tracer writes.
+    pub skipped_lines: usize,
+    /// Malformed `buckets` pairs dropped from otherwise-valid histogram
+    /// lines (see [`goc_core::obs::parse_line_lenient`]).
+    pub skipped_pairs: usize,
+}
+
+impl LoadStats {
+    /// `true` if anything at all failed to parse.
+    pub fn any_skipped(&self) -> bool {
+        self.skipped_lines > 0 || self.skipped_pairs > 0
+    }
+}
+
+/// Loads and parses a trace file, in file order. Isolated unparseable lines
+/// (and malformed histogram bucket pairs) are counted, not fatal: a trace
+/// may be appended to by several runs. A file whose non-blank lines *all*
+/// fail to parse is an error — that is not a trace with zero records, it is
+/// the wrong file (or a corrupted one), and pretending otherwise hides the
+/// corruption behind an empty-but-valid summary.
+pub fn load(path: &str) -> std::io::Result<(Vec<TraceLine>, LoadStats)> {
     let text = std::fs::read_to_string(path)?;
     let mut lines = Vec::new();
-    let mut skipped = 0usize;
+    let mut stats = LoadStats::default();
     for raw in text.lines().filter(|l| !l.trim().is_empty()) {
-        match parse_line(raw) {
-            Some(line) => lines.push(line),
-            None => skipped += 1,
+        match parse_line_lenient(raw) {
+            Some((line, pairs)) => {
+                lines.push(line);
+                stats.parsed += 1;
+                stats.skipped_pairs += pairs;
+            }
+            None => stats.skipped_lines += 1,
         }
     }
-    Ok((lines, skipped))
+    if stats.parsed == 0 && stats.skipped_lines > 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{path}: none of {} non-blank lines parsed as trace records — not a GOC_TRACE file?",
+                stats.skipped_lines
+            ),
+        ));
+    }
+    Ok((lines, stats))
 }
 
 /// Flat aggregates over one trace.
@@ -81,14 +117,19 @@ pub fn summarize(lines: &[TraceLine]) -> Summary {
 }
 
 /// Renders the `--trace-summary` section.
-pub fn render_summary(path: &str, summary: &Summary, skipped: usize) -> String {
+pub fn render_summary(path: &str, summary: &Summary, stats: LoadStats) -> String {
     let mut out = String::new();
+    let mut skipped_note = String::new();
+    if stats.skipped_lines > 0 {
+        let _ = write!(skipped_note, ", {} unparsed lines", stats.skipped_lines);
+    }
+    if stats.skipped_pairs > 0 {
+        let _ = write!(skipped_note, ", {} malformed bucket pairs", stats.skipped_pairs);
+    }
     let _ = writeln!(
         out,
-        "# trace summary from {path} ({} records, {} tasks{})",
-        summary.records,
-        summary.tasks,
-        if skipped > 0 { format!(", {skipped} unparsed lines") } else { String::new() }
+        "# trace summary from {path} ({} records, {} tasks{skipped_note})",
+        summary.records, summary.tasks,
     );
     if !summary.spans.is_empty() {
         let _ = writeln!(out, "\n## spans");
@@ -115,7 +156,7 @@ pub fn render_summary(path: &str, summary: &Summary, skipped: usize) -> String {
                 TraceLine::Metric { name, kind, value } => {
                     let _ = writeln!(out, "{name:<28} {kind:<8} {value}");
                 }
-                TraceLine::Hist { name, count, sum, buckets } => {
+                TraceLine::Hist { name, count, sum, buckets, saturated } => {
                     let mean = if *count > 0 { *sum as f64 / *count as f64 } else { 0.0 };
                     let peak = buckets.iter().max_by_key(|(_, c)| *c);
                     let mode = peak
@@ -125,9 +166,10 @@ pub fn render_summary(path: &str, summary: &Summary, skipped: usize) -> String {
                             if *b == 0 { "0".to_string() } else { format!("<2^{b}") }
                         })
                         .unwrap_or_default();
+                    let note = if *saturated { " [sum saturated]" } else { "" };
                     let _ = writeln!(
                         out,
-                        "{name:<28} hist     count {count}, sum {sum}, mean {mean:.1}, mode {mode}"
+                        "{name:<28} hist     count {count}, sum {sum}, mean {mean:.1}, mode {mode}{note}"
                     );
                 }
                 _ => {}
@@ -245,9 +287,67 @@ mod tests {
         assert_eq!(s.spans["exec.run"].enter_sum, 200);
         assert_eq!(s.events["universal.spawn"], 1);
         assert_eq!(s.metrics.len(), 1);
-        let text = render_summary("x.jsonl", &s, 0);
+        let text = render_summary("x.jsonl", &s, LoadStats::default());
         assert!(text.contains("exec.run"), "{text}");
         assert!(text.contains("exec.rounds"), "{text}");
+    }
+
+    #[test]
+    fn summary_surfaces_skip_counts() {
+        let s = summarize(&sample());
+        let text = render_summary(
+            "x.jsonl",
+            &s,
+            LoadStats { parsed: s.records, skipped_lines: 3, skipped_pairs: 2 },
+        );
+        assert!(text.contains("3 unparsed lines"), "{text}");
+        assert!(text.contains("2 malformed bucket pairs"), "{text}");
+        // And a clean load prints neither.
+        let clean = render_summary("x.jsonl", &s, LoadStats::default());
+        assert!(!clean.contains("unparsed"), "{clean}");
+        assert!(!clean.contains("malformed"), "{clean}");
+    }
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("goc-tracefile-test-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn load_counts_skipped_lines_and_pairs() {
+        let path = write_temp(
+            "mixed",
+            concat!(
+                "{\"k\":\"task\",\"i\":0}\n",
+                "this line is garbage\n",
+                "{\"k\":\"metric\",\"t\":\"hist\",\"n\":\"h\",\"count\":2,\"sum\":9,\"buckets\":\"3:1,bad,4:1\"}\n",
+                "\n",
+            ),
+        );
+        let (lines, stats) = load(&path).expect("partially valid file loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(stats, LoadStats { parsed: 2, skipped_lines: 1, skipped_pairs: 1 });
+        assert!(stats.any_skipped());
+    }
+
+    #[test]
+    fn load_rejects_fully_unparseable_file() {
+        let path = write_temp("garbage", "not a trace\nstill not a trace\n");
+        let err = load(&path).expect_err("all-garbage file must error");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("none of 2"), "{err}");
+    }
+
+    #[test]
+    fn load_accepts_empty_file() {
+        let path = write_temp("empty", "");
+        let (lines, stats) = load(&path).expect("a blank file is a valid empty trace");
+        std::fs::remove_file(&path).ok();
+        assert!(lines.is_empty());
+        assert!(!stats.any_skipped());
     }
 
     #[test]

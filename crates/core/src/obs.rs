@@ -393,10 +393,24 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// The sum accumulates *saturating*: once the total reaches `u64::MAX`
+    /// it pins there instead of silently wrapping (large recorded values —
+    /// fuel totals, byte counts — could otherwise export a nonsense `sum`).
+    /// A saturated sum is detectable via [`Histogram::saturated`] and marked
+    /// in the JSONL export.
     #[inline]
     pub fn record(&self, v: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -408,6 +422,13 @@ impl Histogram {
     /// Sum of observations.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the sum has saturated at `u64::MAX`. (A genuine sum of
+    /// exactly `u64::MAX` also reports saturated — at that magnitude the
+    /// distinction is moot and the flag errs on the side of distrust.)
+    pub fn saturated(&self) -> bool {
+        self.sum() == u64::MAX
     }
 
     /// Non-empty buckets as `(bucket index, count)`, ascending.
@@ -531,12 +552,20 @@ pub fn flush_metrics() {
     }
     for (name, &(s, h)) in recover(registry().histograms.lock()).iter() {
         if s == Scope::Deterministic {
+            // A saturated sum is a measurement failure worth failing loudly
+            // on in debug runs; release exports mark the line instead so
+            // downstream tooling never mistakes the pinned sum for exact.
+            debug_assert!(
+                !h.saturated(),
+                "histogram {name} sum saturated at u64::MAX — recorded values overflow the export"
+            );
             let buckets: Vec<String> =
                 h.nonzero_buckets().iter().map(|(i, c)| format!("{i}:{c}")).collect();
+            let saturated = if h.saturated() { ",\"saturated\":true" } else { "" };
             lines.push((
                 name.to_string(),
                 format!(
-                    "{{\"k\":\"metric\",\"t\":\"hist\",\"n\":\"{name}\",\"count\":{},\"sum\":{},\"buckets\":\"{}\"}}\n",
+                    "{{\"k\":\"metric\",\"t\":\"hist\",\"n\":\"{name}\",\"count\":{},\"sum\":{},\"buckets\":\"{}\"{saturated}}}\n",
                     h.count(),
                     h.sum(),
                     buckets.join(",")
@@ -730,6 +759,10 @@ pub enum TraceLine {
         sum: u64,
         /// Non-empty `(bucket, count)` pairs.
         buckets: Vec<(u32, u64)>,
+        /// `true` when the exporter marked the sum as saturated at
+        /// `u64::MAX` (see [`Histogram::saturated`]): the sum is a floor,
+        /// not an exact total.
+        saturated: bool,
     },
 }
 
@@ -750,50 +783,72 @@ fn u64_field(line: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
-/// Parses one trace line; `None` on anything this module didn't write.
+/// Parses one trace line **strictly**; `None` on anything this module didn't
+/// write, including histogram lines with any malformed `buckets` pair.
 pub fn parse_line(line: &str) -> Option<TraceLine> {
+    parse_line_lenient(line).and_then(|(parsed, skipped)| (skipped == 0).then_some(parsed))
+}
+
+/// Parses one trace line, tolerating malformed `buckets` pairs in histogram
+/// lines: bad pairs are dropped individually and *counted* instead of
+/// poisoning the whole metric. Returns the parsed line plus the number of
+/// pairs skipped (always 0 for non-histogram lines); `None` for lines this
+/// module didn't write at all.
+///
+/// Trace readers that report coverage (`goc-trace --trace-summary`) use this
+/// so corruption is surfaced, never silently absorbed.
+pub fn parse_line_lenient(line: &str) -> Option<(TraceLine, usize)> {
     let line = line.trim();
-    match str_field(line, "k")? {
-        "task" => Some(TraceLine::Task { index: u64_field(line, "i")? }),
-        "enter" => Some(TraceLine::Enter {
+    let parsed = match str_field(line, "k")? {
+        "task" => TraceLine::Task { index: u64_field(line, "i")? },
+        "enter" => TraceLine::Enter {
             name: str_field(line, "n")?.to_string(),
             value: u64_field(line, "v")?,
-        }),
-        "exit" => Some(TraceLine::Exit {
+        },
+        "exit" => TraceLine::Exit {
             name: str_field(line, "n")?.to_string(),
             value: u64_field(line, "v")?,
-        }),
-        "event" => Some(TraceLine::Event {
+        },
+        "event" => TraceLine::Event {
             name: str_field(line, "n")?.to_string(),
             value: u64_field(line, "v")?,
-        }),
+        },
         "metric" => {
             let name = str_field(line, "n")?.to_string();
             match str_field(line, "t")? {
                 "hist" => {
                     let raw = str_field(line, "buckets")?;
                     let mut buckets = Vec::new();
+                    let mut skipped = 0usize;
                     for pair in raw.split(',').filter(|p| !p.is_empty()) {
-                        let (i, c) = pair.split_once(':')?;
-                        buckets.push((i.parse().ok()?, c.parse().ok()?));
+                        match pair
+                            .split_once(':')
+                            .and_then(|(i, c)| Some((i.parse().ok()?, c.parse().ok()?)))
+                        {
+                            Some(entry) => buckets.push(entry),
+                            None => skipped += 1,
+                        }
                     }
-                    Some(TraceLine::Hist {
+                    let hist = TraceLine::Hist {
                         name,
                         count: u64_field(line, "count")?,
                         sum: u64_field(line, "sum")?,
                         buckets,
-                    })
+                        saturated: line.contains("\"saturated\":true"),
+                    };
+                    return Some((hist, skipped));
                 }
-                kind @ ("counter" | "gauge") => Some(TraceLine::Metric {
+                kind @ ("counter" | "gauge") => TraceLine::Metric {
                     name,
                     kind: kind.to_string(),
                     value: u64_field(line, "v")?,
-                }),
-                _ => None,
+                },
+                _ => return None,
             }
         }
-        _ => None,
-    }
+        _ => return None,
+    };
+    Some((parsed, 0))
 }
 
 #[cfg(test)]
@@ -994,10 +1049,61 @@ mod tests {
                 count: 2,
                 sum: 30,
                 buckets: vec![(4, 1), (5, 1)],
+                saturated: false,
             })
         );
         assert_eq!(parse_line("not json"), None);
         assert_eq!(parse_line(r#"{"k":"mystery"}"#), None);
+    }
+
+    #[test]
+    fn parse_hist_saturated_marker() {
+        let line = r#"{"k":"metric","t":"hist","n":"h","count":3,"sum":18446744073709551615,"buckets":"64:3","saturated":true}"#;
+        match parse_line(line) {
+            Some(TraceLine::Hist { sum, saturated, .. }) => {
+                assert_eq!(sum, u64::MAX);
+                assert!(saturated);
+            }
+            other => panic!("expected hist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_line_lenient_counts_bad_bucket_pairs() {
+        let line = r#"{"k":"metric","t":"hist","n":"h","count":5,"sum":50,"buckets":"4:1,garbage,5:2,9:"}"#;
+        // Strict parsing rejects the whole line...
+        assert_eq!(parse_line(line), None);
+        // ...lenient parsing keeps the good pairs and counts the bad ones.
+        let (parsed, skipped) = parse_line_lenient(line).expect("line shape is valid");
+        assert_eq!(skipped, 2);
+        match parsed {
+            TraceLine::Hist { buckets, count, sum, .. } => {
+                assert_eq!(buckets, vec![(4, 1), (5, 2)]);
+                assert_eq!((count, sum), (5, 50));
+            }
+            other => panic!("expected hist, got {other:?}"),
+        }
+        // Non-histogram lines always report zero skips.
+        let (_, skipped) =
+            parse_line_lenient(r#"{"k":"event","n":"e","v":1}"#).expect("valid event");
+        assert_eq!(skipped, 0);
+        assert_eq!(parse_line_lenient("not json"), None);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let h = histogram("obs.test.saturating_hist", Scope::Process);
+        h.record(u64::MAX - 10);
+        assert!(!h.saturated());
+        assert_eq!(h.sum(), u64::MAX - 10);
+        // One more near-max value would wrap a fetch_add; it must pin.
+        h.record(u64::MAX - 3);
+        assert!(h.saturated());
+        assert_eq!(h.sum(), u64::MAX);
+        // Further records stay pinned and keep counting.
+        h.record(7);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

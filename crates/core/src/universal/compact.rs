@@ -142,7 +142,7 @@ pub struct CompactUniversalUser {
     switches: Vec<SwitchRecord>,
     pending_switch: bool,
     /// Speculatively pre-built `(index, candidate)` slots, consumed strictly
-    /// in schedule order (see [`super::finite::LOOKAHEAD`]). Only used under
+    /// in schedule order (see [`super::finite::lookahead_width`]). Only used under
     /// [`ResumePolicy::Restart`]; the other policies draw from the schedule
     /// one index at a time because a revisit may not build a candidate at
     /// all.
@@ -301,7 +301,8 @@ impl CompactUniversalUser {
     /// construction is pure and adoption order is unchanged).
     fn next_candidate(&mut self) -> (usize, BoxedUser) {
         if self.lookahead.is_empty() {
-            let indices: Vec<usize> = (0..super::finite::LOOKAHEAD)
+            crate::obs_count!("universal.lookahead.refills", 1u64);
+            let indices: Vec<usize> = (0..super::finite::lookahead_width())
                 .map(|_| self.schedule.next().expect("schedules are infinite"))
                 .collect();
             for (&index, candidate) in indices.iter().zip(self.enumerator.batch(&indices)) {

@@ -10,14 +10,31 @@ use crate::view::ViewEvent;
 use std::collections::VecDeque;
 use std::fmt;
 
+/// Default number of schedule slots the universal users pre-materialise per
+/// batch (see [`lookahead_width`]).
+pub(super) const DEFAULT_LOOKAHEAD: usize = 8;
+
 /// How many schedule slots the universal users pre-materialise per batch.
 ///
 /// Candidate construction is pure, so building the next few scheduled
 /// candidates ahead of time is unobservable; it lets enumerators with a
-/// parallel [`StrategyEnumerator::batch`] override (and/or an evaluation
-/// cache to warm) do so off the critical path. Results are always adopted in
-/// schedule order.
-pub(super) const LOOKAHEAD: usize = 8;
+/// parallel (or lockstep-batched, see `goc_vm::batch`)
+/// [`StrategyEnumerator::batch`] override do so off the critical path.
+/// Results are always adopted in schedule order, so the width only moves
+/// work between refills — the interaction is identical for every setting.
+///
+/// Tunable via `GOC_BATCH_WIDTH` (default 8, clamped to 1..=64; read once
+/// and latched).
+pub(super) fn lookahead_width() -> usize {
+    static WIDTH: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        std::env::var("GOC_BATCH_WIDTH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_LOOKAHEAD)
+            .clamp(1, 64)
+    })
+}
 
 /// The universal user strategy for **finite** goals (Theorem 1, finite
 /// case).
@@ -91,7 +108,7 @@ pub struct LevinUniversalUser {
     switches: Vec<SwitchRecord>,
     slots_used: u64,
     /// Speculatively pre-built `(index, budget, candidate)` slots, consumed
-    /// strictly in schedule order (see [`LOOKAHEAD`]).
+    /// strictly in schedule order (see [`lookahead_width`]).
     lookahead: VecDeque<(usize, u64, BoxedUser)>,
 }
 
@@ -202,7 +219,8 @@ impl LevinUniversalUser {
     /// candidate at its switch round.
     fn next_candidate(&mut self) -> (usize, u64, BoxedUser) {
         if self.lookahead.is_empty() {
-            let slots: Vec<(usize, u64)> = (0..LOOKAHEAD)
+            crate::obs_count!("universal.lookahead.refills", 1u64);
+            let slots: Vec<(usize, u64)> = (0..lookahead_width())
                 .map(|_| self.schedule.next().expect("budget schedules are infinite"))
                 .collect();
             let indices: Vec<usize> = slots.iter().map(|&(i, _)| i).collect();

@@ -415,7 +415,7 @@ impl Bench {
         let n = per_iter_ns.len();
         let min_ns = per_iter_ns[0];
         let median_ns = per_iter_ns[n / 2];
-        let p95_ns = per_iter_ns[(((n as f64) * 0.95).ceil() as usize).clamp(1, n) - 1];
+        let p95_ns = percentile(&per_iter_ns, 95);
         let mean_ns = (per_iter_ns.iter().map(|&x| x as u128).sum::<u128>() / n as u128) as u64;
 
         let rec = BenchRecord {
@@ -481,6 +481,35 @@ impl Bench {
     }
 }
 
+/// The `pct`-th percentile of an ascending-sorted sample, by linear
+/// interpolation between closest ranks (the "type 7" estimator), computed in
+/// exact integer arithmetic.
+///
+/// The previous nearest-rank rule (`ceil(n·0.95)`) degenerates for small
+/// samples: for every `n < 20` the 95th percentile *is* the maximum, so a
+/// single outlier sample polluted the reported p95 at typical bench sample
+/// counts (10–16). Interpolating at rank `(n−1)·pct/100` never selects the
+/// maximum for `p95` until `n` is large enough to support it
+/// (`frac = 0` only when `(n−1)·pct % 100 == 0`).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct > 100`.
+pub fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!(pct <= 100, "percentile rank must be 0..=100");
+    let n = sorted.len();
+    let h_num = (n as u64 - 1) * pct as u64; // rank position, scaled by 100
+    let idx = (h_num / 100) as usize;
+    let frac = h_num % 100;
+    let lo = sorted[idx];
+    if frac == 0 {
+        return lo;
+    }
+    let hi = sorted[idx + 1];
+    lo + ((hi - lo) as u128 * frac as u128 / 100) as u64
+}
+
 fn env_u64(key: &str) -> Option<u64> {
     std::env::var(key).ok()?.trim().parse().ok()
 }
@@ -512,6 +541,47 @@ mod tests {
         let rec = sample_record();
         let parsed = BenchRecord::parse_json_line(&rec.to_json_line()).expect("parses");
         assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn percentile_known_answers_small_n() {
+        // data = 100, 200, ..., n·100 → type-7 p95 = 100·(1 + (n−1)·0.95)
+        // = 95n + 5 exactly, for every n. Table-driven over the small-n
+        // range where the old nearest-rank rule always returned the max.
+        for n in 1..=25usize {
+            let data: Vec<u64> = (1..=n as u64).map(|k| k * 100).collect();
+            let expect = 95 * n as u64 + 5;
+            assert_eq!(percentile(&data, 95), expect, "p95 at n={n}");
+            // p0/p100 pin the ends; p50 matches the interpolated median.
+            assert_eq!(percentile(&data, 0), 100, "p0 at n={n}");
+            assert_eq!(percentile(&data, 100), n as u64 * 100, "p100 at n={n}");
+            let expect_p50 = 50 * (n as u64 - 1) + 100;
+            assert_eq!(percentile(&data, 50), expect_p50, "p50 at n={n}");
+            // The defect under repair: p95 must not be the max for n ≥ 2.
+            if n >= 2 {
+                assert!(percentile(&data, 95) < data[n - 1], "p95 selected max at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_constant_sample_is_constant() {
+        let data = [42u64; 17];
+        for pct in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(percentile(&data, pct), 42);
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7], 95), 7);
+        assert_eq!(percentile(&[7], 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 95);
     }
 
     #[test]

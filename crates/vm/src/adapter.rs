@@ -4,11 +4,14 @@
 //! server program); **B** is the world. The same program text can therefore
 //! be mounted in either role.
 
+use crate::arena;
+use crate::batch::{self, BatchVm};
 use crate::cache::{self, CachedRound, RoundKey};
-use crate::machine::{Machine, RoundIo};
+use crate::machine::{DecodedProgram, Machine, RoundIo};
 use crate::program::Program;
 use goc_core::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
 use goc_core::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy};
+use std::sync::Arc;
 
 /// A user strategy interpreting a VM [`Program`].
 ///
@@ -46,8 +49,13 @@ pub struct VmUser {
     halted_view: Option<Vec<u8>>,
     /// Reusable round buffers: one `RoundIo` lives as long as the candidate,
     /// so steady-state rounds reuse its allocations instead of building
-    /// fresh `Vec`s.
+    /// fresh `Vec`s. Arena-backed under batch mode (recycled on drop).
     io: RoundIo,
+    /// The program's jump-table decode, shared across rounds (and, when the
+    /// enumerator spawned this candidate in a batch, across every candidate
+    /// of the generation running the same program text). `None` until batch
+    /// mode first needs it.
+    decoded: Option<Arc<DecodedProgram>>,
 }
 
 impl VmUser {
@@ -63,6 +71,7 @@ impl VmUser {
     /// Panics if `fuel == 0`.
     pub fn with_fuel(program: Program, fuel: u32) -> Self {
         let program_hash = cache::program_hash(program.as_bytes());
+        let io = if batch::enabled() { arena::take_io() } else { RoundIo::default() };
         VmUser {
             machine: Machine::with_fuel(program, fuel),
             use_cache: cache::enabled_by_env(),
@@ -70,7 +79,8 @@ impl VmUser {
             prefix_hash: cache::PREFIX_EMPTY,
             pending_replay: Vec::new(),
             halted_view: None,
-            io: RoundIo::default(),
+            io,
+            decoded: None,
         }
     }
 
@@ -102,6 +112,22 @@ impl VmUser {
         }
     }
 
+    /// One machine round on `self.io` through the active interpreter:
+    /// jump-table dispatch via the (possibly generation-shared) decode under
+    /// batch mode, the plain scalar loop otherwise. The two are observably
+    /// identical — outputs, registers, halt payload, retired count.
+    fn run_round(&mut self) {
+        if batch::enabled() {
+            if self.decoded.is_none() {
+                self.decoded = Some(Arc::new(DecodedProgram::new(self.machine.program())));
+            }
+            let decoded = self.decoded.as_deref().expect("just populated");
+            self.machine.round_decoded(decoded, &mut self.io);
+        } else {
+            self.machine.round(&mut self.io);
+        }
+    }
+
     /// Executes one round through the cache: hash the inbox into the prefix,
     /// serve a memoised round if one exists, otherwise replay any skipped
     /// rounds and run this one for real, recording it.
@@ -114,16 +140,21 @@ impl VmUser {
         let key = self.round_key();
         let program = self.machine.program().as_bytes();
         if let Some(hit) = cache::lookup(&key, program) {
-            self.pending_replay.push((in_a.to_vec(), in_b.to_vec()));
+            self.pending_replay.push((to_owned_bytes(in_a), to_owned_bytes(in_b)));
             self.halted_view = hit.halted;
             return (hit.out_a, hit.out_b);
         }
-        for (a, b) in self.pending_replay.drain(..) {
+        let replay = std::mem::take(&mut self.pending_replay);
+        for (a, b) in replay {
             self.io.set_inputs(&a, &b);
-            self.machine.round(&mut self.io);
+            self.run_round();
+            if batch::enabled() {
+                arena::put_bytes(a);
+                arena::put_bytes(b);
+            }
         }
         self.io.set_inputs(in_a, in_b);
-        self.machine.round(&mut self.io);
+        self.run_round();
         let halted = self.machine.halted().map(<[u8]>::to_vec);
         cache::insert(
             key,
@@ -139,6 +170,107 @@ impl VmUser {
     }
 }
 
+/// Copies `src` into an owned buffer, arena-backed under batch mode.
+fn to_owned_bytes(src: &[u8]) -> Vec<u8> {
+    if batch::enabled() {
+        let mut v = arena::take_bytes(src.len());
+        v.extend_from_slice(src);
+        v
+    } else {
+        src.to_vec()
+    }
+}
+
+impl Drop for VmUser {
+    /// Elimination recycles the candidate's buffers into the
+    /// [`arena`](crate::arena) under batch mode: its `RoundIo`, any pending
+    /// replay inboxes, and the program bytes themselves. Safe with the
+    /// candidate cache because cache entries pin their own program copies
+    /// (see `arena` module docs and DESIGN.md §11).
+    fn drop(&mut self) {
+        if !batch::enabled() {
+            return;
+        }
+        arena::recycle_io(&mut self.io);
+        for (a, b) in self.pending_replay.drain(..) {
+            arena::put_bytes(a);
+            arena::put_bytes(b);
+        }
+        let machine =
+            std::mem::replace(&mut self.machine, Machine::with_fuel(Program::default(), 1));
+        arena::put_bytes(machine.into_program().into_bytes());
+    }
+}
+
+/// Batch-prepares a freshly spawned candidate generation: every candidate
+/// gets the generation's shared [`DecodedProgram`] for its program text, and
+/// the first (empty-inbox) round of each cache-enabled candidate is executed
+/// through one [`BatchVm`] lockstep round, recorded in the **same**
+/// [`cache`](crate::cache) entries the scalar path populates and consults.
+/// Candidates whose first round is already memoised are not re-run.
+///
+/// Value-identical to letting each candidate run that round itself (the VM
+/// is a deterministic transducer), so traces and reports are unaffected.
+pub fn prewarm_batch<'a>(users: impl IntoIterator<Item = &'a mut VmUser>) {
+    let mut users: Vec<&'a mut VmUser> = users.into_iter().collect();
+    let mut decodes: Vec<Arc<DecodedProgram>> = Vec::new();
+    for u in users.iter_mut() {
+        let code = u.machine.program().as_bytes();
+        let shared = match decodes.iter().find(|d| d.code() == code) {
+            Some(d) => Arc::clone(d),
+            None => {
+                let d = Arc::new(DecodedProgram::new(u.machine.program()));
+                decodes.push(Arc::clone(&d));
+                d
+            }
+        };
+        u.decoded = Some(shared);
+    }
+    let first_prefix = cache::extend_prefix(cache::PREFIX_EMPTY, &[], &[]);
+    let mut vm = BatchVm::new();
+    let mut lanes: Vec<usize> = Vec::new();
+    for (i, u) in users.iter().enumerate() {
+        if !u.use_cache {
+            continue;
+        }
+        let key = RoundKey {
+            program_hash: u.program_hash,
+            fuel: u.machine.fuel_per_round(),
+            prefix_hash: first_prefix,
+        };
+        if cache::lookup(&key, u.machine.program().as_bytes()).is_none() {
+            vm.push_decoded(
+                Arc::clone(u.decoded.as_ref().expect("assigned above")),
+                u.machine.fuel_per_round(),
+            );
+            lanes.push(i);
+        }
+    }
+    if lanes.is_empty() {
+        return;
+    }
+    let mut ios: Vec<RoundIo> = lanes.iter().map(|_| arena::take_io()).collect();
+    vm.round(&mut ios);
+    for (k, &i) in lanes.iter().enumerate() {
+        let u = &users[i];
+        let key = RoundKey {
+            program_hash: u.program_hash,
+            fuel: u.machine.fuel_per_round(),
+            prefix_hash: first_prefix,
+        };
+        cache::insert(
+            key,
+            u.machine.program().as_bytes(),
+            CachedRound {
+                out_a: ios[k].out_a.clone(),
+                out_b: ios[k].out_b.clone(),
+                halted: vm.halted(k).map(<[u8]>::to_vec),
+            },
+        );
+        arena::recycle_io(&mut ios[k]);
+    }
+}
+
 impl UserStrategy for VmUser {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
         if self.use_cache {
@@ -147,7 +279,7 @@ impl UserStrategy for VmUser {
             UserOut { to_server: Message::from_bytes(out_a), to_world: Message::from_bytes(out_b) }
         } else {
             self.io.set_inputs(input.from_server.as_bytes(), input.from_world.as_bytes());
-            self.machine.round(&mut self.io);
+            self.run_round();
             UserOut {
                 to_server: Message::from_bytes(&self.io.out_a),
                 to_world: Message::from_bytes(&self.io.out_b),

@@ -36,6 +36,8 @@ pub struct ProgramEnumerator {
     alphabet: Vec<u8>,
     max_len: Option<usize>,
     fuel: u32,
+    /// Pins candidate-cache use on mounted users (None = `GOC_VM_CACHE`).
+    cache_override: Option<bool>,
 }
 
 impl ProgramEnumerator {
@@ -45,6 +47,7 @@ impl ProgramEnumerator {
             alphabet: (0..=255).collect(),
             max_len: None,
             fuel: crate::machine::DEFAULT_FUEL,
+            cache_override: None,
         }
     }
 
@@ -60,7 +63,12 @@ impl ProgramEnumerator {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), alphabet.len(), "alphabet contains duplicate bytes");
-        ProgramEnumerator { alphabet, max_len: None, fuel: crate::machine::DEFAULT_FUEL }
+        ProgramEnumerator {
+            alphabet,
+            max_len: None,
+            fuel: crate::machine::DEFAULT_FUEL,
+            cache_override: None,
+        }
     }
 
     /// Caps program length, making the class finite.
@@ -78,6 +86,25 @@ impl ProgramEnumerator {
         assert!(fuel > 0, "fuel must be positive");
         self.fuel = fuel;
         self
+    }
+
+    /// Pins candidate-cache use on every user this enumeration mounts,
+    /// overriding the `GOC_VM_CACHE` default (see
+    /// [`VmUser::with_cache_enabled`]). Benchmarks comparing interpreter
+    /// paths use this to keep memoisation out of the measurement.
+    pub fn with_cache(mut self, enabled: bool) -> Self {
+        self.cache_override = Some(enabled);
+        self
+    }
+
+    /// Mounts the `index`-th program with this enumeration's fuel and cache
+    /// settings applied.
+    fn make_user(&self, index: usize) -> VmUser {
+        let user = VmUser::with_fuel(self.program(index), self.fuel);
+        match self.cache_override {
+            Some(enabled) => user.with_cache_enabled(enabled),
+            None => user,
+        }
     }
 
     /// Number of programs of length exactly `len` (may saturate at
@@ -126,8 +153,16 @@ impl ProgramEnumerator {
             }
         }
         // Write `remaining` in base `a`, most significant digit first,
-        // padded to `len` digits.
-        let mut digits = vec![0u8; len];
+        // padded to `len` digits. Under batch mode the digit buffer comes
+        // from the candidate arena (and returns to it when the candidate is
+        // eliminated, via `VmUser`'s drop).
+        let mut digits = if crate::batch::enabled() {
+            let mut v = crate::arena::take_bytes(len);
+            v.resize(len, 0);
+            v
+        } else {
+            vec![0u8; len]
+        };
         let mut value = remaining;
         for slot in digits.iter_mut().rev() {
             *slot = self.alphabet[(value % a) as usize];
@@ -262,12 +297,21 @@ impl StrategyEnumerator for DedupedProgramEnumerator {
     fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
         let mapped: Vec<Option<usize>> =
             indices.iter().map(|&i| self.representatives.get(i).copied()).collect();
-        let users = par::par_map(mapped.len(), |k| {
-            mapped[k].and_then(|orig| {
-                self.inner.total().map_or(true, |t| orig < t).then(|| {
-                    VmUser::with_fuel(self.inner.program(orig), self.inner.fuel)
+        let total = self.inner.total();
+        let in_range =
+            |orig: usize| total.map_or(true, |t| orig < t);
+        if crate::batch::enabled() {
+            let mut users: Vec<Option<VmUser>> = mapped
+                .iter()
+                .map(|&orig| {
+                    orig.and_then(|orig| in_range(orig).then(|| self.inner.make_user(orig)))
                 })
-            })
+                .collect();
+            crate::adapter::prewarm_batch(users.iter_mut().flatten());
+            return users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect();
+        }
+        let users = par::par_map(mapped.len(), |k| {
+            mapped[k].and_then(|orig| in_range(orig).then(|| self.inner.make_user(orig)))
         });
         users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect()
     }
@@ -288,19 +332,29 @@ impl StrategyEnumerator for ProgramEnumerator {
                 return None;
             }
         }
-        Some(Box::new(VmUser::with_fuel(self.program(index), self.fuel)))
+        Some(Box::new(self.make_user(index)))
     }
 
     fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
-        // VmUser is Send and construction is pure, so materialise the batch
-        // on the worker pool; boxing happens on the calling thread because
-        // BoxedUser carries no Send bound.
         let total = self.total();
+        if crate::batch::enabled() {
+            // Batch mode: spawn the generation inline on the calling thread
+            // (arena-backed buffers are thread-local) and prewarm it — one
+            // shared decode per program text plus a lockstep first round for
+            // cache-enabled candidates (see `adapter::prewarm_batch`).
+            let mut users: Vec<Option<VmUser>> = indices
+                .iter()
+                .map(|&index| total.map_or(true, |t| index < t).then(|| self.make_user(index)))
+                .collect();
+            crate::adapter::prewarm_batch(users.iter_mut().flatten());
+            return users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect();
+        }
+        // Scalar mode: VmUser is Send and construction is pure, so
+        // materialise the batch on the worker pool; boxing happens on the
+        // calling thread because BoxedUser carries no Send bound.
         let users = par::par_map(indices.len(), |k| {
             let index = indices[k];
-            total
-                .map_or(true, |t| index < t)
-                .then(|| VmUser::with_fuel(self.program(index), self.fuel))
+            total.map_or(true, |t| index < t).then(|| self.make_user(index))
         });
         users.into_iter().map(|u| u.map(|u| Box::new(u) as BoxedUser)).collect()
     }

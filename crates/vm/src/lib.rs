@@ -10,7 +10,12 @@
 //! - [`instr`] — the 16-opcode instruction set (registers, channel I/O,
 //!   bounded jumps).
 //! - [`program`] — programs, assembler, disassembler.
-//! - [`machine`] — the fuel-bounded interpreter.
+//! - [`machine`] — the fuel-bounded interpreter, scalar and predecoded
+//!   ([`DecodedProgram`]) dispatch.
+//! - [`batch`] — the lockstep batch interpreter ([`BatchVm`]) stepping N
+//!   candidates per round with one shared decode (`GOC_BATCH`, default on).
+//! - [`arena`] — thread-local recycled buffers for candidate spawn/eliminate
+//!   churn under batch mode.
 //! - [`adapter`] — mounting programs as `goc-core` users/servers, plus a
 //!   library of small useful programs.
 //! - [`cache`] — the candidate-evaluation cache memoising VM rounds by
@@ -38,7 +43,9 @@
 //! ```
 
 pub mod adapter;
+pub mod arena;
 pub mod asm;
+pub mod batch;
 pub mod cache;
 pub mod enumerate;
 pub mod instr;
@@ -46,7 +53,8 @@ pub mod machine;
 pub mod program;
 
 pub use adapter::{VmServer, VmUser};
+pub use batch::BatchVm;
 pub use enumerate::ProgramEnumerator;
 pub use instr::{Chan, Instr, Reg};
-pub use machine::{Machine, RoundIo};
+pub use machine::{DecodedProgram, Machine, RoundIo};
 pub use program::Program;

@@ -219,6 +219,186 @@ impl Machine {
         let target = pc as i64 + displacement as i64;
         target.rem_euclid(code_len as i64) as usize
     }
+
+    /// Executes one round through a predecoded program — the jump-table
+    /// dispatch twin of [`Machine::round`], observably identical (outboxes,
+    /// registers, halt payload, retired-instruction count) but with decode,
+    /// operand reads, and jump reduction all hoisted out of the loop.
+    ///
+    /// `decoded` must be [`DecodedProgram::new`] of this machine's program;
+    /// that invariant is debug-asserted.
+    pub fn round_decoded(&mut self, decoded: &DecodedProgram, io: &mut RoundIo) {
+        debug_assert_eq!(
+            decoded.code(),
+            self.program.as_bytes(),
+            "DecodedProgram does not match this machine's program"
+        );
+        if self.halted.is_some() || self.program.is_empty() {
+            return;
+        }
+        let code_len = decoded.len();
+        let mut pc = 0usize;
+        let mut fuel = self.fuel_per_round;
+        let mut cur_a = 0usize;
+        let mut cur_b = 0usize;
+        while pc < code_len && fuel > 0 {
+            fuel -= 1;
+            self.instructions_retired += 1;
+            match decoded.step(&mut pc, &mut self.regs, io, &mut cur_a, &mut cur_b) {
+                StepOutcome::Continue => {}
+                StepOutcome::End => return,
+                StepOutcome::Halt => {
+                    self.halted = Some(io.out_b.clone());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes the machine, returning its program (lets the candidate
+    /// arena recycle program buffers on elimination).
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+}
+
+/// Outcome of executing one decoded instruction (see [`DecodedProgram::step`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Fell through or jumped; the round continues.
+    Continue,
+    /// `end` — the round is over.
+    End,
+    /// `halt` — the caller records the current B outbox as final output.
+    Halt,
+}
+
+/// One predecoded instruction slot (see [`DecodedProgram`]).
+#[derive(Clone, Copy, Debug)]
+struct DecodedOp {
+    instr: Instr,
+    /// `pos + encoded length`: the fall-through pc.
+    next: u32,
+    /// Precomputed, range-reduced target for `jmp` / taken `jz`; 0 otherwise.
+    target: u32,
+}
+
+/// A program predecoded for jump-table dispatch: one op per **byte offset**
+/// (jumps may land mid-instruction, so every offset is a legal entry point),
+/// with fall-through and jump targets resolved up front. One decode is
+/// shared by every round of a machine and by every lane of a
+/// [`BatchVm`](crate::batch::BatchVm) running the same program.
+#[derive(Clone, Debug)]
+pub struct DecodedProgram {
+    code: Box<[u8]>,
+    ops: Box<[DecodedOp]>,
+}
+
+impl DecodedProgram {
+    /// Predecodes `program` at every byte offset.
+    pub fn new(program: &Program) -> Self {
+        let code = program.as_bytes();
+        let len = code.len();
+        let ops = (0..len)
+            .map(|pos| {
+                let (instr, used) = Instr::decode(code, pos);
+                let target = match instr {
+                    Instr::Jmp(d) | Instr::JmpIfZero(_, d) => {
+                        Machine::jump_target(pos, d, len) as u32
+                    }
+                    _ => 0,
+                };
+                DecodedOp { instr, next: (pos + used) as u32, target }
+            })
+            .collect();
+        DecodedProgram { code: code.into(), ops }
+    }
+
+    /// The raw program bytes this table was built from.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// Code length in bytes (== number of decoded slots).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Executes the instruction at `*pc`, mirroring one iteration of
+    /// [`Machine::round`]'s loop body exactly. The caller owns the fuel and
+    /// retired-instruction accounting (charged *before* this call, as the
+    /// scalar loop does).
+    #[inline(always)]
+    pub(crate) fn step(
+        &self,
+        pc: &mut usize,
+        regs: &mut [u64; REG_COUNT],
+        io: &mut RoundIo,
+        cur_a: &mut usize,
+        cur_b: &mut usize,
+    ) -> StepOutcome {
+        let op = self.ops[*pc];
+        let mut next_pc = op.next as usize;
+        match op.instr {
+            Instr::Halt => return StepOutcome::Halt,
+            Instr::EmitA(b) => io.out_a.push(b),
+            Instr::EmitB(b) => io.out_b.push(b),
+            Instr::EmitAReg(r) => io.out_a.push(regs[r.index()] as u8),
+            Instr::EmitBReg(r) => io.out_b.push(regs[r.index()] as u8),
+            Instr::ReadA(r) => {
+                regs[r.index()] = match io.in_a.get(*cur_a) {
+                    Some(&b) => {
+                        *cur_a += 1;
+                        b as u64
+                    }
+                    None => EXHAUSTED,
+                };
+            }
+            Instr::ReadB(r) => {
+                regs[r.index()] = match io.in_b.get(*cur_b) {
+                    Some(&b) => {
+                        *cur_b += 1;
+                        b as u64
+                    }
+                    None => EXHAUSTED,
+                };
+            }
+            Instr::Const(r, b) => regs[r.index()] = b as u64,
+            Instr::Add(r, s) => regs[r.index()] = regs[r.index()].wrapping_add(regs[s.index()]),
+            Instr::Inc(r) => regs[r.index()] = regs[r.index()].wrapping_add(1),
+            Instr::JmpIfZero(r, _) => {
+                if regs[r.index()] == 0 {
+                    next_pc = op.target as usize;
+                }
+            }
+            Instr::Jmp(_) => next_pc = op.target as usize,
+            Instr::CopyA(dest) => {
+                let rest = &io.in_a[(*cur_a).min(io.in_a.len())..];
+                match dest {
+                    Chan::A => io.out_a.extend_from_slice(rest),
+                    Chan::B => io.out_b.extend_from_slice(rest),
+                }
+                *cur_a = io.in_a.len();
+            }
+            Instr::CopyB(dest) => {
+                let rest = io.in_b[(*cur_b).min(io.in_b.len())..].to_vec();
+                match dest {
+                    Chan::A => io.out_a.extend_from_slice(&rest),
+                    Chan::B => io.out_b.extend_from_slice(&rest),
+                }
+                *cur_b = io.in_b.len();
+            }
+            Instr::AddConst(r, b) => regs[r.index()] = regs[r.index()].wrapping_add(b as u64),
+            Instr::EndRound => return StepOutcome::End,
+        }
+        *pc = next_pc;
+        StepOutcome::Continue
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! The batch interpreter must be *unobservable*: a lane of [`BatchVm`]
+//! stepping in lockstep with other candidates produces exactly the
+//! registers, outputs, halt behaviour, and retired-instruction counts of a
+//! scalar [`Machine`] running the same program alone — for arbitrary
+//! programs (self-jump spinners, early halts, empty inboxes) and input
+//! histories. This is the soundness property behind `GOC_BATCH`: flipping
+//! the flag may only change speed, never a trace. Checked by the seeded
+//! `goc-testkit` harness.
+
+use goc_core::msg::{Message, UserIn};
+use goc_core::rng::GocRng;
+use goc_core::strategy::{StepCtx, UserStrategy};
+use goc_testkit::{check, gens, prop_assert_eq};
+use goc_vm::adapter::VmUser;
+use goc_vm::batch;
+use goc_vm::machine::{DecodedProgram, Machine, RoundIo};
+use goc_vm::program::Program;
+use goc_vm::BatchVm;
+
+const FUEL: u32 = 64;
+
+/// Per-lane observable state after a round.
+type LaneObs = (Vec<u8>, Vec<u8>, Vec<u64>, Option<Vec<u8>>, u64);
+
+/// A generator of small program batches with enough structure to hit every
+/// divergence path: codes are biased toward low opcodes so `Halt` (0),
+/// jumps (10/11), and emits all occur, and the batch may contain duplicate
+/// programs (exercising the shared-decode dedupe).
+fn batch_gen() -> gens::Gen<(Vec<Vec<u8>>, Vec<(Vec<u8>, Vec<u8>)>)> {
+    let code = gens::vec_of(gens::u8_in(0, 16), 0, 12);
+    let round_inputs = gens::tuple2(gens::bytes(0, 5), gens::bytes(0, 5));
+    gens::tuple2(gens::vec_of(code, 1, 6), gens::vec_of(round_inputs, 1, 6))
+}
+
+/// Every lane of a mixed batch matches a scalar machine run in isolation,
+/// round for round — including lanes that halt or exhaust fuel mid-batch
+/// and must sit inert while the rest keep stepping.
+#[test]
+fn batch_lanes_match_isolated_scalar_machines() {
+    check("batch_lanes_match_isolated_scalar_machines", batch_gen(), |(codes, inputs)| {
+        let mut vm = BatchVm::new();
+        for code in codes {
+            vm.push(&Program::from_bytes(code.clone()), FUEL);
+        }
+        let n = vm.width();
+        let mut scalars: Vec<Machine> = (0..n)
+            .map(|lane| {
+                Machine::with_fuel(Program::from_bytes(vm.share_decoded(lane).code().to_vec()), FUEL)
+            })
+            .collect();
+        let mut batch_ios: Vec<RoundIo> = (0..n).map(|_| RoundIo::default()).collect();
+        let mut scalar_ios: Vec<RoundIo> = (0..n).map(|_| RoundIo::default()).collect();
+        for (a, b) in inputs {
+            for io in batch_ios.iter_mut().chain(scalar_ios.iter_mut()) {
+                io.set_inputs(a, b);
+            }
+            vm.round(&mut batch_ios);
+            for (lane, m) in scalars.iter_mut().enumerate() {
+                m.round(&mut scalar_ios[lane]);
+                let got: LaneObs = (
+                    batch_ios[lane].out_a.clone(),
+                    batch_ios[lane].out_b.clone(),
+                    vm.regs(lane).to_vec(),
+                    vm.halted(lane).map(<[u8]>::to_vec),
+                    vm.instructions_retired(lane),
+                );
+                let want: LaneObs = (
+                    scalar_ios[lane].out_a.clone(),
+                    scalar_ios[lane].out_b.clone(),
+                    m.regs().to_vec(),
+                    m.halted().map(|h| h.to_vec()),
+                    m.instructions_retired(),
+                );
+                prop_assert_eq!(&got, &want, "lane {lane} diverged from scalar machine");
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The predecoded single-machine path (`round_decoded`) is bit-identical
+/// to the byte-at-a-time `round` — the one-lane core of the batch claim.
+#[test]
+fn round_decoded_matches_round() {
+    let code = gens::vec_of(gens::u8_in(0, 16), 0, 12);
+    let round_inputs = gens::tuple2(gens::bytes(0, 5), gens::bytes(0, 5));
+    check(
+        "round_decoded_matches_round",
+        gens::tuple2(code, gens::vec_of(round_inputs, 1, 6)),
+        |(code, inputs)| {
+            let program = Program::from_bytes(code.clone());
+            let decoded = DecodedProgram::new(&program);
+            let mut scalar = Machine::with_fuel(program.clone(), FUEL);
+            let mut pre = Machine::with_fuel(program.clone(), FUEL);
+            let mut scalar_io = RoundIo::default();
+            let mut pre_io = RoundIo::default();
+            for (a, b) in inputs {
+                scalar_io.set_inputs(a, b);
+                pre_io.set_inputs(a, b);
+                scalar.round(&mut scalar_io);
+                pre.round_decoded(&decoded, &mut pre_io);
+                prop_assert_eq!(&pre_io.out_a, &scalar_io.out_a, "out_a diverged");
+                prop_assert_eq!(&pre_io.out_b, &scalar_io.out_b, "out_b diverged");
+                prop_assert_eq!(pre.regs(), scalar.regs(), "registers diverged");
+                prop_assert_eq!(pre.halted(), scalar.halted(), "halt state diverged");
+                prop_assert_eq!(
+                    pre.instructions_retired(),
+                    scalar.instructions_retired(),
+                    "retired count diverged"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Runs `user` over `inputs`, collecting per-round outputs and halt states.
+fn drive(
+    mut user: VmUser,
+    inputs: &[(Vec<u8>, Vec<u8>)],
+) -> Vec<(Vec<u8>, Vec<u8>, Option<Vec<u8>>)> {
+    let mut rng = GocRng::seed_from_u64(0);
+    let mut out = Vec::new();
+    for (round, (a, b)) in inputs.iter().enumerate() {
+        let mut ctx = StepCtx::new(round as u64, &mut rng);
+        let o = user.step(
+            &mut ctx,
+            &UserIn {
+                from_server: Message::from_bytes(a.clone()),
+                from_world: Message::from_bytes(b.clone()),
+            },
+        );
+        out.push((
+            o.to_server.as_bytes().to_vec(),
+            o.to_world.as_bytes().to_vec(),
+            UserStrategy::halted(&user).map(|h| h.output.as_bytes().to_vec()),
+        ));
+    }
+    out
+}
+
+/// At the adapter level, `GOC_BATCH` on vs off is unobservable for both
+/// cached and uncached users: arena-backed buffers and predecoded dispatch
+/// may only change allocation traffic, never a step's outputs.
+#[test]
+fn vmuser_is_identical_across_batch_modes() {
+    let round_inputs = gens::tuple2(gens::bytes(0, 6), gens::bytes(0, 6));
+    check(
+        "vmuser_is_identical_across_batch_modes",
+        gens::tuple2(gens::bytes(0, 24), gens::vec_of(round_inputs, 1, 8)),
+        |(code, inputs)| {
+            let program = Program::from_bytes(code.clone());
+            for cached in [false, true] {
+                let fresh =
+                    || VmUser::with_fuel(program.clone(), FUEL).with_cache_enabled(cached);
+                let scalar = batch::with_batch(false, || drive(fresh(), inputs));
+                let batched = batch::with_batch(true, || drive(fresh(), inputs));
+                prop_assert_eq!(
+                    &batched,
+                    &scalar,
+                    "batch-mode user diverged (cache enabled: {cached})"
+                );
+            }
+            Ok(())
+        },
+    );
+}
