@@ -11,11 +11,14 @@
 //! - `--trace-summary [PATH]`: print span/event/metric aggregates from a
 //!   `GOC_TRACE` JSONL file (default `target/goc-trace.jsonl`); record one
 //!   with `GOC_TRACE=target/goc-trace.jsonl goc-report --quick`.
+//! - `--compare OLD.jsonl NEW.jsonl`: per-benchmark median deltas between
+//!   two JSONL files (e.g. a committed snapshot vs a fresh run); lines more
+//!   than 10% slower are marked `REGRESSION`.
 
 use goc_bench::experiments as exp;
 use goc_core::buf::CopyMode;
 use goc_core::prelude::ResumePolicy;
-use goc_testkit::bench::{default_json_path, fmt_ns, BenchRecord};
+use goc_testkit::bench::{default_json_path, fmt_bytes, fmt_ns, BenchRecord};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +30,18 @@ fn main() {
             .unwrap_or_else(|| default_json_path().to_string_lossy().into_owned());
         bench_summary(&path);
         return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(old), Some(new)) => {
+                compare(old, new);
+                return;
+            }
+            _ => {
+                eprintln!("goc-report: --compare needs two paths: OLD.jsonl NEW.jsonl");
+                std::process::exit(2);
+            }
+        }
     }
     if let Some(i) = args.iter().position(|a| a == "--trace-summary") {
         let path = args
@@ -62,6 +77,73 @@ fn trace_summary(path: &str) {
     print!("{}", goc_bench::tracefile::render_summary(path, &summary, stats));
 }
 
+/// Loads the JSONL records in `path`, keeping the *last* record per
+/// `(group, id)` — appended re-runs supersede earlier ones.
+fn load_latest(path: &str) -> Vec<BenchRecord> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("goc-report: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut latest: Vec<BenchRecord> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some(r) = BenchRecord::parse_json_line(line) {
+            match latest.iter_mut().find(|p| p.group == r.group && p.id == r.id) {
+                Some(slot) => *slot = r,
+                None => latest.push(r),
+            }
+        }
+    }
+    latest
+}
+
+/// Prints per-benchmark median deltas between two JSONL files: `old` is the
+/// committed snapshot, `new` the fresh run. A benchmark more than 10%
+/// slower than its snapshot is marked `REGRESSION` (CI greps for the word);
+/// benchmarks present in only one file are listed but not compared.
+fn compare(old_path: &str, new_path: &str) {
+    let old = load_latest(old_path);
+    let new = load_latest(new_path);
+    println!("# bench compare: {old_path} (old) -> {new_path} (new)\n");
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "benchmark", "old median", "new median", "delta"
+    );
+    let mut regressions = 0usize;
+    for n in &new {
+        let id = format!("{}/{}", n.group, n.id);
+        match old.iter().find(|o| o.group == n.group && o.id == n.id) {
+            Some(o) if o.median_ns > 0 => {
+                let delta = (n.median_ns as f64 - o.median_ns as f64) / o.median_ns as f64 * 100.0;
+                let mark = if delta > 10.0 {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!(
+                    "{id:<44} {:>12} {:>12} {:>+8.1}%{mark}",
+                    fmt_ns(o.median_ns),
+                    fmt_ns(n.median_ns),
+                    delta
+                );
+            }
+            _ => println!("{id:<44} {:>12} {:>12}", "(absent)", fmt_ns(n.median_ns)),
+        }
+    }
+    for o in &old {
+        if !new.iter().any(|n| n.group == o.group && n.id == o.id) {
+            println!("{:<44} {:>12} {:>12}", format!("{}/{}", o.group, o.id), fmt_ns(o.median_ns), "(absent)");
+        }
+    }
+    println!(
+        "\n{} benchmarks compared, {regressions} regression(s) over 10%",
+        new.len()
+    );
+}
+
 /// Prints a table of the bench results recorded in `path` (JSON lines
 /// emitted by `goc_testkit::bench` during `cargo bench -p goc-bench`).
 fn bench_summary(path: &str) {
@@ -85,8 +167,8 @@ fn bench_summary(path: &str) {
     }
     println!("# bench summary from {path} ({} records)\n", records.len());
     println!(
-        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12}",
-        "benchmark", "median", "p95", "min", "throughput", "threads", "cache", "allocs"
+        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12}",
+        "benchmark", "median", "p95", "min", "throughput", "threads", "cache", "allocs", "peak"
     );
     let mut group = String::new();
     for r in &records {
@@ -111,8 +193,9 @@ fn bench_summary(path: &str) {
             })
             .unwrap_or_default();
         let allocs = r.allocs.map(|a| format!("{a}/iter")).unwrap_or_default();
+        let peak = r.peak_bytes.map(fmt_bytes).unwrap_or_default();
         println!(
-            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12}",
+            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12}",
             format!("{}/{}", r.group, r.id),
             fmt_ns(r.median_ns),
             fmt_ns(r.p95_ns),
@@ -120,12 +203,14 @@ fn bench_summary(path: &str) {
             throughput,
             threads,
             cache,
-            allocs
+            allocs,
+            peak
         );
     }
     speedup_section(&records);
     e13_improvement_section(&records);
     e14_improvement_section(&records);
+    e15_improvement_section(&records);
     if skipped > 0 {
         println!("\n({skipped} malformed lines skipped)");
     }
@@ -171,6 +256,29 @@ fn e14_improvement_section(records: &[BenchRecord]) {
                 fmt_ns(scalar),
                 fmt_ns(batch),
                 scalar as f64 / batch as f64
+            );
+        }
+    }
+}
+
+/// Prints the E15 headline number: wall-clock improvement of the pipelined
+/// background prewarm (pool workers speculatively executing the next
+/// lookahead window, with fixed-point fill) over inline candidate
+/// construction on the burner-heavy finite-Levin settle workload. CI gates
+/// this at >= 1.5x. The "prewarm improvement" wording keeps this line out
+/// of the E13 and E14 gates' greps.
+fn e15_improvement_section(records: &[BenchRecord]) {
+    let median = |id: &str| records.iter().rev().find(|r| r.id == id).map(|r| r.median_ns);
+    let inline = median("levin_settle_inline@t4");
+    let warmed = median("levin_settle_prewarm@t4");
+    if let (Some(inline), Some(warmed)) = (inline, warmed) {
+        if warmed > 0 {
+            println!("\n## E15 pipelined prewarm settle improvement (t4, inline vs background)");
+            println!(
+                "inline {} -> prewarm {}  ({:.2}x prewarm improvement)",
+                fmt_ns(inline),
+                fmt_ns(warmed),
+                inline as f64 / warmed as f64
             );
         }
     }
@@ -387,6 +495,16 @@ fn report(quick: bool) {
         "scalar and batch interpreters must settle identically"
     );
     println!("finite-Levin settle round (both interpreters): {batch_settle}");
+
+    // --- E15 --------------------------------------------------------------
+    println!("\n## E15 — pipelined background prewarm (inline-vs-pipelined settle parity)");
+    let inline_settle = goc_core::par::with_thread_count(4, || exp::e15_levin_prewarm_settle(false));
+    let prewarm_settle = goc_core::par::with_thread_count(4, || exp::e15_levin_prewarm_settle(true));
+    assert_eq!(
+        inline_settle, prewarm_settle,
+        "inline and pipelined prewarm must settle identically"
+    );
+    println!("finite-Levin settle round (both construction paths): {prewarm_settle}");
 
     println!("\ndone.");
 }

@@ -866,6 +866,65 @@ pub fn e14_levin_vm_settle(batch: bool) -> u64 {
     })
 }
 
+// ---------------------------------------------------------------------------
+// E15 — pipelined background prewarm: pooled workers pre-execute candidates
+// ---------------------------------------------------------------------------
+
+/// Horizon for the E15 settle runs.
+pub const E15_HORIZON: u64 = 200_000;
+
+/// Per-round fuel for E15 candidates. As in E14, high enough that the
+/// self-jump burner programs dominate the run with VM interpretation work.
+pub const E15_FUEL: u32 = 8_192;
+
+/// Base round-robin budget for E15. Small enough that the default prewarm
+/// depth (`GOC_PREWARM_DEPTH`, 16) covers a candidate's whole first-pass
+/// slot, so a prewarmed candidate replays entirely from the cache.
+pub const E15_BASE: u64 = 8;
+
+/// One finite-Levin conquest tuned for the background-prewarm pipeline:
+/// round-robin schedule (uniform slots the prewarm depth covers), candidate
+/// cache **on**, batch interpretation on, and a winner planted deep in the
+/// class (`emit 'h'; emit 'h'` is the first program whose single-round
+/// message is exactly `"hh"`, at index 89 of 120) behind dozens of
+/// fuel-burning decoys. Returns the settle round.
+///
+/// With `prewarm` on, idle pool workers speculatively execute the next
+/// lookahead window's candidates against empty inboxes while the live
+/// window runs, so the foreground replays the burners from the cache; with
+/// it off every burner round executes inline on the calling thread. The
+/// process-global candidate cache is cleared first so each arm measures its
+/// own fills — without this, whichever arm runs second would inherit the
+/// first arm's entries and the comparison would collapse.
+pub fn e15_levin_prewarm_settle(prewarm: bool) -> u64 {
+    goc_vm::cache::clear();
+    goc_core::par::with_prewarm(prewarm, || {
+        goc_vm::batch::with_batch(true, || {
+            let class = goc_vm::ProgramEnumerator::over(vec![0x0b, 0x01, b'h'])
+                .with_max_len(4)
+                .with_fuel(E15_FUEL)
+                .with_cache(true);
+            let goal = toy::MagicWordGoal::new("hh");
+            let user = LevinUniversalUser::round_robin(
+                Box::new(class),
+                Box::new(toy::ack_sensing()),
+                E15_BASE,
+            );
+            let mut rng = GocRng::seed_from_u64(1_500);
+            let mut exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(toy::RelayServer::default()),
+                Box::new(user),
+                rng,
+            );
+            let t = exec.run(E15_HORIZON);
+            let v = evaluate_finite(&goal, &t);
+            assert!(v.achieved, "E15 settle (prewarm={prewarm}): {v:?}");
+            v.rounds
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -986,6 +1045,17 @@ mod tests {
         let par = with_thread_count(4, || e13_settle12(ResumePolicy::Resume, CopyMode::Pooled, 8_000));
         assert_eq!(seq, par);
         assert_eq!(seq.len(), e1_dialects().len());
+    }
+
+    #[test]
+    fn e15_settle_is_prewarm_and_thread_invariant() {
+        use goc_core::par::with_thread_count;
+        let inline_t1 = with_thread_count(1, || e15_levin_prewarm_settle(false));
+        let inline_t4 = with_thread_count(4, || e15_levin_prewarm_settle(false));
+        let warmed_t4 = with_thread_count(4, || e15_levin_prewarm_settle(true));
+        assert_eq!(inline_t1, inline_t4);
+        assert_eq!(inline_t4, warmed_t4, "prewarm must not move the settle round");
+        assert!(warmed_t4 > 0, "the winner is not at index 0: settling takes switches");
     }
 
     #[test]

@@ -44,6 +44,19 @@ pub trait StrategyEnumerator: Debug {
         indices.iter().map(|&i| self.strategy(i)).collect()
     }
 
+    /// Hints that `indices` will be requested by a future
+    /// [`batch`](StrategyEnumerator::batch) call, so the enumerator may
+    /// start preparing those candidates in the background (idle
+    /// [`par::pool`](crate::par::pool) workers) while the caller keeps
+    /// running the live candidate.
+    ///
+    /// Purely advisory and must be observably inert: a later `batch` over
+    /// the same indices returns exactly what it would have without the
+    /// hint, and background work may only compute pure functions of the
+    /// index (e.g. value-identical cache entries). The default does
+    /// nothing.
+    fn prefetch(&self, _indices: &[usize]) {}
+
     /// A short human-readable name for diagnostics.
     fn name(&self) -> String {
         "enumeration".to_string()
@@ -61,6 +74,10 @@ impl<E: StrategyEnumerator + ?Sized> StrategyEnumerator for Box<E> {
 
     fn batch(&self, indices: &[usize]) -> Vec<Option<BoxedUser>> {
         (**self).batch(indices)
+    }
+
+    fn prefetch(&self, indices: &[usize]) {
+        (**self).prefetch(indices)
     }
 
     fn name(&self) -> String {

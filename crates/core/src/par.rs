@@ -1,11 +1,15 @@
 //! Zero-dependency deterministic parallelism for trial- and candidate-level
 //! fan-out.
 //!
-//! The engine is a scoped worker pool over `std::thread`: callers hand
-//! [`par_map`] a pure indexed function, workers claim chunked index ranges
-//! from a shared atomic cursor (cheap work-stealing — a fast worker simply
-//! claims more chunks), and results are merged back **in index order**, so
-//! aggregation is deterministic regardless of scheduling.
+//! The engine is a lazily-started **persistent worker pool** (see [`pool`]):
+//! callers hand [`par_map`] a pure indexed function, workers claim chunked
+//! index ranges from a shared atomic cursor (cheap work-stealing — a fast
+//! worker simply claims more chunks), and results are merged back **in index
+//! order**, so aggregation is deterministic regardless of scheduling. The
+//! pool replaces the earlier scoped `std::thread::scope` design, which paid a
+//! thread spawn+join per `par_map` call; workers now park on a condvar
+//! between calls and the same threads also absorb background prewarm jobs
+//! (see [`pool::submit`]) when no foreground work is queued.
 //!
 //! Thread count resolution, in priority order:
 //!
@@ -20,16 +24,27 @@
 //! thread — no pool, no atomics — so single-threaded runs are bit-identical
 //! to the pre-parallel code path by construction.
 //!
-//! Nested calls do not oversubscribe: worker threads run with an implicit
-//! `with_thread_count(1, ..)`, so a `par_map` reached from inside another
-//! `par_map` executes sequentially on its worker.
+//! Nested calls do not oversubscribe: pool workers run every task under an
+//! implicit `with_thread_count(1, ..)`, so a `par_map` reached from inside
+//! another `par_map` (or from a background job) executes sequentially on its
+//! worker.
+//!
+//! The module also owns the `GOC_PREWARM` knob ([`prewarm_enabled`] /
+//! [`with_prewarm`]): the gate for the pipelined background candidate
+//! prewarm that the universal users and `goc-vm`'s enumerators build on top
+//! of [`pool::submit`]. Default on; `GOC_PREWARM=0` restores the inline
+//! (foreground) prewarm path. The flag is observationally inert either way —
+//! background prewarm only inserts value-identical cache entries and emits
+//! process-scoped (nondeterministic) metrics, so `GOC_TRACE` output is
+//! byte-identical across `GOC_PREWARM` settings.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static PREWARM_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
 }
 
 /// Resolves the effective worker count for this thread (always ≥ 1).
@@ -71,16 +86,303 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Whether pipelined background prewarm is enabled on this thread.
+///
+/// Resolution: a thread-local override installed by [`with_prewarm`], then
+/// the `GOC_PREWARM` environment variable (read once and latched; any value
+/// other than `"0"` — including unset — enables it). The knob gates
+/// *pipelining only*: consumers must additionally have idle workers
+/// available ([`thread_count`] > 1) for a background job to be worth
+/// dispatching, and with the gate off every prewarm runs inline on the
+/// calling thread exactly as before the pool existed.
+pub fn prewarm_enabled() -> bool {
+    if let Some(v) = PREWARM_OVERRIDE.with(|o| o.get()) {
+        return v;
+    }
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("GOC_PREWARM").map(|v| v != "0").unwrap_or(true))
+}
+
+/// Runs `f` with background prewarm pinned on/off for the current thread,
+/// restoring the previous setting afterwards (also on panic). Mirrors
+/// [`with_thread_count`]; benches use it to compare the inline and pipelined
+/// prewarm paths in-process without racing on the environment.
+pub fn with_prewarm<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PREWARM_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(PREWARM_OVERRIDE.with(|o| o.replace(Some(enabled))));
+    f()
+}
+
+/// The persistent worker pool behind [`par_map`] and the background prewarm
+/// pipeline.
+///
+/// Workers are plain detached `std::thread`s, spawned lazily the first time
+/// they are needed and parked on a condvar between jobs — a `par_map` call
+/// in the steady state costs two mutex operations and a notify instead of a
+/// `thread::scope` spawn+join cycle. Two queues feed them:
+///
+/// * **foreground** — lifetime-erased shards of an in-flight [`par_map`]
+///   call; always drained first, so background work can never delay a live
+///   computation that has reached the pool;
+/// * **background** — `'static` jobs handed to [`submit`] (candidate
+///   prewarm); drained only when no foreground work is queued.
+///
+/// Every task runs under `with_thread_count(1, ..)` (nested fan-out stays
+/// sequential) and under `catch_unwind` (a panicking job can never take a
+/// pool thread down; the payload is re-raised at the matching join).
+///
+/// # Safety of the foreground path
+///
+/// Foreground shards borrow the caller's stack (`par_map`'s closure,
+/// cursor, and result buffer). The borrow is transmuted to `'static` to
+/// cross the queue, which is sound because [`run_scoped`] does not return —
+/// not even by unwinding — until every shard has finished: a drop guard
+/// blocks on the shard countdown even when the caller's own slice of the
+/// work panics. This is the same discipline `std::thread::scope` enforces,
+/// applied to persistent threads.
+pub mod pool {
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+    type Task = Box<dyn FnOnce() + Send>;
+
+    struct Queues {
+        foreground: VecDeque<Task>,
+        background: VecDeque<Task>,
+    }
+
+    struct Pool {
+        queues: Mutex<Queues>,
+        /// Signalled whenever a task is queued; workers park here.
+        available: Condvar,
+        /// Number of persistent workers spawned so far.
+        workers: AtomicUsize,
+    }
+
+    fn pool() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queues: Mutex::new(Queues {
+                foreground: VecDeque::new(),
+                background: VecDeque::new(),
+            }),
+            available: Condvar::new(),
+            workers: AtomicUsize::new(0),
+        })
+    }
+
+    /// Locks the task queues, recovering from poisoning: tasks themselves
+    /// run outside the lock (and under `catch_unwind`), so a poisoned queue
+    /// mutex carries no information about queue integrity.
+    fn lock_queues(p: &Pool) -> std::sync::MutexGuard<'_, Queues> {
+        p.queues.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Grows the pool to at least `n` persistent workers. [`submit`] only
+    /// guarantees a single worker; callers queueing several background jobs
+    /// they expect to overlap should reserve capacity here first.
+    pub fn ensure_workers(n: usize) {
+        let p = pool();
+        loop {
+            let cur = p.workers.load(Ordering::Relaxed);
+            if cur >= n {
+                return;
+            }
+            if p.workers.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed).is_err()
+            {
+                continue; // lost the race; re-check the new count
+            }
+            crate::obs_count_nd!("par.pool.spawned", 1u64);
+            std::thread::Builder::new()
+                .name(format!("goc-pool-{cur}"))
+                .spawn(worker_loop)
+                .expect("spawning a pool worker thread");
+        }
+    }
+
+    fn worker_loop() {
+        let p = pool();
+        loop {
+            let task = {
+                let mut q = lock_queues(p);
+                loop {
+                    if let Some(t) = q.foreground.pop_front() {
+                        break t;
+                    }
+                    if let Some(t) = q.background.pop_front() {
+                        break t;
+                    }
+                    q = p.available.wait(q).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Nested par_map calls run sequentially on pool workers, and a
+            // panicking task must not take the persistent thread down — the
+            // payload is delivered through the task's own completion state.
+            let _ = catch_unwind(AssertUnwindSafe(|| super::with_thread_count(1, task)));
+        }
+    }
+
+    /// Completion state of one background job.
+    struct JobState {
+        /// `(finished, first panic payload)`.
+        done: Mutex<(bool, Option<Box<dyn Any + Send>>)>,
+        cv: Condvar,
+    }
+
+    /// Handle to a background job queued with [`submit`].
+    ///
+    /// Dropping the handle detaches the job (it still runs). [`join`]
+    /// blocks until completion and re-raises the job's panic, if any.
+    ///
+    /// [`join`]: JobHandle::join
+    pub struct JobHandle {
+        state: Arc<JobState>,
+    }
+
+    impl JobHandle {
+        /// Blocks until the job has finished; re-raises its panic.
+        pub fn join(self) {
+            let mut g = self.state.done.lock().unwrap_or_else(PoisonError::into_inner);
+            while !g.0 {
+                g = self.state.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            if let Some(payload) = g.1.take() {
+                drop(g);
+                resume_unwind(payload);
+            }
+        }
+
+        /// Whether the job has finished (without blocking).
+        pub fn is_finished(&self) -> bool {
+            self.state.done.lock().unwrap_or_else(PoisonError::into_inner).0
+        }
+    }
+
+    /// Queues `f` on the background lane of the pool, growing it to at
+    /// least one worker. Background tasks run only when no foreground
+    /// (`par_map`) shard is queued, under `with_thread_count(1, ..)`.
+    pub fn submit(f: impl FnOnce() + Send + 'static) -> JobHandle {
+        ensure_workers(1);
+        let state = Arc::new(JobState { done: Mutex::new((false, None)), cv: Condvar::new() });
+        let task_state = Arc::clone(&state);
+        let task: Task = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let mut g = task_state.done.lock().unwrap_or_else(PoisonError::into_inner);
+            g.0 = true;
+            if let Err(payload) = result {
+                g.1 = Some(payload);
+            }
+            task_state.cv.notify_all();
+        });
+        let p = pool();
+        {
+            let mut q = lock_queues(p);
+            q.background.push_back(task);
+        }
+        crate::obs_count_nd!("par.pool.jobs", 1u64);
+        p.available.notify_one();
+        JobHandle { state }
+    }
+
+    /// Shared countdown for one scoped (foreground) fan-out.
+    struct ScopedJob {
+        /// The caller's body, lifetime-erased; valid until `remaining`
+        /// reaches zero, which [`run_scoped`] awaits before returning.
+        body: &'static (dyn Fn() + Sync),
+        remaining: AtomicUsize,
+        /// First panic payload raised by a pool-side copy of the body.
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+        cv: Condvar,
+    }
+
+    /// Runs `body` on `extra` pool workers *and* the calling thread,
+    /// returning only after every copy has finished. Pool-side panics are
+    /// re-raised here; a panic in the caller's own copy still waits for the
+    /// workers before unwinding (so the erased borrows can never dangle).
+    ///
+    /// The caller always participates, so progress is guaranteed even if
+    /// every pool worker is busy with earlier work.
+    pub(crate) fn run_scoped(extra: usize, body: &(dyn Fn() + Sync)) {
+        if extra == 0 {
+            body();
+            return;
+        }
+        ensure_workers(extra);
+        // SAFETY: the guard below keeps this frame alive (even through an
+        // unwinding caller) until `remaining` hits zero, i.e. until no task
+        // can touch `body` again.
+        let body_static: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(body) };
+        let job = Arc::new(ScopedJob {
+            body: body_static,
+            remaining: AtomicUsize::new(extra),
+            panic: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let p = pool();
+        {
+            let mut q = lock_queues(p);
+            for _ in 0..extra {
+                let job = Arc::clone(&job);
+                q.foreground.push_back(Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job.body)) {
+                        let mut g = job.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                        g.get_or_insert(payload);
+                    }
+                    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Pair the notify with the wait-side mutex so the
+                        // caller cannot miss the final wakeup.
+                        let _g = job.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                        job.cv.notify_all();
+                    }
+                }));
+            }
+            p.available.notify_all();
+        }
+        struct WaitGuard<'a>(&'a ScopedJob);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                let mut g = self.0.panic.lock().unwrap_or_else(PoisonError::into_inner);
+                while self.0.remaining.load(Ordering::Acquire) > 0 {
+                    g = self.0.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        {
+            let _wait = WaitGuard(&job);
+            body();
+        }
+        let payload = job.panic.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Number of persistent workers currently alive (test/metrics hook).
+    pub fn worker_count() -> usize {
+        pool().workers.load(Ordering::Relaxed)
+    }
+}
+
 /// Maps `f` over `0..n`, returning results in index order.
 ///
 /// With an effective thread count of 1 (or `n <= 1`) this is exactly
-/// `(0..n).map(f).collect()` on the calling thread. Otherwise a scoped pool
-/// of workers claims chunks of the index range from an atomic cursor; each
-/// worker evaluates its indices locally and the results are sorted back into
-/// index order before returning. `f` must therefore be safe to call from any
-/// thread and — for deterministic callers — depend only on its index.
+/// `(0..n).map(f).collect()` on the calling thread. Otherwise the calling
+/// thread plus `threads - 1` persistent [`pool`] workers claim chunks of the
+/// index range from an atomic cursor; each participant evaluates its indices
+/// locally and the results are sorted back into index order before
+/// returning. `f` must therefore be safe to call from any thread and — for
+/// deterministic callers — depend only on its index.
 ///
-/// A panic in `f` propagates to the caller when the scope joins.
+/// A panic in `f` propagates to the caller once every participant has
+/// stopped.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -111,31 +413,29 @@ where
     let cursor = AtomicUsize::new(0);
     type Keyed<T> = (usize, T, Vec<crate::obs::Record>);
     let results: Mutex<Vec<Keyed<T>>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // Workers run nested par_map calls sequentially.
-                with_thread_count(1, || {
-                    let mut local: Vec<Keyed<T>> = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        for i in start..(start + chunk).min(n) {
-                            if tracing {
-                                let (v, records) = crate::obs::task_capture(|| f(i));
-                                local.push((i, v, records));
-                            } else {
-                                local.push((i, f(i), Vec::new()));
-                            }
-                        }
+    let body = || {
+        // Every participant (pool workers and the caller itself) runs
+        // nested par_map calls sequentially.
+        with_thread_count(1, || {
+            let mut local: Vec<Keyed<T>> = Vec::new();
+            loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    if tracing {
+                        let (v, records) = crate::obs::task_capture(|| f(i));
+                        local.push((i, v, records));
+                    } else {
+                        local.push((i, f(i), Vec::new()));
                     }
-                    results.lock().unwrap().extend(local);
-                });
-            });
-        }
-    });
+                }
+            }
+            results.lock().unwrap().extend(local);
+        });
+    };
+    pool::run_scoped(threads - 1, &body);
     let mut pairs = results.into_inner().unwrap();
     debug_assert_eq!(pairs.len(), n);
     pairs.sort_unstable_by_key(|&(i, _, _)| i);
@@ -180,6 +480,17 @@ mod tests {
     }
 
     #[test]
+    fn prewarm_override_is_scoped_and_restored() {
+        let ambient = prewarm_enabled();
+        with_prewarm(!ambient, || {
+            assert_eq!(prewarm_enabled(), !ambient);
+            with_prewarm(ambient, || assert_eq!(prewarm_enabled(), ambient));
+            assert_eq!(prewarm_enabled(), !ambient);
+        });
+        assert_eq!(prewarm_enabled(), ambient);
+    }
+
+    #[test]
     fn nested_par_map_runs_sequentially_on_workers() {
         // Inner calls observe a thread count of 1 — no unbounded fan-out.
         let inner_counts = with_thread_count(4, || par_map(8, |_| thread_count()));
@@ -201,5 +512,67 @@ mod tests {
         for (k, (i, _)) in out.iter().enumerate() {
             assert_eq!(k, *i);
         }
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        // Two calls; the pool must not grow past what the first one needed.
+        let _ = with_thread_count(3, || par_map(64, |i| i * 2));
+        let after_first = pool::worker_count();
+        assert!(after_first >= 2, "first call should have spawned workers");
+        let _ = with_thread_count(3, || par_map(64, |i| i * 2));
+        // Other tests run concurrently and may grow the pool, so only check
+        // this call didn't need more than the process-wide maximum implies.
+        assert!(pool::worker_count() >= after_first);
+    }
+
+    #[test]
+    fn background_jobs_run_and_join() {
+        use std::sync::atomic::AtomicU64;
+        static HITS: AtomicU64 = AtomicU64::new(0);
+        let handles: Vec<_> =
+            (0..8).map(|_| pool::submit(|| { HITS.fetch_add(1, Ordering::Relaxed); })).collect();
+        for h in handles {
+            h.join();
+        }
+        assert!(HITS.load(Ordering::Relaxed) >= 8);
+    }
+
+    #[test]
+    fn background_job_panic_is_delivered_at_join_not_in_the_pool() {
+        let ok = pool::submit(|| {});
+        let bad = pool::submit(|| panic!("background boom"));
+        ok.join();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bad.join()));
+        assert!(err.is_err(), "join must re-raise the job's panic");
+        // The pool survives: later work still runs.
+        let still = pool::submit(|| {});
+        still.join();
+        assert_eq!(with_thread_count(2, || par_map(16, |i| i)).len(), 16);
+    }
+
+    #[test]
+    fn par_map_panic_propagates_and_pool_survives() {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_thread_count(4, || {
+                par_map(64, |i| {
+                    if i == 33 {
+                        panic!("shard boom");
+                    }
+                    i
+                })
+            })
+        }));
+        assert!(err.is_err(), "par_map must propagate worker panics");
+        let seq: Vec<usize> = (0..100).collect();
+        assert_eq!(with_thread_count(4, || par_map(100, |i| i)), seq);
+    }
+
+    #[test]
+    fn background_jobs_observe_sequential_thread_count() {
+        let h = pool::submit(|| {
+            assert_eq!(thread_count(), 1, "pool tasks must not fan out");
+        });
+        h.join();
     }
 }

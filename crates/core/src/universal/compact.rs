@@ -147,6 +147,11 @@ pub struct CompactUniversalUser {
     /// one index at a time because a revisit may not build a candidate at
     /// all.
     lookahead: VecDeque<(usize, BoxedUser)>,
+    /// The *following* lookahead window's indices, pre-drawn at the last
+    /// refill so they could be handed to [`StrategyEnumerator::prefetch`]
+    /// (background construction on idle pool workers). Restart-policy only,
+    /// like the lookahead itself.
+    prefetched_indices: Option<Vec<usize>>,
     policy: ResumePolicy,
     /// Suspension slots, keyed by enumeration index (non-`Restart` only).
     slots: BTreeMap<usize, Slot>,
@@ -240,6 +245,7 @@ impl CompactUniversalUser {
             switches: Vec::new(),
             pending_switch: false,
             lookahead: VecDeque::new(),
+            prefetched_indices: None,
             policy,
             slots: BTreeMap::new(),
             slot_rng: None,
@@ -302,13 +308,26 @@ impl CompactUniversalUser {
     fn next_candidate(&mut self) -> (usize, BoxedUser) {
         if self.lookahead.is_empty() {
             crate::obs_count!("universal.lookahead.refills", 1u64);
-            let indices: Vec<usize> = (0..super::finite::lookahead_width())
-                .map(|_| self.schedule.next().expect("schedules are infinite"))
-                .collect();
+            let indices: Vec<usize> = match self.prefetched_indices.take() {
+                Some(indices) => indices,
+                None => (0..super::finite::lookahead_width())
+                    .map(|_| self.schedule.next().expect("schedules are infinite"))
+                    .collect(),
+            };
             for (&index, candidate) in indices.iter().zip(self.enumerator.batch(&indices)) {
                 let candidate =
                     candidate.expect("schedule yielded an index outside the enumeration");
                 self.lookahead.push_back((index, candidate));
+            }
+            if crate::par::prewarm_enabled() {
+                // Pipeline (same as the Levin user): pre-draw the next
+                // window and let idle pool workers prepare it in the
+                // background while this window's candidates run.
+                let next: Vec<usize> = (0..super::finite::lookahead_width())
+                    .map(|_| self.schedule.next().expect("schedules are infinite"))
+                    .collect();
+                self.enumerator.prefetch(&next);
+                self.prefetched_indices = Some(next);
             }
         }
         self.lookahead.pop_front().expect("lookahead was just refilled")
@@ -402,19 +421,23 @@ impl UserStrategy for CompactUniversalUser {
             if self.slot_rng.is_none() {
                 self.slot_rng = Some(ctx.rng.fork(SLOT_STREAM_BASE + self.current_index as u64));
             }
-            if self.policy == ResumePolicy::Replay {
-                self.slots
-                    .entry(self.current_index)
-                    .or_default()
-                    .history
-                    .push((ctx.round, input.clone()));
-            }
             let rng = self.slot_rng.as_mut().expect("initialized above");
             let mut slot_ctx = StepCtx::new(ctx.round, rng);
             self.current.step(&mut slot_ctx, input)
         };
         let event = ViewEvent { round: ctx.round, received: input.clone(), sent: out.clone() };
         let indication = self.sensing.observe(&event);
+        if self.policy == ResumePolicy::Replay {
+            // Reuse the event's clone of the inbox for the replay history
+            // instead of cloning a second time. Recording after the step is
+            // equivalent: the history is only read at a switch, which is
+            // always deferred to the start of the next round.
+            self.slots
+                .entry(self.current_index)
+                .or_default()
+                .history
+                .push((ctx.round, event.received));
+        }
         if indication.is_negative() {
             // Switch at the *start* of the next round so this round's output
             // (already computed) stays consistent with the strategy that

@@ -110,6 +110,13 @@ pub struct LevinUniversalUser {
     /// Speculatively pre-built `(index, budget, candidate)` slots, consumed
     /// strictly in schedule order (see [`lookahead_width`]).
     lookahead: VecDeque<(usize, u64, BoxedUser)>,
+    /// The *following* lookahead window, pre-drawn from the schedule at the
+    /// last refill so its indices could be handed to
+    /// [`StrategyEnumerator::prefetch`] (background candidate construction
+    /// on idle pool workers). Drawing early is unobservable — the schedule
+    /// is a pure iterator — and the slots are adopted in the same order at
+    /// the next refill.
+    prefetched_slots: Option<Vec<(usize, u64)>>,
 }
 
 impl fmt::Debug for LevinUniversalUser {
@@ -184,6 +191,7 @@ impl LevinUniversalUser {
             switches: Vec::new(),
             slots_used: 0,
             lookahead: VecDeque::new(),
+            prefetched_slots: None,
         };
         let (first, budget, candidate) = user.next_candidate();
         user.current = candidate;
@@ -220,9 +228,12 @@ impl LevinUniversalUser {
     fn next_candidate(&mut self) -> (usize, u64, BoxedUser) {
         if self.lookahead.is_empty() {
             crate::obs_count!("universal.lookahead.refills", 1u64);
-            let slots: Vec<(usize, u64)> = (0..lookahead_width())
-                .map(|_| self.schedule.next().expect("budget schedules are infinite"))
-                .collect();
+            let slots: Vec<(usize, u64)> = match self.prefetched_slots.take() {
+                Some(slots) => slots,
+                None => (0..lookahead_width())
+                    .map(|_| self.schedule.next().expect("budget schedules are infinite"))
+                    .collect(),
+            };
             let indices: Vec<usize> = slots.iter().map(|&(i, _)| i).collect();
             for ((index, budget), candidate) in
                 slots.into_iter().zip(self.enumerator.batch(&indices))
@@ -230,6 +241,17 @@ impl LevinUniversalUser {
                 let candidate =
                     candidate.expect("schedule yielded an index outside the enumeration");
                 self.lookahead.push_back((index, budget, candidate));
+            }
+            if crate::par::prewarm_enabled() {
+                // Pipeline: pre-draw the *next* window and hand its indices
+                // to the enumerator, so idle pool workers can prepare those
+                // candidates while this window's candidates run live.
+                let next: Vec<(usize, u64)> = (0..lookahead_width())
+                    .map(|_| self.schedule.next().expect("budget schedules are infinite"))
+                    .collect();
+                let next_indices: Vec<usize> = next.iter().map(|&(i, _)| i).collect();
+                self.enumerator.prefetch(&next_indices);
+                self.prefetched_slots = Some(next);
             }
         }
         self.lookahead.pop_front().expect("lookahead was just refilled")

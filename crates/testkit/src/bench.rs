@@ -66,6 +66,10 @@ pub struct BenchRecord {
     /// passes), when the harness was built with the
     /// `count-allocs` feature. See [`crate::alloc_count`].
     pub allocs: Option<u64>,
+    /// Peak live heap bytes above the pre-batch level during one probe batch
+    /// (minimum over probe passes — the steady-state footprint), when built
+    /// with `count-allocs`. See [`crate::alloc_count::peak_bytes`].
+    pub peak_bytes: Option<u64>,
 }
 
 impl BenchRecord {
@@ -98,6 +102,9 @@ impl BenchRecord {
         }
         if let Some(a) = self.allocs {
             let _ = write!(s, ",\"allocs\":{a}");
+        }
+        if let Some(p) = self.peak_bytes {
+            let _ = write!(s, ",\"peak_bytes\":{p}");
         }
         s.push('}');
         s
@@ -144,6 +151,7 @@ impl BenchRecord {
             cache_hits: get_n("cache_hits"),
             cache_misses: get_n("cache_misses"),
             allocs: get_n("allocs"),
+            peak_bytes: get_n("peak_bytes"),
         })
     }
 }
@@ -260,6 +268,19 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<Stri
     }
 }
 
+/// Renders a byte quantity with a sensible unit (binary prefixes).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
 /// Renders a nanosecond quantity with a sensible unit.
 pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -291,6 +312,9 @@ pub struct BenchMeta {
     /// Explicit allocations-per-iteration override. When `None` and the
     /// `count-allocs` feature is on, the harness measures it itself.
     pub allocs: Option<u64>,
+    /// Explicit peak-bytes override. When `None` and `count-allocs` is on,
+    /// the harness measures it alongside the allocation probe.
+    pub peak_bytes: Option<u64>,
 }
 
 /// A benchmark group: times closures and reports per-iteration statistics.
@@ -393,23 +417,27 @@ impl Bench {
         }
         // Allocation probe: after the timed passes (pools and scratch
         // buffers warm), measure allocator calls over whole batches and keep
-        // the best batch — the steady-state allocs per iteration.
-        let allocs = match meta.allocs {
-            Some(a) => Some(a),
-            None if crate::alloc_count::enabled() => {
-                let mut best = u64::MAX;
-                for _ in 0..3 {
-                    let before = crate::alloc_count::allocs();
-                    for _ in 0..iters {
-                        black_box(f());
-                    }
-                    let delta = crate::alloc_count::allocs().saturating_sub(before);
-                    best = best.min(delta / iters);
+        // the best batch — the steady-state allocs per iteration. The same
+        // passes probe the heap high-water mark: reset the peak to the live
+        // level before each batch and keep the smallest rise above it.
+        let measure = meta.allocs.is_none() || meta.peak_bytes.is_none();
+        let (mut best_allocs, mut best_peak) = (u64::MAX, u64::MAX);
+        if measure && crate::alloc_count::enabled() {
+            for _ in 0..3 {
+                let before = crate::alloc_count::allocs();
+                let floor = crate::alloc_count::live_bytes();
+                crate::alloc_count::reset_peak();
+                for _ in 0..iters {
+                    black_box(f());
                 }
-                Some(best)
+                let delta = crate::alloc_count::allocs().saturating_sub(before);
+                best_allocs = best_allocs.min(delta / iters);
+                let rise = crate::alloc_count::peak_bytes().saturating_sub(floor);
+                best_peak = best_peak.min(rise);
             }
-            None => None,
-        };
+        }
+        let allocs = meta.allocs.or((best_allocs != u64::MAX).then_some(best_allocs));
+        let peak_bytes = meta.peak_bytes.or((best_peak != u64::MAX).then_some(best_peak));
 
         per_iter_ns.sort_unstable();
         let n = per_iter_ns.len();
@@ -432,6 +460,7 @@ impl Bench {
             cache_hits: meta.cache_hits,
             cache_misses: meta.cache_misses,
             allocs,
+            peak_bytes,
         };
         let mut line = format!(
             "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
@@ -454,6 +483,9 @@ impl Bench {
         }
         if let Some(a) = rec.allocs {
             let _ = write!(line, "  [{a} allocs/iter]");
+        }
+        if let Some(p) = rec.peak_bytes {
+            let _ = write!(line, "  [peak {}]", fmt_bytes(p));
         }
         println!("{line}");
         let json = rec.to_json_line();
@@ -533,6 +565,7 @@ mod tests {
             cache_hits: None,
             cache_misses: None,
             allocs: None,
+            peak_bytes: None,
         }
     }
 
@@ -615,6 +648,25 @@ mod tests {
         assert!(line.contains("\"allocs\":0"));
         let parsed = BenchRecord::parse_json_line(&line).expect("parses");
         assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_line_roundtrips_with_peak_bytes() {
+        let mut rec = sample_record();
+        rec.allocs = Some(3);
+        rec.peak_bytes = Some(4096);
+        let line = rec.to_json_line();
+        assert!(line.contains("\"peak_bytes\":4096"));
+        let parsed = BenchRecord::parse_json_line(&line).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(1536), "1.50 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
     }
 
     #[test]

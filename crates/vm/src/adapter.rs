@@ -271,6 +271,162 @@ pub fn prewarm_batch<'a>(users: impl IntoIterator<Item = &'a mut VmUser>) {
     }
 }
 
+/// Per-candidate speculative depth of [`prewarm_deep`]: `GOC_PREWARM_DEPTH`
+/// (clamped to 1..=64, read once and latched), default 16 rounds.
+pub fn prewarm_depth() -> usize {
+    use std::sync::OnceLock;
+    static DEPTH: OnceLock<usize> = OnceLock::new();
+    *DEPTH.get_or_init(|| {
+        std::env::var("GOC_PREWARM_DEPTH")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|d| d.clamp(1, 64))
+            .unwrap_or(16)
+    })
+}
+
+/// The background (pipelined) variant of [`prewarm_batch`]: shares decodes
+/// the same way, then speculatively runs every cache-enabled candidate up to
+/// `depth` rounds of [`BatchVm`] lockstep under the **empty-inbox**
+/// assumption, memoising each round along the growing empty-prefix key
+/// chain (stopping a lane at its halt).
+///
+/// Why this is sound: the cache key is a pure function of `(program bytes,
+/// fuel, inbox history)`, so an entry recorded here for the history
+/// "`k` empty rounds" is value-identical to what the candidate would record
+/// for itself — and a live round whose inbox turns out *non*-empty hashes to
+/// a different key and simply misses. Speculation can therefore never serve
+/// a wrong round; it only moves fuel burn off the critical path. The
+/// empty-inbox guess is the profitable one: wrong candidates in a universal
+/// search mostly talk into a silent world, so their entire budget slice
+/// becomes cache hits.
+///
+/// Running lanes in lockstep against a *known* all-empty input stream also
+/// buys an optimisation the live path cannot have: **fixed-point fill**. A
+/// lane's whole inter-round state is its register file (the pc restarts at 0
+/// every round), so if a round leaves the registers exactly unchanged, every
+/// further empty-input round is a verbatim replay of that round. The
+/// executor then parks the lane and fills the rest of its chain by copying
+/// the round's entry — the fuel-burning decoys a universal search wades
+/// through are precisely such loops, and each costs one executed round
+/// instead of `depth`.
+pub fn prewarm_deep<'a>(users: impl IntoIterator<Item = &'a mut VmUser>, depth: usize) {
+    let mut users: Vec<&'a mut VmUser> = users.into_iter().collect();
+    let mut decodes: Vec<Arc<DecodedProgram>> = Vec::new();
+    for u in users.iter_mut() {
+        let code = u.machine.program().as_bytes();
+        let shared = match decodes.iter().find(|d| d.code() == code) {
+            Some(d) => Arc::clone(d),
+            None => {
+                let d = Arc::new(DecodedProgram::new(u.machine.program()));
+                decodes.push(Arc::clone(&d));
+                d
+            }
+        };
+        u.decoded = Some(shared);
+    }
+    let depth = depth.max(1);
+    let mut vm = BatchVm::new();
+    let mut lanes: Vec<usize> = Vec::new();
+    for (i, u) in users.iter().enumerate() {
+        if !u.use_cache {
+            continue;
+        }
+        // Skip lanes whose empty-prefix chain is already fully memoised
+        // (up to `depth`, or up to a recorded halt) — the chain's keys are
+        // computable without execution, so this costs only hash lookups.
+        let mut prefix = cache::PREFIX_EMPTY;
+        let mut warmed = true;
+        for _ in 0..depth {
+            prefix = cache::extend_prefix(prefix, &[], &[]);
+            let key = RoundKey {
+                program_hash: u.program_hash,
+                fuel: u.machine.fuel_per_round(),
+                prefix_hash: prefix,
+            };
+            match cache::lookup(&key, u.machine.program().as_bytes()) {
+                Some(hit) if hit.halted.is_some() => break,
+                Some(_) => {}
+                None => {
+                    warmed = false;
+                    break;
+                }
+            }
+        }
+        if warmed {
+            continue;
+        }
+        vm.push_decoded(
+            Arc::clone(u.decoded.as_ref().expect("assigned above")),
+            u.machine.fuel_per_round(),
+        );
+        lanes.push(i);
+    }
+    if lanes.is_empty() {
+        return;
+    }
+    let mut ios: Vec<RoundIo> = lanes.iter().map(|_| arena::take_io()).collect();
+    let mut prefix = cache::PREFIX_EMPTY;
+    let mut done: Vec<bool> = vec![false; lanes.len()];
+    // Register snapshots from before the current round, for fixed-point
+    // detection (freshly pushed lanes start all-zero, like the scalar
+    // machine).
+    let mut prev_regs: Vec<Vec<u64>> = (0..lanes.len()).map(|k| vm.regs(k).to_vec()).collect();
+    for r in 0..depth {
+        prefix = cache::extend_prefix(prefix, &[], &[]);
+        for io in ios.iter_mut() {
+            io.set_inputs(&[], &[]);
+        }
+        // BatchVm skips halted and parked lanes internally; their outboxes
+        // stay empty, matching the scalar machine.
+        vm.round(&mut ios);
+        goc_core::obs_count_nd!(
+            "vm.prewarm.rounds",
+            done.iter().filter(|&&d| !d).count() as u64
+        );
+        let mut all_done = true;
+        for (k, &i) in lanes.iter().enumerate() {
+            if done[k] {
+                continue;
+            }
+            let u = &users[i];
+            let fuel = u.machine.fuel_per_round();
+            let key = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: prefix };
+            let halted = vm.halted(k).map(<[u8]>::to_vec);
+            let is_halt = halted.is_some();
+            let round_entry =
+                CachedRound { out_a: ios[k].out_a.clone(), out_b: ios[k].out_b.clone(), halted };
+            cache::insert(key, u.machine.program().as_bytes(), round_entry.clone());
+            if is_halt {
+                done[k] = true;
+            } else if vm.regs(k) == prev_regs[k].as_slice() {
+                // Fixed point: the round left the registers untouched, so
+                // every remaining empty-input round replays it verbatim —
+                // copy its entry down the rest of the chain and stop
+                // burning this lane's fuel.
+                goc_core::obs_count_nd!("vm.prewarm.fixedpoint", 1u64);
+                let mut p = prefix;
+                for _ in r + 1..depth {
+                    p = cache::extend_prefix(p, &[], &[]);
+                    let key = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: p };
+                    cache::insert(key, u.machine.program().as_bytes(), round_entry.clone());
+                }
+                vm.park(k);
+                done[k] = true;
+            } else {
+                prev_regs[k].copy_from_slice(vm.regs(k));
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+    for io in ios.iter_mut() {
+        arena::recycle_io(io);
+    }
+}
+
 impl UserStrategy for VmUser {
     fn step(&mut self, _ctx: &mut StepCtx<'_>, input: &UserIn) -> UserOut {
         if self.use_cache {

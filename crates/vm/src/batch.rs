@@ -102,6 +102,8 @@ pub struct BatchVm {
     halted: Vec<Option<Vec<u8>>>,
     /// Per-lane lifetime retired-instruction counts.
     retired: Vec<u64>,
+    /// Per-lane parked flags; a parked lane is skipped by [`round`](Self::round).
+    parked: Vec<bool>,
 }
 
 impl BatchVm {
@@ -147,6 +149,7 @@ impl BatchVm {
         self.regs.extend_from_slice(&[0u64; REG_COUNT]);
         self.halted.push(None);
         self.retired.push(0);
+        self.parked.push(false);
         self.lane_decoded.len() - 1
     }
 
@@ -177,6 +180,15 @@ impl BatchVm {
         self.retired[lane]
     }
 
+    /// Parks `lane`: subsequent [`round`](Self::round) calls skip it (its
+    /// outboxes stay empty and its state freezes). For callers that have
+    /// established a lane's future rounds by other means — e.g. the prewarm
+    /// executor once a lane reaches a state fixed point — and don't want to
+    /// keep burning its fuel.
+    pub fn park(&mut self, lane: usize) {
+        self.parked[lane] = true;
+    }
+
     /// Steps every lane through one round in lockstep: lane `i` consumes
     /// `ios[i]`'s inboxes and fills its outboxes, exactly as
     /// [`Machine::round`](crate::machine::Machine::round) would with the
@@ -198,6 +210,7 @@ impl BatchVm {
         for lane in 0..n {
             fuel[lane] = self.fuel[lane];
             let live = self.halted[lane].is_none()
+                && !self.parked[lane]
                 && !self.decoded[self.lane_decoded[lane] as usize].is_empty();
             if live {
                 active.push(lane as u32);
