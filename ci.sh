@@ -148,6 +148,54 @@ for seed in 0x5EED 42; do
   grep -q "safety violations: 0" <<<"$out1" || { echo "CI FAIL: safety violation in conformance sweep (seed $seed)"; exit 1; }
 done
 
+echo "== snap gate: golden vectors pin the wire format =="
+# The committed tests/golden/*.snap files are byte-exact encodings of two
+# canonical checkpoints. Any layout change fails this suite until
+# SNAP_VERSION is bumped and the vectors re-blessed — format drift is a
+# decision, not an accident.
+cargo test -q --offline --test snap_golden
+
+echo "== snap gate: save/resume is observationally invisible (stdout + trace) =="
+# `goc resume <scenario> --checkpoint N` steps a session to round N,
+# serializes it, restores the bytes into a fresh skeleton, and finishes
+# the run; --checkpoint 0 wraps the whole session in the same save/restore
+# pair. Interrupting at any round may only change wall-clock: stdout and
+# the deterministic GOC_TRACE stream must match byte-for-byte, at both
+# thread counts and for both universal-user flavours.
+for threads in 1 4; do
+  for scen in "magic 7 50 20000" "magic-compact 9 1234 2000"; do
+    read -r name seed ckpt horizon <<<"$scen"
+    rm -f target/goc-snap-base.jsonl target/goc-snap-ckpt.jsonl
+    base=$(GOC_TRACE=target/goc-snap-base.jsonl GOC_THREADS=$threads \
+      cargo run --release --offline -- resume "$name" --seed "$seed" --checkpoint 0 --horizon "$horizon")
+    ckpt_out=$(GOC_TRACE=target/goc-snap-ckpt.jsonl GOC_THREADS=$threads \
+      cargo run --release --offline -- resume "$name" --seed "$seed" --checkpoint "$ckpt" --horizon "$horizon")
+    if [ "$base" != "$ckpt_out" ]; then
+      echo "CI FAIL: resume $name differs at checkpoint 0 vs $ckpt (GOC_THREADS=$threads)"
+      diff <(printf '%s\n' "$base") <(printf '%s\n' "$ckpt_out") || true
+      exit 1
+    fi
+    [ -s target/goc-snap-base.jsonl ] || { echo "CI FAIL: snap gate produced an empty trace"; exit 1; }
+    cmp target/goc-snap-base.jsonl target/goc-snap-ckpt.jsonl \
+      || { echo "CI FAIL: GOC_TRACE differs for $name at checkpoint 0 vs $ckpt (GOC_THREADS=$threads)"; exit 1; }
+    printf 'resume %s: checkpoint 0 == checkpoint %s (t%s): %s\n' "$name" "$ckpt" "$threads" "$base"
+  done
+done
+
+echo "== snap gate: snapshot files round-trip through disk =="
+# The file-based pair: `goc snapshot` writes the bytes, `goc resume --snap`
+# reads them back into a fresh process — the finished session must match
+# the in-process checkpoint path exactly.
+cargo run --release --offline -- snapshot magic --seed 7 --round 50 --out target/goc-ci.snap > /dev/null
+from_file=$(cargo run --release --offline -- resume magic --seed 7 --snap target/goc-ci.snap)
+uninterrupted=$(cargo run --release --offline -- resume magic --seed 7 --checkpoint 0)
+if [ "$from_file" != "$uninterrupted" ]; then
+  echo "CI FAIL: resume from snapshot file differs from the uninterrupted run"
+  diff <(printf '%s\n' "$from_file") <(printf '%s\n' "$uninterrupted") || true
+  exit 1
+fi
+printf 'snapshot file round-trip: %s\n' "$from_file"
+
 echo "== bench summary consumes the JSON lines =="
 summary=$(cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary)
 printf '%s\n' "$summary"

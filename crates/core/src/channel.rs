@@ -29,6 +29,7 @@
 //! channels into one.
 
 use crate::msg::Message;
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::StepCtx;
 use std::collections::VecDeque;
 use std::fmt::Debug;
@@ -62,6 +63,22 @@ pub trait Channel: Debug {
     fn name(&self) -> String {
         "channel".to_string()
     }
+
+    /// Serializes this channel's mutable state — in-flight messages, fault
+    /// positions (see [`crate::snap`]). The default refuses, naming the
+    /// channel. See
+    /// [`UserStrategy::save_snap`](crate::strategy::UserStrategy::save_snap).
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::unsupported("channel", self.name()))
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// channel, which must have been built with the same configuration.
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("channel", self.name()))
+    }
 }
 
 /// Boxed channel, the form [`Execution`](crate::exec::Execution) stores.
@@ -78,6 +95,14 @@ impl Channel for BoxedChannel {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        (**self).save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_snap(r)
     }
 }
 
@@ -98,6 +123,14 @@ impl Channel for Perfect {
 
     fn name(&self) -> String {
         "perfect".to_string()
+    }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -212,6 +245,55 @@ impl FaultSchedule {
     }
 }
 
+impl SnapState for Fault {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        match self {
+            Fault::Drop => w.u8(0),
+            Fault::Duplicate => w.u8(1),
+            Fault::Delay { rounds } => {
+                w.u8(2);
+                w.u64(*rounds);
+            }
+            Fault::Reorder { depth } => {
+                w.u8(3);
+                w.u64(*depth);
+            }
+            Fault::Corrupt { mask } => {
+                w.u8(4);
+                w.u8(*mask);
+            }
+            Fault::Burst { len } => {
+                w.u8(5);
+                w.u64(*len);
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("fault tag")? {
+            0 => Fault::Drop,
+            1 => Fault::Duplicate,
+            2 => Fault::Delay { rounds: r.u64("fault delay")? },
+            3 => Fault::Reorder { depth: r.u64("fault reorder")? },
+            4 => Fault::Corrupt { mask: r.u8("fault mask")? },
+            5 => Fault::Burst { len: r.u64("fault burst")? },
+            found => return Err(SnapError::BadTag { context: "fault tag", found }),
+        })
+    }
+}
+
+impl SnapState for FaultSchedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        self.entries.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        // Re-normalizing keeps the sorted/deduped invariant even for
+        // adversarial bytes.
+        Ok(FaultSchedule::from_entries(Vec::<(u64, Fault)>::decode(r)?))
+    }
+}
+
 /// XORs every payload byte with `mask`; silence is preserved.
 pub fn corrupt_message(msg: &Message, mask: u8) -> Message {
     if msg.is_silence() {
@@ -322,6 +404,32 @@ impl Channel for Scheduled {
     fn name(&self) -> String {
         format!("scheduled({} faults)", self.schedule.len())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        // The schedule is config, but recording it catches skeletons built
+        // with a different fault plan; held messages are the pending
+        // positions the ISSUE's "resumable fault schedule" requires.
+        self.schedule.encode(w);
+        self.held.encode(w);
+        w.u64(self.seq);
+        w.u64(self.burst_until);
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let schedule = FaultSchedule::decode(r)?;
+        if schedule != self.schedule {
+            return Err(SnapError::Mismatch {
+                context: "fault schedule",
+                expected: format!("{:?}", self.schedule),
+                found: format!("{schedule:?}"),
+            });
+        }
+        self.held = Vec::<(u64, u8, u64, Message)>::decode(r)?;
+        self.seq = r.u64("scheduled seq")?;
+        self.burst_until = r.u64("scheduled burst_until")?;
+        Ok(())
+    }
 }
 
 /// A fixed-latency line: every message arrives `delay` extra rounds late,
@@ -361,6 +469,24 @@ impl Channel for Latency {
 
     fn name(&self) -> String {
         format!("latency({})", self.delay)
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.queue.len() as u64);
+        for msg in &self.queue {
+            msg.encode(w);
+        }
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.count("latency queue")?;
+        let mut queue = VecDeque::with_capacity(self.delay + 1);
+        for _ in 0..n {
+            queue.push_back(Message::decode(r)?);
+        }
+        self.queue = queue;
+        Ok(())
     }
 }
 
@@ -415,6 +541,14 @@ impl Channel for Noisy {
     fn name(&self) -> String {
         format!("noisy(drop {}, corrupt {})", self.drop_p, self.corrupt_p)
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // memoryless: the probabilities are config, the draws live in the channel rng
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A byzantine channel: with probability `p` per round it replaces the
@@ -454,6 +588,14 @@ impl Channel for Garbler {
     fn name(&self) -> String {
         format!("garbler({}, {})", self.p, self.max_len)
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // memoryless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Sequential composition of channels: the output of each stage feeds the
@@ -492,6 +634,40 @@ impl Channel for Chained {
     fn name(&self) -> String {
         let names: Vec<String> = self.stages.iter().map(|s| s.name()).collect();
         format!("chained[{}]", names.join(" -> "))
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.stages.len() as u64);
+        for stage in &self.stages {
+            w.str(&stage.name());
+            w.block(|w| stage.save_snap(w))?;
+        }
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.count("chained stages")?;
+        if n != self.stages.len() {
+            return Err(SnapError::Mismatch {
+                context: "chained stage count",
+                expected: self.stages.len().to_string(),
+                found: n.to_string(),
+            });
+        }
+        for stage in &mut self.stages {
+            let name = r.str("chained stage name")?;
+            if name != stage.name() {
+                return Err(SnapError::Mismatch {
+                    context: "chained stage",
+                    expected: stage.name(),
+                    found: name.to_string(),
+                });
+            }
+            let mut block = r.block("chained stage state")?;
+            stage.restore_snap(&mut block)?;
+            block.finish()?;
+        }
+        Ok(())
     }
 }
 

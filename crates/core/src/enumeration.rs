@@ -13,6 +13,7 @@
 //! the user. [`TriangularSchedule`] provides the classic fix, visiting
 //! strategies in the order 0; 0, 1; 0, 1, 2; …
 
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::BoxedUser;
 use std::fmt::Debug;
 
@@ -271,16 +272,55 @@ impl Iterator for TriangularSchedule {
     fn next(&mut self) -> Option<usize> {
         loop {
             if self.col > self.row {
-                self.row += 1;
+                self.row = self.row.saturating_add(1);
                 self.col = 0;
             }
             let idx = self.col;
-            self.col += 1;
+            self.col = self.col.saturating_add(1);
             match self.bound {
-                Some(n) if idx >= n => continue,
+                Some(n) if idx >= n => {
+                    // Everything up to the end of this row is filtered too:
+                    // wrap directly instead of spinning `row − col` times.
+                    // Rows ≥ n all emit the same 0..n pass, so capping the
+                    // row keeps the cursor total even for decoded cursors
+                    // with absurd row values.
+                    self.row = self.row.saturating_add(1).min(n);
+                    self.col = 0;
+                }
                 _ => return Some(idx),
             }
         }
+    }
+}
+
+impl SnapState for TriangularSchedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.usize(self.row);
+        w.usize(self.col);
+        self.bound.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let row = r.usize("triangular row")?;
+        let col = r.usize("triangular col")?;
+        let bound = Option::<usize>::decode(r)?;
+        if bound == Some(0) {
+            // An empty bound would make `next` spin forever skipping
+            // non-existent indices; the constructors forbid it.
+            return Err(SnapError::Malformed { context: "triangular bound" });
+        }
+        // A live cursor keeps `col ≤ row + 1` (the wrap fires as soon as the
+        // column passes the row) and, when bounded, `row ≤ n` and `col ≤ n`
+        // (the skip branch caps the row and every yield has `idx < n`).
+        // Reject anything outside that envelope rather than iterating from a
+        // state the schedule can never reach.
+        let honest = match bound {
+            Some(n) => row <= n && col <= n,
+            None => col <= row.saturating_add(1) && row < usize::MAX,
+        };
+        if !honest {
+            return Err(SnapError::Malformed { context: "triangular cursor" });
+        }
+        Ok(TriangularSchedule { row, col, bound })
     }
 }
 
@@ -323,6 +363,22 @@ impl Iterator for LinearSchedule {
         };
         self.next = self.next.saturating_add(1);
         Some(idx)
+    }
+}
+
+impl SnapState for LinearSchedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.usize(self.next);
+        self.bound.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let next = r.usize("linear next")?;
+        let bound = Option::<usize>::decode(r)?;
+        if bound == Some(0) {
+            // `next` computes `n - 1`; the constructors forbid `n == 0`.
+            return Err(SnapError::Malformed { context: "linear bound" });
+        }
+        Ok(LinearSchedule { next, bound })
     }
 }
 

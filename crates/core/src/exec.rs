@@ -19,6 +19,7 @@
 use crate::channel::{BoxedChannel, Perfect};
 use crate::msg::{Message, ServerIn, UserIn, WorldIn};
 use crate::rng::GocRng;
+use crate::snap::{ForkError, SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy};
 use crate::view::{UserView, ViewEvent};
 
@@ -29,6 +30,26 @@ pub enum StopReason {
     UserHalted(Halt),
     /// The round horizon was exhausted.
     HorizonExhausted,
+}
+
+impl SnapState for StopReason {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        match self {
+            StopReason::HorizonExhausted => w.u8(0),
+            StopReason::UserHalted(h) => {
+                w.u8(1);
+                h.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("stop reason tag")? {
+            0 => StopReason::HorizonExhausted,
+            1 => StopReason::UserHalted(Halt::decode(r)?),
+            found => return Err(SnapError::BadTag { context: "stop reason tag", found }),
+        })
+    }
 }
 
 /// The recorded outcome of a run: world-state history plus user view.
@@ -436,27 +457,173 @@ impl<W: WorldStrategy> Execution<W> {
     }
 }
 
+impl<W: WorldStrategy> Execution<W> {
+    /// Serializes the entire execution — round counter, rng streams,
+    /// channel stacks (including pending fault-schedule positions),
+    /// in-flight messages, party states, and the recorded history — into
+    /// `out` in the versioned [`crate::snap`] format.
+    ///
+    /// On failure the error names the party that blocked the checkpoint
+    /// ([`SnapError::Unsupported`]); `out` may then hold a partial prefix
+    /// and should be discarded.
+    pub fn save(&self, out: &mut Vec<u8>) -> Result<(), SnapError> {
+        let mut w = SnapWriter::new(out);
+        crate::snap::write_header(&mut w);
+        w.u64(self.round);
+        self.user_rng.encode(&mut w);
+        self.server_rng.encode(&mut w);
+        self.world_rng.encode(&mut w);
+        self.up_rng.encode(&mut w);
+        self.down_rng.encode(&mut w);
+        self.user_to_server.encode(&mut w);
+        self.user_to_world.encode(&mut w);
+        self.server_to_user.encode(&mut w);
+        self.server_to_world.encode(&mut w);
+        self.world_to_user.encode(&mut w);
+        self.world_to_server.encode(&mut w);
+        self.stop_cache.encode(&mut w);
+        w.u64(self.world_states.len() as u64);
+        for state in &self.world_states {
+            W::snap_state(state, &mut w)?;
+        }
+        self.view.encode(&mut w);
+        // Each party block is preceded by the party's name, verified on
+        // restore: a snapshot only loads into a same-config skeleton.
+        w.str(std::any::type_name::<W>());
+        w.block(|w| self.world.save_snap(w))?;
+        w.str(&self.user.name());
+        w.block(|w| self.user.save_snap(w))?;
+        w.str(&self.server.name());
+        w.block(|w| self.server.save_snap(w))?;
+        w.str(&self.up_channel.name());
+        w.block(|w| self.up_channel.save_snap(w))?;
+        w.str(&self.down_channel.name());
+        w.block(|w| self.down_channel.save_snap(w))?;
+        Ok(())
+    }
+
+    /// [`save`](Self::save) into a fresh buffer.
+    pub fn save_to_vec(&self) -> Result<Vec<u8>, SnapError> {
+        let mut out = Vec::new();
+        self.save(&mut out)?;
+        Ok(out)
+    }
+
+    /// Restores a snapshot produced by [`save`](Self::save) into this
+    /// execution, which must be a fresh skeleton built with the **same
+    /// configuration** (same constructors, channels, and seed) as the saved
+    /// run. Party names recorded in the snapshot are checked against the
+    /// skeleton's; any mismatch is a [`SnapError::Mismatch`].
+    ///
+    /// After a successful restore the execution is bit-identical going
+    /// forward to the one that was saved: same settle round, same
+    /// `GOC_TRACE` output, same `SuccessReport`. Decoding is total — on any
+    /// error (malformed, truncated, or adversarial bytes) this returns
+    /// `Err` without panicking, but `self` may be partially overwritten and
+    /// should be discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        crate::snap::read_header(&mut r)?;
+        self.round = r.u64("round")?;
+        self.user_rng = GocRng::decode(&mut r)?;
+        self.server_rng = GocRng::decode(&mut r)?;
+        self.world_rng = GocRng::decode(&mut r)?;
+        self.up_rng = GocRng::decode(&mut r)?;
+        self.down_rng = GocRng::decode(&mut r)?;
+        self.user_to_server = Message::decode(&mut r)?;
+        self.user_to_world = Message::decode(&mut r)?;
+        self.server_to_user = Message::decode(&mut r)?;
+        self.server_to_world = Message::decode(&mut r)?;
+        self.world_to_user = Message::decode(&mut r)?;
+        self.world_to_server = Message::decode(&mut r)?;
+        self.stop_cache = StopReason::decode(&mut r)?;
+        let n = r.count("world states")?;
+        let mut world_states = Vec::new();
+        for _ in 0..n {
+            world_states.push(W::restore_state(&mut r)?);
+        }
+        self.world_states = world_states;
+        self.view = UserView::decode(&mut r)?;
+        Self::party_block(&mut r, "world", std::any::type_name::<W>(), |b| {
+            self.world.restore_snap(b)
+        })?;
+        Self::party_block(&mut r, "user", &self.user.name(), |b| self.user.restore_snap(b))?;
+        Self::party_block(&mut r, "server", &self.server.name(), |b| {
+            self.server.restore_snap(b)
+        })?;
+        Self::party_block(&mut r, "up channel", &self.up_channel.name(), |b| {
+            self.up_channel.restore_snap(b)
+        })?;
+        Self::party_block(&mut r, "down channel", &self.down_channel.name(), |b| {
+            self.down_channel.restore_snap(b)
+        })?;
+        r.finish()
+    }
+
+    /// Reads one name-tagged party block, verifying the name against the
+    /// skeleton and that the party consumed its block exactly.
+    fn party_block(
+        r: &mut SnapReader<'_>,
+        context: &'static str,
+        expected: &str,
+        restore: impl FnOnce(&mut SnapReader<'_>) -> Result<(), SnapError>,
+    ) -> Result<(), SnapError> {
+        let found = r.str("party name")?;
+        if found != expected {
+            return Err(SnapError::Mismatch {
+                context,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        let mut block = r.block("party state")?;
+        restore(&mut block)?;
+        block.finish()
+    }
+}
+
 impl<W: WorldStrategy + Clone> Execution<W> {
     /// A deterministic checkpoint of the entire execution: world, parties,
     /// channels, rng streams, in-flight messages and recorded history.
     ///
     /// Returns `None` if the user, server or either channel cannot be
-    /// checkpointed (see
-    /// [`UserStrategy::fork`](crate::strategy::UserStrategy::fork)). The
-    /// fork and the original then evolve identically under identical
-    /// stepping — the recorded history is cloned, but each message buffer is
-    /// shared copy-on-write, so the clone is O(history length), not
-    /// O(history bytes).
+    /// checkpointed; [`try_fork`](Self::try_fork) reports *which* party
+    /// blocked instead of swallowing it.
     pub fn fork(&self) -> Option<Self> {
-        Some(Execution {
+        self.try_fork().ok()
+    }
+
+    /// A deterministic checkpoint of the entire execution: world, parties,
+    /// channels, rng streams, in-flight messages and recorded history.
+    ///
+    /// Fails with a [`ForkError`] naming the blocking party if the user,
+    /// server or either channel cannot be checkpointed (see
+    /// [`UserStrategy::fork`](crate::strategy::UserStrategy::fork)). The
+    /// fork and the original evolve identically under identical stepping —
+    /// the recorded history is cloned, but each message buffer is shared
+    /// copy-on-write, so the clone is O(history length), not
+    /// O(history bytes).
+    pub fn try_fork(&self) -> Result<Self, ForkError> {
+        let server =
+            self.server.fork().ok_or_else(|| ForkError::new("server", self.server.name()))?;
+        let user = self.user.fork().ok_or_else(|| ForkError::new("user", self.user.name()))?;
+        let up_channel = self
+            .up_channel
+            .fork()
+            .ok_or_else(|| ForkError::new("up-channel", self.up_channel.name()))?;
+        let down_channel = self
+            .down_channel
+            .fork()
+            .ok_or_else(|| ForkError::new("down-channel", self.down_channel.name()))?;
+        Ok(Execution {
             world: self.world.clone(),
-            server: self.server.fork()?,
-            user: self.user.fork()?,
+            server,
+            user,
             user_rng: self.user_rng.clone(),
             server_rng: self.server_rng.clone(),
             world_rng: self.world_rng.clone(),
-            up_channel: self.up_channel.fork()?,
-            down_channel: self.down_channel.fork()?,
+            up_channel,
+            down_channel,
             up_rng: self.up_rng.clone(),
             down_rng: self.down_rng.clone(),
             round: self.round,
@@ -707,6 +874,100 @@ mod tests {
         )
         .run(6);
         assert!(t.view.events().iter().any(|ev| !ev.received.from_server.is_silence()));
+    }
+
+    #[test]
+    fn try_fork_names_the_blocking_party() {
+        // FnUser closes over a closure, so it is deliberately unforkable —
+        // exactly the silent-`None` gap ForkError closes.
+        let user = FnUser::new("closure-user", |_ctx: &mut StepCtx<'_>, _in: &UserIn| {
+            UserAction::Send(UserOut::silence())
+        });
+        let exec = Execution::new(
+            crate::toy::MagicWorld::new("xyzzy"),
+            Box::new(SilentServer),
+            Box::new(user),
+            GocRng::seed_from_u64(1),
+        );
+        let err = exec.try_fork().unwrap_err();
+        assert_eq!(err.party, "user");
+        assert_eq!(err.name, "closure-user");
+        assert!(exec.fork().is_none(), "fork() mirrors try_fork()");
+
+        // The same party blocks save(), surfaced through SnapError.
+        let err = exec.save_to_vec().unwrap_err();
+        assert_eq!(
+            err,
+            SnapError::Unsupported { party: "user", name: "closure-user".to_string() }
+        );
+
+        // An unforkable server is reported as the server.
+        let exec = Execution::new(
+            crate::toy::MagicWorld::new("xyzzy"),
+            Box::new(crate::strategy::FnServer::new("closure-server", |_ctx, _in| {
+                crate::msg::ServerOut::silence()
+            })),
+            Box::new(SilentUser),
+            GocRng::seed_from_u64(1),
+        );
+        let err = exec.try_fork().unwrap_err();
+        assert_eq!((err.party, err.name.as_str()), ("server", "closure-server"));
+    }
+
+    #[test]
+    fn save_restore_roundtrips_mid_run() {
+        use crate::toy::{MagicWorld, RelayServer, SayThrough};
+
+        let build = || {
+            Execution::new(
+                MagicWorld::new("xyzzy"),
+                Box::new(RelayServer::with_shift(3)),
+                Box::new(SayThrough::compensating("xyzzy", 3)),
+                GocRng::seed_from_u64(11),
+            )
+        };
+        let mut original = build();
+        for _ in 0..2 {
+            original.step();
+        }
+        let bytes = original.save_to_vec().unwrap();
+
+        let mut restored = build();
+        restored.restore(&bytes).unwrap();
+        assert_eq!(restored.round(), original.round());
+
+        // Bit-identical going forward: same transcript from here on.
+        let t1 = original.run(50);
+        let t2 = restored.run(50);
+        assert_eq!(t1.rounds, t2.rounds);
+        assert_eq!(t1.stop, t2.stop);
+        assert_eq!(t1.view, t2.view);
+        assert_eq!(t1.world_states, t2.world_states);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_skeleton() {
+        use crate::toy::{MagicWorld, RelayServer, SayThrough};
+
+        let exec = Execution::new(
+            MagicWorld::new("xyzzy"),
+            Box::new(RelayServer::with_shift(3)),
+            Box::new(SayThrough::new("xyzzy")),
+            GocRng::seed_from_u64(11),
+        );
+        let bytes = exec.save_to_vec().unwrap();
+
+        // Same types, different config: the server name tag catches it.
+        let mut wrong = Execution::new(
+            MagicWorld::new("xyzzy"),
+            Box::new(RelayServer::with_shift(7)),
+            Box::new(SayThrough::new("xyzzy")),
+            GocRng::seed_from_u64(11),
+        );
+        assert!(matches!(
+            wrong.restore(&bytes),
+            Err(SnapError::Mismatch { context: "server", .. })
+        ));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod par;
 pub mod rng;
 pub mod score;
 pub mod sensing;
+pub mod snap;
 pub mod strategy;
 pub mod trace;
 pub mod toy;
@@ -76,6 +77,7 @@ pub mod prelude {
     };
     pub use crate::rng::GocRng;
     pub use crate::sensing::{BoxedSensing, Indication, Sensing, SensingFactory};
+    pub use crate::snap::{ForkError, Restore, SnapError, SnapReader, SnapState, SnapWriter, Snapshot};
     pub use crate::strategy::{
         BoxedServer, BoxedUser, Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy,
     };

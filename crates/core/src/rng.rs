@@ -86,6 +86,20 @@ impl GocRng {
         self.seed
     }
 
+    /// The raw xoshiro256++ state words, for snapshotting. Together with
+    /// [`seed`](Self::seed), this is the generator's complete state:
+    /// [`from_state`](Self::from_state) rebuilds a generator that continues
+    /// the exact same output stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.s
+    }
+
+    /// Rebuilds a generator from a [`state`](Self::state)/[`seed`](Self::seed)
+    /// pair captured mid-stream.
+    pub fn from_state(state: [u64; 4], seed: u64) -> Self {
+        GocRng { inner: Xoshiro256 { s: state }, seed }
+    }
+
     /// Derives an independent generator for stream `stream`.
     ///
     /// Forking is deterministic: the same parent seed and stream id always

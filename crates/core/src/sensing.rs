@@ -27,6 +27,7 @@
 //! [`FaultSchedule`](crate::channel::FaultSchedule)). The conformance sweep
 //! in `goc-testkit` checks both claims mechanically.
 
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::view::ViewEvent;
 use std::fmt::Debug;
 
@@ -55,6 +56,25 @@ impl Indication {
     }
 }
 
+impl SnapState for Indication {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.u8(match self {
+            Indication::Positive => 0,
+            Indication::Negative => 1,
+            Indication::Silent => 2,
+        });
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8("indication tag")? {
+            0 => Indication::Positive,
+            1 => Indication::Negative,
+            2 => Indication::Silent,
+            found => return Err(SnapError::BadTag { context: "indication tag", found }),
+        })
+    }
+}
+
 /// A sensing function: consumes the user's view, produces indications.
 ///
 /// Implementations must be **local to the user's view** — they may not peek
@@ -73,6 +93,21 @@ pub trait Sensing: Debug {
     fn name(&self) -> String {
         "sensing".to_string()
     }
+
+    /// Serializes this sensing's accumulated state (see [`crate::snap`]).
+    /// The default refuses, naming the sensing. See
+    /// [`UserStrategy::save_snap`](crate::strategy::UserStrategy::save_snap).
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::unsupported("sensing", self.name()))
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// sensing, which must have been built with the same configuration.
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("sensing", self.name()))
+    }
 }
 
 /// Boxed sensing, as produced by [`SensingFactory`] closures.
@@ -89,6 +124,14 @@ impl Sensing for BoxedSensing {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        (**self).save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_snap(r)
     }
 }
 
@@ -140,7 +183,10 @@ impl<T, F> Debug for FnSensing<T, F> {
     }
 }
 
-impl<T: Clone, F> Sensing for FnSensing<T, F>
+// The `SnapState` bound makes every `FnSensing` checkpointable: the closure
+// is config (rebuilt by the restore skeleton), the fold state is the only
+// mutable part.
+impl<T: Clone + SnapState, F> Sensing for FnSensing<T, F>
 where
     F: FnMut(&mut T, &ViewEvent) -> Indication,
 {
@@ -154,6 +200,16 @@ where
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.state.encode(w);
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = T::decode(r)?;
+        Ok(())
     }
 }
 
@@ -172,6 +228,14 @@ impl Sensing for AlwaysPositive {
     fn name(&self) -> String {
         "always-positive".to_string()
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Sensing that is always negative — trivially safe for finite goals,
@@ -188,6 +252,14 @@ impl Sensing for AlwaysNegative {
 
     fn name(&self) -> String {
         "always-negative".to_string()
+    }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -228,6 +300,16 @@ impl<S: Sensing> Sensing for Grace<S> {
 
     fn name(&self) -> String {
         format!("grace({}, {})", self.grace, self.inner.name())
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.seen);
+        self.inner.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seen = r.u64("grace seen")?;
+        self.inner.restore_snap(r)
     }
 }
 
@@ -290,6 +372,16 @@ impl<S: Sensing> Sensing for Deadline<S> {
     fn name(&self) -> String {
         format!("deadline({}, {})", self.timeout, self.inner.name())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.quiet);
+        self.inner.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.quiet = r.u64("deadline quiet")?;
+        self.inner.restore_snap(r)
+    }
 }
 
 /// Debounces negatives: only every `patience`-th consecutive raw negative is
@@ -344,6 +436,16 @@ impl<S: Sensing> Sensing for Patience<S> {
     fn name(&self) -> String {
         format!("patience({}, {})", self.patience, self.inner.name())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.streak);
+        self.inner.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.streak = r.u64("patience streak")?;
+        self.inner.restore_snap(r)
+    }
 }
 
 /// Combines two sensing functions: positive if **either** is positive,
@@ -382,6 +484,16 @@ impl<A: Sensing, B: Sensing> Sensing for Either<A, B> {
 
     fn name(&self) -> String {
         format!("either({}, {})", self.a.name(), self.b.name())
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.a.save_snap(w)?;
+        self.b.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.a.restore_snap(r)?;
+        self.b.restore_snap(r)
     }
 }
 
@@ -427,6 +539,20 @@ impl<S: Sensing> Sensing for Counted<S> {
 
     fn name(&self) -> String {
         format!("counted({})", self.inner.name())
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u64(self.positives);
+        w.u64(self.negatives);
+        w.u64(self.silents);
+        self.inner.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.positives = r.u64("counted positives")?;
+        self.negatives = r.u64("counted negatives")?;
+        self.silents = r.u64("counted silents")?;
+        self.inner.restore_snap(r)
     }
 }
 

@@ -15,6 +15,7 @@
 
 use crate::msg::{Message, ServerIn, ServerOut, UserIn, UserOut, WorldIn, WorldOut};
 use crate::rng::GocRng;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::fmt::Debug;
 
 /// Per-round context handed to every strategy: the round number and a
@@ -101,6 +102,21 @@ pub trait UserStrategy: Debug {
     fn name(&self) -> String {
         "user".to_string()
     }
+
+    /// Serializes this strategy's mutable state (see [`crate::snap`]). The
+    /// default refuses, naming the strategy — `Execution::save` surfaces the
+    /// refusal so callers know *which* party blocked the checkpoint.
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::unsupported("user", self.name()))
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// strategy, which must have been built with the same configuration.
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("user", self.name()))
+    }
 }
 
 /// A server strategy: the party whose assistance the user seeks.
@@ -122,6 +138,20 @@ pub trait ServerStrategy: Debug {
     fn name(&self) -> String {
         "server".to_string()
     }
+
+    /// Serializes this server's mutable state (see [`crate::snap`]). The
+    /// default refuses, naming the server. See [`UserStrategy::save_snap`].
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::unsupported("server", self.name()))
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// server, which must have been built with the same configuration.
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("server", self.name()))
+    }
 }
 
 /// A world strategy: "the rest of the system", whose state sequence the
@@ -136,6 +166,35 @@ pub trait WorldStrategy: Debug {
     /// A snapshot of the current state, recorded after every round (and once
     /// before round 0, the initial state).
     fn state(&self) -> Self::State;
+
+    /// Serializes this world's mutable state (see [`crate::snap`]). The
+    /// default refuses, naming the type. See [`UserStrategy::save_snap`].
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = w;
+        Err(SnapError::unsupported("world", std::any::type_name::<Self>()))
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// world, which must have been built with the same configuration.
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("world", std::any::type_name::<Self>()))
+    }
+
+    /// Serializes one referee-visible [`State`](Self::State) value —
+    /// `Execution` snapshots record the whole state history the referee
+    /// judges. The default refuses, naming the type.
+    fn snap_state(state: &Self::State, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        let _ = (state, w);
+        Err(SnapError::unsupported("world", std::any::type_name::<Self>()))
+    }
+
+    /// Decodes one [`State`](Self::State) value written by
+    /// [`snap_state`](Self::snap_state).
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<Self::State, SnapError> {
+        let _ = r;
+        Err(SnapError::unsupported("world", std::any::type_name::<Self>()))
+    }
 }
 
 /// A boxed user strategy, as produced by enumerations.
@@ -160,6 +219,14 @@ impl UserStrategy for BoxedUser {
     fn name(&self) -> String {
         (**self).name()
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        (**self).save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_snap(r)
+    }
 }
 
 impl ServerStrategy for BoxedServer {
@@ -173,6 +240,14 @@ impl ServerStrategy for BoxedServer {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        (**self).save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_snap(r)
     }
 }
 
@@ -194,6 +269,14 @@ impl UserStrategy for SilentUser {
     fn name(&self) -> String {
         "silent-user".to_string()
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A server strategy that stays silent forever — the canonical *unhelpful*
@@ -213,6 +296,14 @@ impl ServerStrategy for SilentServer {
     fn name(&self) -> String {
         "silent-server".to_string()
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A server that echoes the user's previous message back to the user.
@@ -230,6 +321,14 @@ impl ServerStrategy for EchoServer {
 
     fn name(&self) -> String {
         "echo-server".to_string()
+    }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // stateless
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 

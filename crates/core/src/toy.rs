@@ -17,6 +17,7 @@ use crate::goal::{CompactGoal, FiniteGoal, Goal, GoalKind};
 use crate::msg::{Message, ServerIn, ServerOut, UserIn, UserOut, WorldIn, WorldOut};
 use crate::rng::GocRng;
 use crate::sensing::{FnSensing, Indication, Sensing};
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy, WorldStrategy};
 use crate::view::ViewEvent;
 
@@ -51,6 +52,22 @@ impl MagicWorld {
     }
 }
 
+impl SnapState for MagicState {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.u64(self.heard_count);
+        self.last_heard_round.encode(w);
+        w.u64(self.round);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MagicState {
+            heard_count: r.u64("magic heard_count")?,
+            last_heard_round: Option::<u64>::decode(r)?,
+            round: r.u64("magic round")?,
+        })
+    }
+}
+
 impl WorldStrategy for MagicWorld {
     type State = MagicState;
 
@@ -67,6 +84,25 @@ impl WorldStrategy for MagicWorld {
 
     fn state(&self) -> MagicState {
         self.state.clone()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.state.encode(w);
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = MagicState::decode(r)?;
+        Ok(())
+    }
+
+    fn snap_state(state: &MagicState, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        state.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<MagicState, SnapError> {
+        MagicState::decode(r)
     }
 }
 
@@ -197,6 +233,14 @@ impl ServerStrategy for RelayServer {
     fn name(&self) -> String {
         format!("caesar-relay(+{})", self.shift)
     }
+
+    fn save_snap(&self, _w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        Ok(()) // the shift is config, recorded in the name tag
+    }
+
+    fn restore_snap(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A user that sends a fixed phrase to the server every round and halts on
@@ -260,6 +304,16 @@ impl UserStrategy for SayThrough {
             if self.persistent { ", persistent" } else { "" }
         )
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.halt.encode(w);
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.halt = Option::<Halt>::decode(r)?;
+        Ok(())
+    }
 }
 
 /// The enumerable class of Caesar-compensating users for `word`, one per
@@ -319,6 +373,22 @@ impl FragileWorld {
     }
 }
 
+impl SnapState for FragileState {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.bool(self.heard);
+        w.bool(self.poisoned);
+        w.u64(self.round);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FragileState {
+            heard: r.bool("fragile heard")?,
+            poisoned: r.bool("fragile poisoned")?,
+            round: r.u64("fragile round")?,
+        })
+    }
+}
+
 impl WorldStrategy for FragileWorld {
     type State = FragileState;
 
@@ -338,6 +408,25 @@ impl WorldStrategy for FragileWorld {
 
     fn state(&self) -> FragileState {
         self.state.clone()
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.state.encode(w);
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = FragileState::decode(r)?;
+        Ok(())
+    }
+
+    fn snap_state(state: &FragileState, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        state.encode(w);
+        Ok(())
+    }
+
+    fn restore_state(r: &mut SnapReader<'_>) -> Result<FragileState, SnapError> {
+        FragileState::decode(r)
     }
 }
 

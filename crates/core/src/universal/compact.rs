@@ -6,6 +6,7 @@ use crate::enumeration::StrategyEnumerator;
 use crate::msg::{UserIn, UserOut};
 use crate::rng::GocRng;
 use crate::sensing::{BoxedSensing, Sensing};
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
 use crate::view::ViewEvent;
 use std::collections::{BTreeMap, VecDeque};
@@ -459,6 +460,132 @@ impl UserStrategy for CompactUniversalUser {
     fn name(&self) -> String {
         format!("compact-universal({})", self.enumerator.name())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.u8(match self.policy {
+            ResumePolicy::Restart => 0,
+            ResumePolicy::Replay => 1,
+            ResumePolicy::Resume => 2,
+        });
+        self.schedule.encode(w);
+        w.usize(self.current_index);
+        w.str(&self.current.name());
+        w.block(|w| self.current.save_snap(w))?;
+        self.switches.encode(w);
+        w.bool(self.pending_switch);
+        // Lookahead candidates are freshly built and never stepped (Restart
+        // policy only), so indices suffice: restore rebuilds them through the
+        // same pure `batch` call.
+        let indices: Vec<usize> = self.lookahead.iter().map(|&(i, _)| i).collect();
+        indices.encode(w);
+        self.prefetched_indices.encode(w);
+        self.slot_rng.encode(w);
+        w.u64(self.replayed_rounds);
+        w.u64(self.resumed_switches);
+        w.u64(self.slots.len() as u64);
+        for (&index, slot) in &self.slots {
+            w.usize(index);
+            match &slot.user {
+                None => w.u8(0),
+                Some(user) => {
+                    w.u8(1);
+                    w.str(&user.name());
+                    w.block(|w| user.save_snap(w))?;
+                }
+            }
+            slot.rng.encode(w);
+            slot.history.encode(w);
+        }
+        w.block(|w| self.sensing.save_snap(w))
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let policy = match r.u8("resume policy tag")? {
+            0 => ResumePolicy::Restart,
+            1 => ResumePolicy::Replay,
+            2 => ResumePolicy::Resume,
+            found => return Err(SnapError::BadTag { context: "resume policy tag", found }),
+        };
+        if policy != self.policy {
+            // The policy is configuration (chosen at construction, often via
+            // GOC_RESUME), not mutable state: a skeleton built under a
+            // different policy cannot continue this run bit-identically.
+            return Err(SnapError::Mismatch {
+                context: "resume policy",
+                expected: format!("{:?}", self.policy),
+                found: format!("{policy:?}"),
+            });
+        }
+        self.schedule = Schedule::decode(r)?;
+        self.current_index = r.usize("compact current index")?;
+        let saved_name = r.str("compact current name")?.to_string();
+        let mut current = self
+            .enumerator
+            .strategy(self.current_index)
+            .ok_or(SnapError::Malformed { context: "compact current index" })?;
+        if current.name() != saved_name {
+            return Err(SnapError::Mismatch {
+                context: "compact current candidate",
+                expected: current.name(),
+                found: saved_name,
+            });
+        }
+        let mut block = r.block("compact current block")?;
+        current.restore_snap(&mut block)?;
+        block.finish()?;
+        self.current = current;
+        self.switches = Vec::<SwitchRecord>::decode(r)?;
+        self.pending_switch = r.bool("compact pending switch")?;
+        let indices = Vec::<usize>::decode(r)?;
+        self.lookahead.clear();
+        for (&index, candidate) in indices.iter().zip(self.enumerator.batch(&indices)) {
+            let candidate =
+                candidate.ok_or(SnapError::Malformed { context: "compact lookahead index" })?;
+            self.lookahead.push_back((index, candidate));
+        }
+        self.prefetched_indices = Option::<Vec<usize>>::decode(r)?;
+        if let Some(next) = &self.prefetched_indices {
+            // Re-issue the (advisory, observably inert) construction hint the
+            // saved run had outstanding.
+            self.enumerator.prefetch(next);
+        }
+        self.slot_rng = Option::<GocRng>::decode(r)?;
+        self.replayed_rounds = r.u64("compact replayed rounds")?;
+        self.resumed_switches = r.u64("compact resumed switches")?;
+        let n = r.count("slot count")?;
+        self.slots.clear();
+        for _ in 0..n {
+            let index = r.usize("slot index")?;
+            let user = match r.u8("slot user tag")? {
+                0 => None,
+                1 => {
+                    let saved_name = r.str("slot user name")?.to_string();
+                    let mut user = self
+                        .enumerator
+                        .strategy(index)
+                        .ok_or(SnapError::Malformed { context: "slot index" })?;
+                    if user.name() != saved_name {
+                        return Err(SnapError::Mismatch {
+                            context: "slot candidate",
+                            expected: user.name(),
+                            found: saved_name,
+                        });
+                    }
+                    let mut block = r.block("slot user block")?;
+                    user.restore_snap(&mut block)?;
+                    block.finish()?;
+                    Some(user)
+                }
+                found => return Err(SnapError::BadTag { context: "slot user tag", found }),
+            };
+            let rng = Option::<GocRng>::decode(r)?;
+            let history = Vec::<(u64, UserIn)>::decode(r)?;
+            self.slots.insert(index, Slot { user, rng, history });
+        }
+        let mut block = r.block("compact sensing block")?;
+        self.sensing.restore_snap(&mut block)?;
+        block.finish()
+    }
 }
 
 #[cfg(test)]
@@ -635,6 +762,16 @@ mod tests {
             self.n += 1;
             out
         }
+
+        fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+            w.u64(self.n);
+            Ok(())
+        }
+
+        fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+            self.n = r.u64("counter")?;
+            Ok(())
+        }
     }
 
     /// Builds a universal user over two stateful counters whose sensing
@@ -695,6 +832,58 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_count >= 10, "resumed counters should advance well past 0, got {max_count}");
+    }
+
+    #[test]
+    fn snapshot_resumes_bit_identically_under_every_policy() {
+        for policy in [ResumePolicy::Restart, ResumePolicy::Replay, ResumePolicy::Resume] {
+            let mut live = counting_universal(policy);
+            let mut rng = GocRng::seed_from_u64(31);
+            for round in 0..37 {
+                let mut ctx = StepCtx::new(round, &mut rng);
+                let _ = live.step(&mut ctx, &UserIn::default());
+            }
+            let mut bytes = Vec::new();
+            live.save_snap(&mut SnapWriter::new(&mut bytes)).unwrap();
+
+            let mut restored = counting_universal(policy);
+            let mut r = SnapReader::new(&bytes);
+            restored.restore_snap(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(restored.current_index(), live.current_index());
+
+            let mut rng2 = rng.clone();
+            for round in 37..120 {
+                let mut c1 = StepCtx::new(round, &mut rng);
+                let mut c2 = StepCtx::new(round, &mut rng2);
+                assert_eq!(
+                    live.step(&mut c1, &UserIn::default()),
+                    restored.step(&mut c2, &UserIn::default()),
+                    "policy {policy:?} diverged at round {round}"
+                );
+            }
+            assert_eq!(live.switch_log(), restored.switch_log());
+            assert_eq!(live.replayed_rounds(), restored.replayed_rounds());
+            assert_eq!(live.resumed_switches(), restored.resumed_switches());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_policy_mismatch() {
+        let mut live = counting_universal(ResumePolicy::Resume);
+        let mut rng = GocRng::seed_from_u64(32);
+        for round in 0..10 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = live.step(&mut ctx, &UserIn::default());
+        }
+        let mut bytes = Vec::new();
+        live.save_snap(&mut SnapWriter::new(&mut bytes)).unwrap();
+        let mut wrong = counting_universal(ResumePolicy::Restart);
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            wrong.restore_snap(&mut r),
+            Err(SnapError::Mismatch { context: "resume policy", .. })
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use super::SwitchRecord;
 use crate::enumeration::StrategyEnumerator;
 use crate::msg::{UserIn, UserOut};
 use crate::sensing::{BoxedSensing, Sensing};
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 use crate::strategy::{BoxedUser, Halt, StepCtx, UserStrategy};
 use crate::view::ViewEvent;
 use std::collections::VecDeque;
@@ -307,6 +308,69 @@ impl UserStrategy for LevinUniversalUser {
     fn name(&self) -> String {
         format!("levin-universal({})", self.enumerator.name())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.schedule.encode(w);
+        w.usize(self.current_index);
+        w.str(&self.current.name());
+        w.block(|w| self.current.save_snap(w))?;
+        w.u64(self.budget_left);
+        self.halt.encode(w);
+        self.switches.encode(w);
+        w.u64(self.slots_used);
+        // Lookahead candidates are freshly built and never stepped, so
+        // `(index, budget)` pairs suffice: restore rebuilds them through the
+        // same pure `batch` call that built them originally.
+        let slots: Vec<(usize, u64)> = self.lookahead.iter().map(|&(i, b, _)| (i, b)).collect();
+        slots.encode(w);
+        self.prefetched_slots.encode(w);
+        w.block(|w| self.sensing.save_snap(w))
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.schedule = BudgetSchedule::decode(r)?;
+        self.current_index = r.usize("levin current index")?;
+        let saved_name = r.str("levin current name")?.to_string();
+        let mut current = self
+            .enumerator
+            .strategy(self.current_index)
+            .ok_or(SnapError::Malformed { context: "levin current index" })?;
+        if current.name() != saved_name {
+            return Err(SnapError::Mismatch {
+                context: "levin current candidate",
+                expected: current.name(),
+                found: saved_name,
+            });
+        }
+        let mut block = r.block("levin current block")?;
+        current.restore_snap(&mut block)?;
+        block.finish()?;
+        self.current = current;
+        self.budget_left = r.u64("levin budget")?;
+        self.halt = Option::<Halt>::decode(r)?;
+        self.switches = Vec::<SwitchRecord>::decode(r)?;
+        self.slots_used = r.u64("levin slots used")?;
+        let slots = Vec::<(usize, u64)>::decode(r)?;
+        let indices: Vec<usize> = slots.iter().map(|&(i, _)| i).collect();
+        self.lookahead.clear();
+        for ((index, budget), candidate) in
+            slots.into_iter().zip(self.enumerator.batch(&indices))
+        {
+            let candidate =
+                candidate.ok_or(SnapError::Malformed { context: "levin lookahead index" })?;
+            self.lookahead.push_back((index, budget, candidate));
+        }
+        self.prefetched_slots = Option::<Vec<(usize, u64)>>::decode(r)?;
+        if let Some(next) = &self.prefetched_slots {
+            // Re-issue the (advisory, observably inert) construction hint the
+            // saved run had outstanding.
+            let next_indices: Vec<usize> = next.iter().map(|&(i, _)| i).collect();
+            self.enumerator.prefetch(&next_indices);
+        }
+        let mut block = r.block("levin sensing block")?;
+        self.sensing.restore_snap(&mut block)?;
+        block.finish()
+    }
 }
 
 #[cfg(test)]
@@ -442,5 +506,59 @@ mod tests {
         let u = universal(4, 4);
         assert!(format!("{u:?}").contains("LevinUniversalUser"));
         assert!(u.name().contains("levin-universal"));
+    }
+
+    #[test]
+    fn snapshot_resumes_bit_identically() {
+        let mut live = universal(8, 4);
+        let mut rng = GocRng::seed_from_u64(21);
+        for round in 0..57 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = live.step(&mut ctx, &UserIn::default());
+        }
+        let mut bytes = Vec::new();
+        live.save_snap(&mut crate::snap::SnapWriter::new(&mut bytes)).unwrap();
+
+        let mut restored = universal(8, 4);
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        restored.restore_snap(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.current_index(), live.current_index());
+        assert_eq!(restored.slots_used(), live.slots_used());
+
+        let mut rng2 = rng.clone();
+        for round in 57..250 {
+            let mut c1 = StepCtx::new(round, &mut rng);
+            let mut c2 = StepCtx::new(round, &mut rng2);
+            assert_eq!(
+                live.step(&mut c1, &UserIn::default()),
+                restored.step(&mut c2, &UserIn::default()),
+                "diverged at round {round}"
+            );
+        }
+        assert_eq!(live.switch_log(), restored.switch_log());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_class() {
+        let mut live = universal(8, 4);
+        let mut rng = GocRng::seed_from_u64(22);
+        for round in 0..20 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = live.step(&mut ctx, &UserIn::default());
+        }
+        let mut bytes = Vec::new();
+        live.save_snap(&mut crate::snap::SnapWriter::new(&mut bytes)).unwrap();
+        // A skeleton over a different phrase has different candidate names.
+        let mut wrong = LevinUniversalUser::new(
+            Box::new(toy::caesar_class("yo", 8, false)),
+            Box::new(toy::ack_sensing()),
+            4,
+        );
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        assert!(matches!(
+            wrong.restore_snap(&mut r),
+            Err(crate::snap::SnapError::Mismatch { .. })
+        ));
     }
 }

@@ -39,3 +39,18 @@ pub struct SwitchRecord {
     /// Index of the strategy adopted.
     pub to_index: usize,
 }
+
+impl crate::snap::SnapState for SwitchRecord {
+    fn encode(&self, w: &mut crate::snap::SnapWriter<'_>) {
+        w.u64(self.round);
+        w.usize(self.from_index);
+        w.usize(self.to_index);
+    }
+    fn decode(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(SwitchRecord {
+            round: r.u64("switch round")?,
+            from_index: r.usize("switch from")?,
+            to_index: r.usize("switch to")?,
+        })
+    }
+}

@@ -1,6 +1,7 @@
 //! Visitation schedules for the universal constructions.
 
 use crate::enumeration::{LinearSchedule, TriangularSchedule};
+use crate::snap::{SnapError, SnapReader, SnapState, SnapWriter};
 
 /// The strategy-visitation schedule of the compact universal user.
 ///
@@ -50,6 +51,28 @@ impl Iterator for Schedule {
         match self {
             Schedule::Triangular(s) => s.next(),
             Schedule::Linear(s) => s.next(),
+        }
+    }
+}
+
+impl SnapState for Schedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        match self {
+            Schedule::Triangular(s) => {
+                w.u8(0);
+                s.encode(w);
+            }
+            Schedule::Linear(s) => {
+                w.u8(1);
+                s.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("schedule tag")? {
+            0 => Ok(Schedule::Triangular(TriangularSchedule::decode(r)?)),
+            1 => Ok(Schedule::Linear(LinearSchedule::decode(r)?)),
+            found => Err(SnapError::BadTag { context: "schedule tag", found }),
         }
     }
 }
@@ -104,20 +127,54 @@ impl Iterator for LevinSchedule {
     fn next(&mut self) -> Option<(usize, u64)> {
         loop {
             if self.pos > self.phase {
-                self.phase += 1;
+                self.phase = self.phase.saturating_add(1);
                 self.pos = 0;
             }
             let i = self.pos;
-            self.pos += 1;
+            self.pos = self.pos.saturating_add(1);
             if let Some(n) = self.bound {
                 if (i as usize) >= n {
-                    // Finite class: skip non-existent candidates; the phase
-                    // loop still grows the budgets of the real ones.
+                    // Finite class: every remaining slot of this phase names
+                    // a non-existent candidate too, so advance the phase
+                    // directly — the budgets of the real candidates still
+                    // grow, and the cursor stays total even for decoded
+                    // cursors with absurd phase values.
+                    self.phase = self.phase.saturating_add(1);
+                    self.pos = 0;
                     continue;
                 }
             }
             return Some((i as usize, self.budget(self.phase, i)));
         }
+    }
+}
+
+impl SnapState for LevinSchedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.u64(self.base);
+        w.u32(self.phase);
+        w.u32(self.pos);
+        self.bound.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let base = r.u64("levin base")?;
+        let phase = r.u32("levin phase")?;
+        let pos = r.u32("levin pos")?;
+        let bound = Option::<usize>::decode(r)?;
+        if base == 0 || bound == Some(0) {
+            // The constructor's invariants: base 0 degenerates every budget,
+            // an empty bound makes `next` spin forever.
+            return Err(SnapError::Malformed { context: "levin schedule" });
+        }
+        // A live cursor keeps `pos ≤ phase + 1` (the wrap fires as soon as
+        // the position passes the phase) and, when bounded, `pos ≤ n`
+        // (every yield has `i < n`; the skip resets to 0).
+        let honest = u64::from(pos) <= u64::from(phase) + 1
+            && bound.map_or(true, |n| pos as usize <= n);
+        if !honest {
+            return Err(SnapError::Malformed { context: "levin cursor" });
+        }
+        Ok(LevinSchedule { base, phase, pos, bound })
     }
 }
 
@@ -166,11 +223,33 @@ impl Iterator for RoundRobinDoubling {
     fn next(&mut self) -> Option<(usize, u64)> {
         if self.pos == self.n {
             self.pos = 0;
-            self.pass = (self.pass + 1).min(62);
+            self.pass = self.pass.saturating_add(1).min(62);
         }
         let i = self.pos;
-        self.pos += 1;
+        self.pos = self.pos.saturating_add(1);
         Some((i, self.base.saturating_mul(1u64 << self.pass)))
+    }
+}
+
+impl SnapState for RoundRobinDoubling {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        w.u64(self.base);
+        w.usize(self.n);
+        w.usize(self.pos);
+        w.u32(self.pass);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let base = r.u64("round-robin base")?;
+        let n = r.usize("round-robin n")?;
+        let pos = r.usize("round-robin pos")?;
+        let pass = r.u32("round-robin pass")?;
+        // `pass > 62` can never be reached (the doubling saturates there),
+        // and `1u64 << pass` would panic on it — a hostile snapshot must
+        // not pick the shift amount.
+        if base == 0 || n == 0 || pos > n || pass > 62 {
+            return Err(SnapError::Malformed { context: "round-robin schedule" });
+        }
+        Ok(RoundRobinDoubling { base, n, pos, pass })
     }
 }
 
@@ -193,6 +272,28 @@ impl BudgetSchedule {
     /// Round-robin doubling over a finite class of `n` strategies.
     pub fn round_robin(base: u64, n: usize) -> Self {
         BudgetSchedule::RoundRobin(RoundRobinDoubling::new(base, n))
+    }
+}
+
+impl SnapState for BudgetSchedule {
+    fn encode(&self, w: &mut SnapWriter<'_>) {
+        match self {
+            BudgetSchedule::Levin(s) => {
+                w.u8(0);
+                s.encode(w);
+            }
+            BudgetSchedule::RoundRobin(s) => {
+                w.u8(1);
+                s.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8("budget schedule tag")? {
+            0 => Ok(BudgetSchedule::Levin(LevinSchedule::decode(r)?)),
+            1 => Ok(BudgetSchedule::RoundRobin(RoundRobinDoubling::decode(r)?)),
+            found => Err(SnapError::BadTag { context: "budget schedule tag", found }),
+        }
     }
 }
 

@@ -10,6 +10,7 @@ use crate::cache::{self, CachedRound, RoundKey};
 use crate::machine::{DecodedProgram, Machine, RoundIo};
 use crate::program::Program;
 use goc_core::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
+use goc_core::snap::{SnapError, SnapReader, SnapWriter};
 use goc_core::strategy::{Halt, ServerStrategy, StepCtx, UserStrategy};
 use std::sync::Arc;
 
@@ -458,6 +459,60 @@ impl UserStrategy for VmUser {
     fn name(&self) -> String {
         format!("vm-user[{} bytes]", self.machine.program().len())
     }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        // The cache switch is configuration, not state: under the cache the
+        // machine's registers lag the interaction (rounds served from the
+        // cache are replayed lazily), so a snapshot taken with the cache on
+        // is only resumable with the cache on — and vice versa.
+        w.bool(self.use_cache);
+        w.block(|w| self.machine.save_snap(w))?;
+        w.u128(self.prefix_hash);
+        w.u64(self.pending_replay.len() as u64);
+        for (a, b) in &self.pending_replay {
+            w.bytes(a);
+            w.bytes(b);
+        }
+        match &self.halted_view {
+            None => w.u8(0),
+            Some(out) => {
+                w.u8(1);
+                w.bytes(out);
+            }
+        }
+        Ok(())
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let use_cache = r.bool("vm-user cache flag")?;
+        if use_cache != self.use_cache {
+            return Err(SnapError::Mismatch {
+                context: "vm-user cache flag",
+                expected: self.use_cache.to_string(),
+                found: use_cache.to_string(),
+            });
+        }
+        let mut block = r.block("vm-user machine")?;
+        self.machine.restore_snap(&mut block)?;
+        block.finish()?;
+        self.prefix_hash = r.u128("vm-user prefix hash")?;
+        let n = r.count("vm-user replay count")?;
+        self.pending_replay.clear();
+        for _ in 0..n {
+            let a = r.bytes("vm-user replay inbox a")?.to_vec();
+            let b = r.bytes("vm-user replay inbox b")?.to_vec();
+            self.pending_replay.push((a, b));
+        }
+        self.halted_view = match r.u8("vm-user halt tag")? {
+            0 => None,
+            1 => Some(r.bytes("vm-user halt output")?.to_vec()),
+            found => return Err(SnapError::BadTag { context: "vm-user halt tag", found }),
+        };
+        // The decode table is a pure function of the program bytes; drop any
+        // stale pin and let the next round rebuild (or re-share) it.
+        self.decoded = None;
+        Ok(())
+    }
 }
 
 /// A server strategy interpreting a VM [`Program`].
@@ -505,6 +560,14 @@ impl ServerStrategy for VmServer {
 
     fn name(&self) -> String {
         format!("vm-server[{} bytes]", self.machine.program().len())
+    }
+
+    fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        self.machine.save_snap(w)
+    }
+
+    fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.machine.restore_snap(r)
     }
 }
 
@@ -701,5 +764,73 @@ mod tests {
     fn names_mention_size() {
         assert!(VmUser::new(programs::idle()).name().contains("vm-user[0 bytes]"));
         assert!(VmServer::new(programs::relay()).name().contains("vm-server"));
+    }
+
+    #[test]
+    fn vm_user_snapshot_resumes_bit_identically() {
+        use goc_core::snap::{SnapReader, SnapWriter};
+        for cache in [false, true] {
+            let mk = || VmUser::new(programs::caesar_relay_exact(2, 3)).with_cache_enabled(cache);
+            let input = UserIn { from_server: Message::from("ab"), from_world: Message::from("ok") };
+            let mut live = mk();
+            let mut rng = GocRng::seed_from_u64(0);
+            for round in 0..9 {
+                let mut ctx = StepCtx::new(round, &mut rng);
+                let _ = live.step(&mut ctx, &input);
+            }
+            let mut bytes = Vec::new();
+            live.save_snap(&mut SnapWriter::new(&mut bytes)).unwrap();
+
+            let mut restored = mk();
+            let mut r = SnapReader::new(&bytes);
+            restored.restore_snap(&mut r).unwrap();
+            r.finish().unwrap();
+
+            for round in 9..25 {
+                let mut c1 = StepCtx::new(round, &mut rng);
+                let out_live = live.step(&mut c1, &input);
+                let mut c2 = StepCtx::new(round, &mut rng);
+                let out_restored = restored.step(&mut c2, &input);
+                assert_eq!(out_live, out_restored, "cache={cache} diverged at round {round}");
+            }
+            assert_eq!(UserStrategy::halted(&live), UserStrategy::halted(&restored));
+        }
+    }
+
+    #[test]
+    fn vm_server_snapshot_roundtrips() {
+        use goc_core::snap::{SnapReader, SnapWriter};
+        let mut live = VmServer::new(programs::caesar_relay_exact(2, 5));
+        let input = ServerIn { from_user: Message::from("hi"), from_world: Message::silence() };
+        let mut rng = GocRng::seed_from_u64(1);
+        for round in 0..5 {
+            let mut ctx = StepCtx::new(round, &mut rng);
+            let _ = live.step(&mut ctx, &input);
+        }
+        let mut bytes = Vec::new();
+        live.save_snap(&mut SnapWriter::new(&mut bytes)).unwrap();
+        let mut restored = VmServer::new(programs::caesar_relay_exact(2, 5));
+        let mut r = SnapReader::new(&bytes);
+        restored.restore_snap(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.machine().regs(), live.machine().regs());
+        assert_eq!(
+            restored.machine().instructions_retired(),
+            live.machine().instructions_retired()
+        );
+    }
+
+    #[test]
+    fn vm_snapshot_rejects_different_program() {
+        use goc_core::snap::{SnapError, SnapReader, SnapWriter};
+        let live = VmUser::new(programs::say_to_peer(b"hi")).with_cache_enabled(false);
+        let mut bytes = Vec::new();
+        live.save_snap(&mut SnapWriter::new(&mut bytes)).unwrap();
+        let mut wrong = VmUser::new(programs::say_to_peer(b"yo!")).with_cache_enabled(false);
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            wrong.restore_snap(&mut r),
+            Err(SnapError::Mismatch { context: "vm program", .. })
+        ));
     }
 }

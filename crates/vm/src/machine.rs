@@ -12,6 +12,7 @@
 
 use crate::instr::{Chan, Instr, REG_COUNT};
 use crate::program::Program;
+use goc_core::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Register sentinel stored by `read.*` when the inbox is exhausted.
 pub const EXHAUSTED: u64 = 0x100;
@@ -259,6 +260,60 @@ impl Machine {
     /// arena recycle program buffers on elimination).
     pub fn into_program(self) -> Program {
         self.program
+    }
+
+    /// Serializes the machine's mutable state (registers, halt payload,
+    /// retired-instruction count), prefixed by its identity — the canonical
+    /// program bytes and the fuel budget — which
+    /// [`restore_snap`](Self::restore_snap) verifies rather than rebuilds.
+    pub fn save_snap(&self, w: &mut SnapWriter<'_>) -> Result<(), SnapError> {
+        w.bytes(self.program.as_bytes());
+        w.u32(self.fuel_per_round);
+        for r in self.regs {
+            w.u64(r);
+        }
+        match &self.halted {
+            None => w.u8(0),
+            Some(out) => {
+                w.u8(1);
+                w.bytes(out);
+            }
+        }
+        w.u64(self.instructions_retired);
+        Ok(())
+    }
+
+    /// Restores state written by [`save_snap`](Self::save_snap) into this
+    /// machine, which must run the same program with the same fuel budget
+    /// ([`SnapError::Mismatch`] otherwise — a different program cannot
+    /// continue the saved run).
+    pub fn restore_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let program = r.bytes("vm program")?;
+        if program != self.program.as_bytes() {
+            return Err(SnapError::Mismatch {
+                context: "vm program",
+                expected: format!("{} bytes", self.program.len()),
+                found: format!("{} bytes", program.len()),
+            });
+        }
+        let fuel = r.u32("vm fuel")?;
+        if fuel != self.fuel_per_round {
+            return Err(SnapError::Mismatch {
+                context: "vm fuel",
+                expected: self.fuel_per_round.to_string(),
+                found: fuel.to_string(),
+            });
+        }
+        for slot in &mut self.regs {
+            *slot = r.u64("vm register")?;
+        }
+        self.halted = match r.u8("vm halt tag")? {
+            0 => None,
+            1 => Some(r.bytes("vm halt output")?.to_vec()),
+            found => return Err(SnapError::BadTag { context: "vm halt tag", found }),
+        };
+        self.instructions_retired = r.u64("vm retired")?;
+        Ok(())
     }
 }
 

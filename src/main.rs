@@ -34,6 +34,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("vm-asm") => cmd_vm_asm(&args[1..]),
         Some("vm-run") => cmd_vm_run(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("list") => {
             println!("scenarios: {}", SCENARIOS.join(", "));
             ExitCode::SUCCESS
@@ -61,9 +63,12 @@ USAGE:
     goc trace <scenario> [--seed N] [--limit N]
     goc vm-asm <file|->
     goc vm-run <file|-> [--rounds N]
+    goc snapshot <snap-scenario> [--seed N] [--round N] [--out FILE]
+    goc resume <snap-scenario> [--seed N] [--horizon N] [--checkpoint N | --snap FILE]
     goc list
 
 Scenarios: magic, printing, delegation, transmission, navigation, multiparty
+Snapshot scenarios: magic, magic-compact
 ";
 
 const SCENARIOS: [&str; 6] =
@@ -238,6 +243,165 @@ fn run_scenario(
         }
         _ => None,
     }
+}
+
+/// Looks up a `--key value` string flag.
+fn flag_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    let flag = format!("--{key}");
+    args.iter().position(|a| a == &flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+}
+
+/// Builds a snapshot-capable scenario's execution skeleton. Restoring a
+/// snapshot needs the *same constructors and seed* as the saved run (see
+/// `goc_core::snap`), so these scenarios are deliberately deterministic
+/// functions of `(name, seed)`.
+///
+/// Returns `(execution, stop_on_halt, label)`; `stop_on_halt` is true for
+/// finite-goal scenarios (the driver stops once the user halts) and false
+/// for compact ones (the system runs the full horizon regardless).
+fn build_snap_scenario(
+    name: &str,
+    seed: u64,
+) -> Option<(Execution<toy::MagicWorld>, bool, String)> {
+    let mut rng = GocRng::seed_from_u64(seed);
+    match name {
+        "magic" => {
+            let goal = toy::MagicWordGoal::new("xyzzy");
+            let user = LevinUniversalUser::round_robin(
+                Box::new(toy::caesar_class("xyzzy", 16, false)),
+                Box::new(toy::ack_sensing()),
+                8,
+            );
+            let shift = (rng.below(16)) as u8;
+            let exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(toy::RelayServer::with_shift(shift)),
+                Box::new(user),
+                rng,
+            );
+            Some((exec, true, format!("magic word via Caesar relay (+{shift})")))
+        }
+        "magic-compact" => {
+            let goal = toy::CompactMagicWordGoal::new("xyzzy", 16);
+            let user = CompactUniversalUser::new(
+                Box::new(toy::caesar_class("xyzzy", 16, true)),
+                Box::new(Deadline::new(toy::ack_sensing(), 16)),
+            );
+            let shift = (rng.below(16)) as u8;
+            let exec = Execution::new(
+                goal.spawn_world(&mut rng),
+                Box::new(toy::RelayServer::with_shift(shift)),
+                Box::new(user),
+                rng,
+            );
+            Some((exec, false, format!("compact magic word via Caesar relay (+{shift})")))
+        }
+        _ => None,
+    }
+}
+
+/// Steps `exec` until round `target` (or, when `stop_on_halt`, until the
+/// user halts) through the same manual loop every snapshot path uses, so
+/// interrupted and uninterrupted runs are round-for-round comparable.
+fn step_to(exec: &mut Execution<toy::MagicWorld>, target: u64, stop_on_halt: bool) {
+    while exec.round() < target {
+        if stop_on_halt && exec.user().halted().is_some() {
+            break;
+        }
+        exec.step();
+    }
+}
+
+/// The deterministic end-of-run summary both `resume` modes print; byte
+/// equality of this line (plus `GOC_TRACE` output) is what CI's differential
+/// gate compares between interrupted and uninterrupted runs.
+fn print_outcome(label: &str, exec: &Execution<toy::MagicWorld>) {
+    let heard = exec.world_states().last().map(|s| s.heard_count).unwrap_or(0);
+    println!(
+        "{label}: round {}, halted {}, heard {}",
+        exec.round(),
+        exec.user().halted().is_some(),
+        heard
+    );
+}
+
+fn cmd_snapshot(args: &[String]) -> ExitCode {
+    let (positional, flag) = parse_flags(args);
+    let Some(&scenario) = positional.first() else {
+        eprintln!("usage: goc snapshot <scenario> [--seed N] [--round N] [--out FILE]");
+        return ExitCode::FAILURE;
+    };
+    let seed = flag("seed", 42);
+    let round = flag("round", 500);
+    let out = flag_str(args, "out").unwrap_or("goc.snap");
+    let Some((mut exec, stop_on_halt, label)) = build_snap_scenario(scenario, seed) else {
+        eprintln!("unknown snapshot scenario `{scenario}`; try: magic, magic-compact");
+        return ExitCode::FAILURE;
+    };
+    step_to(&mut exec, round, stop_on_halt);
+    let bytes = match exec.save_to_vec() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("snapshot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("{out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{label}: saved {} bytes at round {} to {out}", bytes.len(), exec.round());
+    ExitCode::SUCCESS
+}
+
+fn cmd_resume(args: &[String]) -> ExitCode {
+    let (positional, flag) = parse_flags(args);
+    let Some(&scenario) = positional.first() else {
+        eprintln!(
+            "usage: goc resume <scenario> [--seed N] [--horizon N] [--checkpoint N | --snap FILE]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let seed = flag("seed", 42);
+    let horizon = flag("horizon", 20_000);
+    let Some((mut exec, stop_on_halt, label)) = build_snap_scenario(scenario, seed) else {
+        eprintln!("unknown snapshot scenario `{scenario}`; try: magic, magic-compact");
+        return ExitCode::FAILURE;
+    };
+    let bytes = if let Some(path) = flag_str(args, "snap") {
+        // File mode: resume a run saved by `goc snapshot`.
+        match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Differential mode: run to the checkpoint in-process, save, and
+        // restore into a fresh skeleton. `--checkpoint 0` exercises the
+        // identical code path without any pre-checkpoint rounds, so the two
+        // invocations are byte-comparable on stdout and `GOC_TRACE`.
+        let checkpoint = flag("checkpoint", 0);
+        step_to(&mut exec, checkpoint, stop_on_halt);
+        match exec.save_to_vec() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("snapshot failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let Some((mut resumed, _, _)) = build_snap_scenario(scenario, seed) else {
+        unreachable!("scenario validated above");
+    };
+    if let Err(e) = resumed.restore(&bytes) {
+        eprintln!("restore failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    step_to(&mut resumed, horizon, stop_on_halt);
+    print_outcome(&label, &resumed);
+    ExitCode::SUCCESS
 }
 
 fn cmd_demo(args: &[String]) -> ExitCode {
