@@ -7,6 +7,15 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+# Bench profile: quick (3 samples) by default, so the smoke stays fast;
+# CI_BENCH_FULL=1 runs the full sample counts — slower, steadier medians.
+# The regression check at the bottom keys off the same knob.
+if [ "${CI_BENCH_FULL:-0}" = "1" ]; then
+  unset GOC_BENCH_QUICK
+else
+  export GOC_BENCH_QUICK=1
+fi
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
@@ -22,29 +31,33 @@ GOC_THREADS=4 GOC_PREWARM=1 cargo test -q --offline --workspace
 echo "== tests (offline, parallel trial engine: GOC_THREADS=4, prewarm off) =="
 GOC_THREADS=4 GOC_PREWARM=0 cargo test -q --offline --workspace
 
-echo "== bench harness smoke (quick, offline) =="
+echo "== bench harness smoke (${GOC_BENCH_QUICK:+quick, }offline) =="
 rm -f target/goc-bench.jsonl  # JSON lines append; start the smoke run clean
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e9_substrate
+cargo bench --offline -p goc-bench --bench e9_substrate
 # e4 carries the sequential-vs-parallel @tN pairs and the VM candidate-cache
 # probe, so the summary below can show speedup and hit-rate columns.
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e4_enumeration_overhead
+cargo bench --offline -p goc-bench --bench e4_enumeration_overhead
 # e12 exercises the channel layer (noisy links + scheduled outage recovery).
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e12_noise_sweep
+cargo bench --offline -p goc-bench --bench e12_noise_sweep
 # e13 prices the zero-copy round loop: settle arms (pooled+resume vs
 # eager+replay) feed the >= 2x gate below; the count-allocs feature makes
 # the steady arms record allocations per iteration for the zero-alloc gate.
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e13_zero_copy --features count-allocs
+cargo bench --offline -p goc-bench --bench e13_zero_copy --features count-allocs
 # e2 carries the finite-Levin settle medians the BENCH_*.json regression
 # compare below watches across PRs.
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e2_finite_levin
+cargo bench --offline -p goc-bench --bench e2_finite_levin
 # e14 prices the batch VM interpreter: both arms force their interpreter
 # in-process (with_batch), so no GOC_BATCH env is needed here; the scalar
 # and batch medians feed the >= 2x gate below.
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e14_batch
+cargo bench --offline -p goc-bench --bench e14_batch
 # e15 prices the pipelined background prewarm: both arms force their
 # pipeline mode in-process (with_prewarm under with_thread_count(4)), and
 # the inline and prewarmed medians feed the >= 1.5x gate below.
-GOC_BENCH_QUICK=1 cargo bench --offline -p goc-bench --bench e15_prewarm
+cargo bench --offline -p goc-bench --bench e15_prewarm
+# e16 prices the dispatch-table scalar core: both arms force their core
+# in-process (with_dispatch), and the match and table medians of the
+# instruction micro-bench feed the >= 1.3x gate below.
+cargo bench --offline -p goc-bench --bench e16_dispatch
 
 echo "== E13 gate: pooled steady loop is allocation-free =="
 pooled_line=$(grep '"id":"steady_pooled"' target/goc-bench.jsonl | tail -n 1)
@@ -123,7 +136,20 @@ cmp target/goc-trace-t1.jsonl target/goc-trace-t1-noprewarm.jsonl \
   || { echo "CI FAIL: GOC_TRACE output differs between GOC_PREWARM=1 and 0 at GOC_THREADS=1"; exit 1; }
 cmp target/goc-trace-t4.jsonl target/goc-trace-t4-noprewarm.jsonl \
   || { echo "CI FAIL: GOC_TRACE output differs between GOC_PREWARM=1 and 0 at GOC_THREADS=4"; exit 1; }
-echo "traces identical ($(wc -l < target/goc-trace-t1.jsonl) records, threads x batch x prewarm)"
+# ... and across the scalar dispatch core: the predecoded table and the
+# legacy `match` loop share one semantics (the handler table is compiled
+# from the same instruction definitions), so flipping GOC_DISPATCH must not
+# move the deterministic trace by a byte either, at either thread count.
+rm -f target/goc-trace-t1-nodispatch.jsonl target/goc-trace-t4-nodispatch.jsonl
+GOC_TRACE=target/goc-trace-t1-nodispatch.jsonl GOC_THREADS=1 GOC_DISPATCH=0 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+GOC_TRACE=target/goc-trace-t4-nodispatch.jsonl GOC_THREADS=4 GOC_DISPATCH=0 \
+  cargo run --release --offline -p goc-bench --bin goc-report -- --quick > /dev/null
+cmp target/goc-trace-t1.jsonl target/goc-trace-t1-nodispatch.jsonl \
+  || { echo "CI FAIL: GOC_TRACE output differs between GOC_DISPATCH=1 and 0 at GOC_THREADS=1"; exit 1; }
+cmp target/goc-trace-t4.jsonl target/goc-trace-t4-nodispatch.jsonl \
+  || { echo "CI FAIL: GOC_TRACE output differs between GOC_DISPATCH=1 and 0 at GOC_THREADS=4"; exit 1; }
+echo "traces identical ($(wc -l < target/goc-trace-t1.jsonl) records, threads x batch x prewarm x dispatch)"
 
 echo "== obs gate: trace readers consume the file =="
 tsum=$(cargo run --release --offline -p goc-bench --bin goc-report -- --trace-summary target/goc-trace-t1.jsonl)
@@ -231,25 +257,64 @@ echo "measured prewarm improvement: ${ratio15}x"
 awk -v r="$ratio15" 'BEGIN { exit !(r >= 1.5) }' \
   || { echo "CI FAIL: E15 prewarm settle improvement ${ratio15}x is below the 1.5x gate"; exit 1; }
 
+echo "== E16 gate: dispatch-table improvement >= 1.3x (match vs table core, micro) =="
+# The E16 line reads "x dispatch improvement" so none of the E13/E14/E15
+# greps above can match it, and vice versa; the section's settle line reads
+# "x settle win" to stay out of this grep too.
+ratio16=$(grep -o '[0-9.]*x dispatch improvement' <<<"$summary" | tail -n 1 | grep -o '^[0-9.]*')
+[ -n "$ratio16" ] || { echo "CI FAIL: E16 improvement line missing from bench summary"; exit 1; }
+echo "measured dispatch improvement: ${ratio16}x"
+awk -v r="$ratio16" 'BEGIN { exit !(r >= 1.3) }' \
+  || { echo "CI FAIL: E16 dispatch improvement ${ratio16}x is below the 1.3x gate"; exit 1; }
+
 echo "== bench regression check against the committed snapshot =="
-# BENCH_7.json is the quick-mode JSONL snapshot committed with PR 7.
-# Quick medians (3 samples) are noisy across container generations, so a
-# regression here WARNs rather than fails — but the settle benches that
-# back the E2/E13/E14/E15 claims are printed for every run, keeping the
-# trajectory visible. Refresh the snapshot (cp target/goc-bench.jsonl
-# BENCH_<n>.json) when a PR legitimately moves them.
-if [ -f BENCH_7.json ]; then
+# BENCH_<n>.json is the quick-mode JSONL snapshot committed with PR <n>;
+# the newest one is the baseline. The settle benches backing the
+# E2/E13/E14/E15 claims are compared like-for-like — the default quick
+# profile against the quick snapshot — so a >10% regression FAILs. Two
+# noise defenses keep that gate honest on shared/throttled CI hosts, whose
+# wall-clock throughput can swing ±30% with machine load: goc-report
+# --compare flags REGRESSION on the *fastest sample* (interference only
+# adds time, so the min tracks the code's true cost where a 3-sample
+# median cannot), and sub-millisecond rows (µs-scale, where even the min
+# sits below the host noise floor) are excluded from the gate. A flagged
+# regression must also reproduce on a fresh re-recording of the gated
+# benches before it fails the build. A CI_BENCH_FULL=1 run compares
+# full-mode numbers against the quick snapshot (different sample counts,
+# different noise floor), so it only WARNs. Refresh the snapshot
+# (tools/bench quick) when a PR legitimately moves the numbers.
+snap=$(ls BENCH_*.json 2>/dev/null | sort -V | tail -n 1)
+if [ -n "$snap" ]; then
   cmp_out=$(cargo run --release --offline -p goc-bench --bin goc-report -- \
-    --compare BENCH_7.json target/goc-bench.jsonl)
+    --compare "$snap" target/goc-bench.jsonl)
   printf '%s\n' "$cmp_out"
   if grep -E 'e2_finite_levin|e13_zero_copy|e14_batch|e15_prewarm' <<<"$cmp_out" \
-      | grep -q 'REGRESSION'; then
-    echo "CI WARN: settle bench regressed >10% vs BENCH_7.json (see table above)"
+      | grep -v 'µs' | grep -q 'REGRESSION'; then
+    if [ "${CI_BENCH_FULL:-0}" = "1" ]; then
+      echo "CI WARN: settle bench regressed >10% vs $snap (full-mode medians vs quick snapshot; advisory)"
+    else
+      echo "possible settle regression; re-recording the gated benches to confirm"
+      recheck=target/goc-bench-recheck.jsonl
+      rm -f "$recheck"
+      GOC_BENCH_JSON="$PWD/$recheck" cargo bench --offline -p goc-bench --bench e2_finite_levin
+      GOC_BENCH_JSON="$PWD/$recheck" cargo bench --offline -p goc-bench --bench e13_zero_copy --features count-allocs
+      GOC_BENCH_JSON="$PWD/$recheck" cargo bench --offline -p goc-bench --bench e14_batch
+      GOC_BENCH_JSON="$PWD/$recheck" cargo bench --offline -p goc-bench --bench e15_prewarm
+      cmp_out2=$(cargo run --release --offline -p goc-bench --bin goc-report -- \
+        --compare "$snap" "$recheck")
+      printf '%s\n' "$cmp_out2"
+      if grep -E 'e2_finite_levin|e13_zero_copy|e14_batch|e15_prewarm' <<<"$cmp_out2" \
+          | grep -v 'µs' | grep -q 'REGRESSION'; then
+        echo "CI FAIL: settle bench regressed >10% vs $snap (reproduced on re-run; see tables above)"
+        exit 1
+      fi
+      echo "settle regression did not reproduce on re-run; treating the first recording as scheduler noise"
+    fi
   else
-    echo "settle benches within 10% of the committed snapshot"
+    echo "settle benches within 10% of the committed snapshot ($snap)"
   fi
 else
-  echo "CI WARN: BENCH_7.json snapshot missing; skipping regression check"
+  echo "CI WARN: no BENCH_*.json snapshot; skipping regression check"
 fi
 
 echo "CI OK"

@@ -11,9 +11,11 @@
 //! - `--trace-summary [PATH]`: print span/event/metric aggregates from a
 //!   `GOC_TRACE` JSONL file (default `target/goc-trace.jsonl`); record one
 //!   with `GOC_TRACE=target/goc-trace.jsonl goc-report --quick`.
-//! - `--compare OLD.jsonl NEW.jsonl`: per-benchmark median deltas between
-//!   two JSONL files (e.g. a committed snapshot vs a fresh run); lines more
-//!   than 10% slower are marked `REGRESSION`.
+//! - `--compare OLD.jsonl NEW.jsonl`: per-benchmark median and fastest-sample
+//!   deltas between two JSONL files (e.g. a committed snapshot vs a fresh
+//!   run); lines whose fastest sample is more than 10% slower are marked
+//!   `REGRESSION` (the min resists shared-host load spikes that swing
+//!   quick-mode medians).
 
 use goc_bench::experiments as exp;
 use goc_core::buf::CopyMode;
@@ -99,35 +101,46 @@ fn load_latest(path: &str) -> Vec<BenchRecord> {
     latest
 }
 
-/// Prints per-benchmark median deltas between two JSONL files: `old` is the
-/// committed snapshot, `new` the fresh run. A benchmark more than 10%
-/// slower than its snapshot is marked `REGRESSION` (CI greps for the word);
-/// benchmarks present in only one file are listed but not compared.
+/// Prints per-benchmark deltas between two JSONL files: `old` is the
+/// committed snapshot, `new` the fresh run. A benchmark whose
+/// **fastest sample** is more than 10% slower than its snapshot's fastest
+/// sample is marked `REGRESSION` (CI greps for the word); benchmarks present
+/// in only one file are listed but not compared.
+///
+/// The flag keys off the min over samples, not the median: interference on
+/// a shared or throttled CI host only ever *adds* time, so the fastest
+/// sample tracks the code's true cost while a 3-sample quick-mode median
+/// swings ±30% with machine load. Median deltas stay in the table for
+/// context; records missing a minimum (older snapshots) fall back to the
+/// median delta.
 fn compare(old_path: &str, new_path: &str) {
     let old = load_latest(old_path);
     let new = load_latest(new_path);
     println!("# bench compare: {old_path} (old) -> {new_path} (new)\n");
     println!(
-        "{:<44} {:>12} {:>12} {:>9}",
-        "benchmark", "old median", "new median", "delta"
+        "{:<44} {:>12} {:>12} {:>9} {:>9}",
+        "benchmark", "old median", "new median", "Δmedian", "Δmin"
     );
     let mut regressions = 0usize;
     for n in &new {
         let id = format!("{}/{}", n.group, n.id);
         match old.iter().find(|o| o.group == n.group && o.id == n.id) {
             Some(o) if o.median_ns > 0 => {
-                let delta = (n.median_ns as f64 - o.median_ns as f64) / o.median_ns as f64 * 100.0;
-                let mark = if delta > 10.0 {
+                let dmed = (n.median_ns as f64 - o.median_ns as f64) / o.median_ns as f64 * 100.0;
+                let dmin = (o.min_ns > 0 && n.min_ns > 0)
+                    .then(|| (n.min_ns as f64 - o.min_ns as f64) / o.min_ns as f64 * 100.0);
+                let mark = if dmin.unwrap_or(dmed) > 10.0 {
                     regressions += 1;
                     "  REGRESSION"
                 } else {
                     ""
                 };
+                let dmin_col = dmin.map(|d| format!("{d:>+8.1}%")).unwrap_or_default();
                 println!(
-                    "{id:<44} {:>12} {:>12} {:>+8.1}%{mark}",
+                    "{id:<44} {:>12} {:>12} {:>+8.1}% {dmin_col:>9}{mark}",
                     fmt_ns(o.median_ns),
                     fmt_ns(n.median_ns),
-                    delta
+                    dmed
                 );
             }
             _ => println!("{id:<44} {:>12} {:>12}", "(absent)", fmt_ns(n.median_ns)),
@@ -139,7 +152,7 @@ fn compare(old_path: &str, new_path: &str) {
         }
     }
     println!(
-        "\n{} benchmarks compared, {regressions} regression(s) over 10%",
+        "\n{} benchmarks compared, {regressions} regression(s) over 10% (fastest sample)",
         new.len()
     );
 }
@@ -167,8 +180,18 @@ fn bench_summary(path: &str) {
     }
     println!("# bench summary from {path} ({} records)\n", records.len());
     println!(
-        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12}",
-        "benchmark", "median", "p95", "min", "throughput", "threads", "cache", "allocs", "peak"
+        "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8}",
+        "benchmark",
+        "median",
+        "p95",
+        "min",
+        "throughput",
+        "threads",
+        "cache",
+        "allocs",
+        "peak",
+        "dispatch",
+        "mispred"
     );
     let mut group = String::new();
     for r in &records {
@@ -194,8 +217,10 @@ fn bench_summary(path: &str) {
             .unwrap_or_default();
         let allocs = r.allocs.map(|a| format!("{a}/iter")).unwrap_or_default();
         let peak = r.peak_bytes.map(fmt_bytes).unwrap_or_default();
+        let dispatch = r.dispatch.clone().unwrap_or_default();
+        let mispred = r.mispredicts.map(|m| m.to_string()).unwrap_or_default();
         println!(
-            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12}",
+            "{:<44} {:>12} {:>12} {:>12} {:>14} {:>8} {:>10} {:>12} {:>12} {:>9} {:>8}",
             format!("{}/{}", r.group, r.id),
             fmt_ns(r.median_ns),
             fmt_ns(r.p95_ns),
@@ -204,13 +229,16 @@ fn bench_summary(path: &str) {
             threads,
             cache,
             allocs,
-            peak
+            peak,
+            dispatch,
+            mispred
         );
     }
     speedup_section(&records);
     e13_improvement_section(&records);
     e14_improvement_section(&records);
     e15_improvement_section(&records);
+    e16_improvement_section(&records);
     if skipped > 0 {
         println!("\n({skipped} malformed lines skipped)");
     }
@@ -279,6 +307,41 @@ fn e15_improvement_section(records: &[BenchRecord]) {
                 fmt_ns(inline),
                 fmt_ns(warmed),
                 inline as f64 / warmed as f64
+            );
+        }
+    }
+}
+
+/// Prints the E16 headline numbers: wall-clock improvement of the
+/// predecoded dispatch-table scalar core over the legacy `match` loop, on
+/// the raw instruction micro-bench (CI gates this at >= 1.3x) and on the
+/// E14-class settle workload with batching pinned off. The "dispatch
+/// improvement" wording keeps the gated line out of the E13/E14/E15 greps,
+/// and the settle line's "settle win" wording keeps it out of the E16 grep.
+fn e16_improvement_section(records: &[BenchRecord]) {
+    let median = |id: &str| records.iter().rev().find(|r| r.id == id).map(|r| r.median_ns);
+    let via_match = median("vm_instructions_10k_rounds_match");
+    let via_table = median("vm_instructions_10k_rounds_table");
+    if let (Some(m), Some(t)) = (via_match, via_table) {
+        if t > 0 {
+            println!("\n## E16 dispatch-table core improvement (match loop vs predecoded table)");
+            println!(
+                "match {} -> table {}  ({:.2}x dispatch improvement)",
+                fmt_ns(m),
+                fmt_ns(t),
+                m as f64 / t as f64
+            );
+        }
+    }
+    let off = median("levin_settle_dispatch_off@t1");
+    let on = median("levin_settle_dispatch_on@t1");
+    if let (Some(off), Some(on)) = (off, on) {
+        if on > 0 {
+            println!(
+                "settle (batch off): match {} -> table {}  ({:.2}x settle win)",
+                fmt_ns(off),
+                fmt_ns(on),
+                off as f64 / on as f64
             );
         }
     }
@@ -505,6 +568,16 @@ fn report(quick: bool) {
         "inline and pipelined prewarm must settle identically"
     );
     println!("finite-Levin settle round (both construction paths): {prewarm_settle}");
+
+    // --- E16 --------------------------------------------------------------
+    println!("\n## E16 — dispatch-table scalar core (match-vs-table settle parity)");
+    let match_settle = exp::e16_levin_dispatch_settle(false);
+    let table_settle = exp::e16_levin_dispatch_settle(true);
+    assert_eq!(
+        match_settle, table_settle,
+        "the match loop and the dispatch table must settle identically"
+    );
+    println!("finite-Levin settle round (both scalar cores): {table_settle}");
 
     println!("\ndone.");
 }

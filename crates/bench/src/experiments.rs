@@ -833,36 +833,47 @@ pub const E14_HORIZON: u64 = 100_000;
 /// interpretation work — the workload the batch interpreter accelerates.
 pub const E14_FUEL: u32 = 8_192;
 
-/// One finite-Levin conquest over a small VM-program class (alphabet
-/// `{jmp, emit.a, 'h'}`, length ≤ 3), interpreted by the batch (`true`) or
-/// exact scalar (`false`) VM path; returns the settle round.
+/// The E14/E16 workload: one finite-Levin conquest over a small VM-program
+/// class (alphabet `{jmp, emit.a, 'h'}`, length ≤ 3) with the candidate
+/// cache pinned **off**, so the run measures interpretation itself.
 ///
 /// The class plants `[emit.a 'h']` a few indices behind several programs
 /// that decode to self-jumps and burn their full fuel every round, so the
-/// run's cost is VM dispatch, not harness bookkeeping. The candidate cache
-/// is pinned **off** so both arms measure interpretation itself, and the
-/// interpreter choice is forced via [`goc_vm::batch::with_batch`] — the two
-/// arms must settle on the identical round (`goc-report` asserts parity).
+/// run's cost is VM dispatch, not harness bookkeeping. Callers pin the
+/// interpreter axes ([`goc_vm::batch::with_batch`],
+/// [`goc_vm::dispatch::with_dispatch`]) around this.
+fn levin_vm_settle_workload(seed: u64) -> u64 {
+    let class = goc_vm::ProgramEnumerator::over(vec![0x0b, 0x01, b'h'])
+        .with_max_len(3)
+        .with_fuel(E14_FUEL)
+        .with_cache(false);
+    let goal = toy::MagicWordGoal::new("h");
+    let user = LevinUniversalUser::new(Box::new(class), Box::new(toy::ack_sensing()), 8);
+    let mut rng = GocRng::seed_from_u64(seed);
+    let mut exec = Execution::new(
+        goal.spawn_world(&mut rng),
+        Box::new(toy::RelayServer::default()),
+        Box::new(user),
+        rng,
+    );
+    let t = exec.run(E14_HORIZON);
+    let v = evaluate_finite(&goal, &t);
+    assert!(v.achieved, "levin VM settle (seed={seed}): {v:?}");
+    v.rounds
+}
+
+/// E14: the workload interpreted by the batch (`true`) or exact scalar
+/// (`false`) VM path; returns the settle round. The two arms must settle on
+/// the identical round (`goc-report` asserts parity).
+///
+/// The scalar arm is pinned to the legacy `match` core
+/// (`with_dispatch(false)`) so the bench keeps its historical baseline —
+/// the ≥2x batch gate measures batching against the interpreter E14 was
+/// introduced with, not against the (faster) dispatch table, which gets its
+/// own axis in E16.
 pub fn e14_levin_vm_settle(batch: bool) -> u64 {
-    goc_vm::batch::with_batch(batch, || {
-        let class = goc_vm::ProgramEnumerator::over(vec![0x0b, 0x01, b'h'])
-            .with_max_len(3)
-            .with_fuel(E14_FUEL)
-            .with_cache(false);
-        let goal = toy::MagicWordGoal::new("h");
-        let user =
-            LevinUniversalUser::new(Box::new(class), Box::new(toy::ack_sensing()), 8);
-        let mut rng = GocRng::seed_from_u64(1_400);
-        let mut exec = Execution::new(
-            goal.spawn_world(&mut rng),
-            Box::new(toy::RelayServer::default()),
-            Box::new(user),
-            rng,
-        );
-        let t = exec.run(E14_HORIZON);
-        let v = evaluate_finite(&goal, &t);
-        assert!(v.achieved, "E14 settle (batch={batch}): {v:?}");
-        v.rounds
+    goc_vm::dispatch::with_dispatch(batch, || {
+        goc_vm::batch::with_batch(batch, || levin_vm_settle_workload(1_400))
     })
 }
 
@@ -898,6 +909,10 @@ pub const E15_BASE: u64 = 8;
 /// first arm's entries and the comparison would collapse.
 pub fn e15_levin_prewarm_settle(prewarm: bool) -> u64 {
     goc_vm::cache::clear();
+    // Also reset the continuation predictor: first-output classes learned by
+    // one arm (or an earlier experiment) must not steer the other arm's
+    // speculation, for the same isolation reason the cache is cleared.
+    goc_vm::predict::reset();
     goc_core::par::with_prewarm(prewarm, || {
         goc_vm::batch::with_batch(true, || {
             let class = goc_vm::ProgramEnumerator::over(vec![0x0b, 0x01, b'h'])
@@ -922,6 +937,21 @@ pub fn e15_levin_prewarm_settle(prewarm: bool) -> u64 {
             assert!(v.achieved, "E15 settle (prewarm={prewarm}): {v:?}");
             v.rounds
         })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// E16 — dispatch-table scalar core: table-vs-match settle over the E14 class
+// ---------------------------------------------------------------------------
+
+/// E16: the E14 workload with the batch interpreter pinned **off**, so every
+/// candidate round runs the scalar core — predecoded table dispatch
+/// (`true`) or the legacy `match` loop (`false`); returns the settle round.
+/// The two cores must settle on the identical round (`goc-report` asserts
+/// parity); the E16 bench times the same pair.
+pub fn e16_levin_dispatch_settle(table: bool) -> u64 {
+    goc_vm::dispatch::with_dispatch(table, || {
+        goc_vm::batch::with_batch(false, || levin_vm_settle_workload(1_600))
     })
 }
 

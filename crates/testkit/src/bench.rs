@@ -70,6 +70,13 @@ pub struct BenchRecord {
     /// (minimum over probe passes — the steady-state footprint), when built
     /// with `count-allocs`. See [`crate::alloc_count::peak_bytes`].
     pub peak_bytes: Option<u64>,
+    /// Prewarm mispredictions during a representative run (JSONL key
+    /// `prewarm.mispredict`): live second rounds whose inbox none of the
+    /// speculated continuations matched.
+    pub mispredicts: Option<u64>,
+    /// Interpreter core the bench ran on (JSONL key `dispatch.mode`):
+    /// `"table"` or `"match"`.
+    pub dispatch: Option<String>,
 }
 
 impl BenchRecord {
@@ -105,6 +112,12 @@ impl BenchRecord {
         }
         if let Some(p) = self.peak_bytes {
             let _ = write!(s, ",\"peak_bytes\":{p}");
+        }
+        if let Some(m) = self.mispredicts {
+            let _ = write!(s, ",\"prewarm.mispredict\":{m}");
+        }
+        if let Some(d) = &self.dispatch {
+            let _ = write!(s, ",\"dispatch.mode\":{}", json_string(d));
         }
         s.push('}');
         s
@@ -152,6 +165,8 @@ impl BenchRecord {
             cache_misses: get_n("cache_misses"),
             allocs: get_n("allocs"),
             peak_bytes: get_n("peak_bytes"),
+            mispredicts: get_n("prewarm.mispredict"),
+            dispatch: get_s("dispatch.mode"),
         })
     }
 }
@@ -315,6 +330,11 @@ pub struct BenchMeta {
     /// Explicit peak-bytes override. When `None` and `count-allocs` is on,
     /// the harness measures it alongside the allocation probe.
     pub peak_bytes: Option<u64>,
+    /// Prewarm mispredictions during a representative run.
+    pub mispredicts: Option<u64>,
+    /// Interpreter core label (`"table"` / `"match"`). `&'static str` so the
+    /// meta stays `Copy`.
+    pub dispatch: Option<&'static str>,
 }
 
 /// A benchmark group: times closures and reports per-iteration statistics.
@@ -461,6 +481,8 @@ impl Bench {
             cache_misses: meta.cache_misses,
             allocs,
             peak_bytes,
+            mispredicts: meta.mispredicts,
+            dispatch: meta.dispatch.map(str::to_string),
         };
         let mut line = format!(
             "{:<40} median {:>10}  p95 {:>10}  min {:>10}  ({} samples x {} iters)",
@@ -486,6 +508,12 @@ impl Bench {
         }
         if let Some(p) = rec.peak_bytes {
             let _ = write!(line, "  [peak {}]", fmt_bytes(p));
+        }
+        if let Some(d) = &rec.dispatch {
+            let _ = write!(line, "  [dispatch={d}]");
+        }
+        if let Some(m) = rec.mispredicts {
+            let _ = write!(line, "  [mispred {m}]");
         }
         println!("{line}");
         let json = rec.to_json_line();
@@ -566,6 +594,8 @@ mod tests {
             cache_misses: None,
             allocs: None,
             peak_bytes: None,
+            mispredicts: None,
+            dispatch: None,
         }
     }
 
@@ -657,6 +687,18 @@ mod tests {
         rec.peak_bytes = Some(4096);
         let line = rec.to_json_line();
         assert!(line.contains("\"peak_bytes\":4096"));
+        let parsed = BenchRecord::parse_json_line(&line).expect("parses");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn json_line_roundtrips_with_dispatch_and_mispredicts() {
+        let mut rec = sample_record();
+        rec.mispredicts = Some(7);
+        rec.dispatch = Some("table".into());
+        let line = rec.to_json_line();
+        assert!(line.contains("\"prewarm.mispredict\":7"));
+        assert!(line.contains("\"dispatch.mode\":\"table\""));
         let parsed = BenchRecord::parse_json_line(&line).expect("parses");
         assert_eq!(parsed, rec);
     }

@@ -7,7 +7,9 @@
 use crate::arena;
 use crate::batch::{self, BatchVm};
 use crate::cache::{self, CachedRound, RoundKey};
+use crate::instr::REG_COUNT;
 use crate::machine::{DecodedProgram, Machine, RoundIo};
+use crate::predict;
 use crate::program::Program;
 use goc_core::msg::{Message, ServerIn, ServerOut, UserIn, UserOut};
 use goc_core::snap::{SnapError, SnapReader, SnapWriter};
@@ -57,6 +59,12 @@ pub struct VmUser {
     /// of the generation running the same program text). `None` until batch
     /// mode first needs it.
     decoded: Option<Arc<DecodedProgram>>,
+    /// Cached rounds stepped so far — drives first-round signature capture
+    /// for the [`predict`] continuation predictor. Telemetry, not semantics:
+    /// not serialized in snapshots.
+    rounds_seen: u32,
+    /// [`predict::signature`] of the round-0 outputs, once round 0 ran.
+    first_sig: Option<u64>,
 }
 
 impl VmUser {
@@ -82,6 +90,8 @@ impl VmUser {
             halted_view: None,
             io,
             decoded: None,
+            rounds_seen: 0,
+            first_sig: None,
         }
     }
 
@@ -132,42 +142,58 @@ impl VmUser {
     /// Executes one round through the cache: hash the inbox into the prefix,
     /// serve a memoised round if one exists, otherwise replay any skipped
     /// rounds and run this one for real, recording it.
+    ///
+    /// Also feeds the [`predict`] continuation predictor: round 0's outputs
+    /// define the candidate's first-output class, and round 1's inbox is the
+    /// class's observed continuation (scored against the top-K prediction,
+    /// counting `vm.prewarm.mispredict`).
     fn cached_round(&mut self, in_a: &[u8], in_b: &[u8]) -> (Vec<u8>, Vec<u8>) {
         if self.halted_view.is_some() {
             // A halted machine is inert; don't grow the prefix or the cache.
             return (Vec::new(), Vec::new());
         }
+        if self.rounds_seen == 1 {
+            if let Some(sig) = self.first_sig {
+                predict::record_outcome(sig, in_a, in_b);
+            }
+        }
         self.prefix_hash = cache::extend_prefix(self.prefix_hash, in_a, in_b);
         let key = self.round_key();
         let program = self.machine.program().as_bytes();
-        if let Some(hit) = cache::lookup(&key, program) {
+        let result = if let Some(hit) = cache::lookup(&key, program) {
             self.pending_replay.push((to_owned_bytes(in_a), to_owned_bytes(in_b)));
             self.halted_view = hit.halted;
-            return (hit.out_a, hit.out_b);
-        }
-        let replay = std::mem::take(&mut self.pending_replay);
-        for (a, b) in replay {
-            self.io.set_inputs(&a, &b);
-            self.run_round();
-            if batch::enabled() {
-                arena::put_bytes(a);
-                arena::put_bytes(b);
+            (hit.out_a, hit.out_b)
+        } else {
+            let replay = std::mem::take(&mut self.pending_replay);
+            for (a, b) in replay {
+                self.io.set_inputs(&a, &b);
+                self.run_round();
+                if batch::enabled() {
+                    arena::put_bytes(a);
+                    arena::put_bytes(b);
+                }
             }
+            self.io.set_inputs(in_a, in_b);
+            self.run_round();
+            let halted = self.machine.halted().map(<[u8]>::to_vec);
+            cache::insert(
+                key,
+                self.machine.program().as_bytes(),
+                CachedRound {
+                    out_a: self.io.out_a.clone(),
+                    out_b: self.io.out_b.clone(),
+                    halted: halted.clone(),
+                },
+            );
+            self.halted_view = halted;
+            (self.io.out_a.clone(), self.io.out_b.clone())
+        };
+        if self.rounds_seen == 0 {
+            self.first_sig = Some(predict::signature(&result.0, &result.1));
         }
-        self.io.set_inputs(in_a, in_b);
-        self.run_round();
-        let halted = self.machine.halted().map(<[u8]>::to_vec);
-        cache::insert(
-            key,
-            self.machine.program().as_bytes(),
-            CachedRound {
-                out_a: self.io.out_a.clone(),
-                out_b: self.io.out_b.clone(),
-                halted: halted.clone(),
-            },
-        );
-        self.halted_view = halted;
-        (self.io.out_a.clone(), self.io.out_b.clone())
+        self.rounds_seen = self.rounds_seen.saturating_add(1);
+        result
     }
 }
 
@@ -311,6 +337,12 @@ pub fn prewarm_depth() -> usize {
 /// the round's entry — the fuel-burning decoys a universal search wades
 /// through are precisely such loops, and each costs one executed round
 /// instead of `depth`.
+///
+/// After the empty chain, a second pass speculates the top-K **predicted**
+/// non-empty continuations of each candidate's first round (see
+/// [`predict`]), covering echoing candidates whose later rounds depend on
+/// the peer's reply. Same soundness argument — predictions only choose which
+/// value-identical entries get built.
 pub fn prewarm_deep<'a>(users: impl IntoIterator<Item = &'a mut VmUser>, depth: usize) {
     let mut users: Vec<&'a mut VmUser> = users.into_iter().collect();
     let mut decodes: Vec<Arc<DecodedProgram>> = Vec::new();
@@ -372,7 +404,7 @@ pub fn prewarm_deep<'a>(users: impl IntoIterator<Item = &'a mut VmUser>, depth: 
     // Register snapshots from before the current round, for fixed-point
     // detection (freshly pushed lanes start all-zero, like the scalar
     // machine).
-    let mut prev_regs: Vec<Vec<u64>> = (0..lanes.len()).map(|k| vm.regs(k).to_vec()).collect();
+    let mut prev_regs: Vec<[u64; REG_COUNT]> = (0..lanes.len()).map(|k| vm.regs(k)).collect();
     for r in 0..depth {
         prefix = cache::extend_prefix(prefix, &[], &[]);
         for io in ios.iter_mut() {
@@ -400,7 +432,7 @@ pub fn prewarm_deep<'a>(users: impl IntoIterator<Item = &'a mut VmUser>, depth: 
             cache::insert(key, u.machine.program().as_bytes(), round_entry.clone());
             if is_halt {
                 done[k] = true;
-            } else if vm.regs(k) == prev_regs[k].as_slice() {
+            } else if vm.regs(k) == prev_regs[k] {
                 // Fixed point: the round left the registers untouched, so
                 // every remaining empty-input round replays it verbatim —
                 // copy its entry down the rest of the chain and stop
@@ -415,12 +447,150 @@ pub fn prewarm_deep<'a>(users: impl IntoIterator<Item = &'a mut VmUser>, depth: 
                 vm.park(k);
                 done[k] = true;
             } else {
-                prev_regs[k].copy_from_slice(vm.regs(k));
+                prev_regs[k] = vm.regs(k);
                 all_done = false;
             }
         }
         if all_done {
             break;
+        }
+    }
+    for io in ios.iter_mut() {
+        arena::recycle_io(io);
+    }
+    speculate_predicted(&users, depth);
+}
+
+/// Cap on predicted-prefix chains per [`prewarm_deep`] call, bounding the
+/// wasted work a fully mispredicting class table can cause.
+const MAX_SPECULATED_CHAINS: usize = 256;
+
+/// The predicted-prefix pass of [`prewarm_deep`]: for each cache-enabled
+/// candidate whose (already memoised) first round produced a first-output
+/// class with recorded continuations, speculate the class's top-K
+/// continuations as **stationary** inboxes for rounds `1..depth`, memoising
+/// the corresponding prefix chains. Each chain replays round 0 from a fresh
+/// lane (registers start all-zero, like the scalar machine) against the
+/// empty inbox — whose entry is already cached, so nothing new is inserted —
+/// and then diverges into its predicted inbox.
+///
+/// The stationary-inbox assumption mirrors the empty chain's: universal
+/// search opponents are themselves deterministic transducers, so a peer that
+/// answered `x` once tends to keep answering `x`. A wrong guess misses its
+/// keys and costs nothing at serve time; fixed-point fill applies from round
+/// 1 on because the speculated input stream is constant.
+fn speculate_predicted(users: &[&mut VmUser], depth: usize) {
+    let top_k = predict::top_k();
+    if top_k == 0 || depth < 2 {
+        return;
+    }
+    let first_prefix = cache::extend_prefix(cache::PREFIX_EMPTY, &[], &[]);
+    let mut vm = BatchVm::new();
+    // Per-chain (user index, predicted stationary inbox).
+    let mut specs: Vec<(usize, Vec<u8>, Vec<u8>)> = Vec::new();
+    'users: for (i, u) in users.iter().enumerate() {
+        if !u.use_cache {
+            continue;
+        }
+        let program = u.machine.program().as_bytes();
+        let fuel = u.machine.fuel_per_round();
+        let key0 = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: first_prefix };
+        let Some(first) = cache::lookup(&key0, program) else { continue };
+        if first.halted.is_some() {
+            continue;
+        }
+        let sig = predict::signature(&first.out_a, &first.out_b);
+        for (pa, pb) in predict::predict(sig, top_k) {
+            if pa.is_empty() && pb.is_empty() {
+                continue; // the empty chain is speculated unconditionally
+            }
+            // Skip chains already fully memoised (or memoised to a halt) —
+            // keys are computable without execution.
+            let mut prefix = first_prefix;
+            let mut warmed = true;
+            for _ in 1..depth {
+                prefix = cache::extend_prefix(prefix, &pa, &pb);
+                let key = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: prefix };
+                match cache::lookup(&key, program) {
+                    Some(hit) if hit.halted.is_some() => break,
+                    Some(_) => {}
+                    None => {
+                        warmed = false;
+                        break;
+                    }
+                }
+            }
+            if warmed {
+                continue;
+            }
+            vm.push_decoded(Arc::clone(u.decoded.as_ref().expect("assigned above")), fuel);
+            specs.push((i, pa, pb));
+            if specs.len() >= MAX_SPECULATED_CHAINS {
+                break 'users;
+            }
+        }
+    }
+    if specs.is_empty() {
+        return;
+    }
+    goc_core::obs_count_nd!("vm.prewarm.spec_chains", specs.len() as u64);
+    predict::note_speculated(specs.len() as u64);
+    let mut ios: Vec<RoundIo> = specs.iter().map(|_| arena::take_io()).collect();
+    // Round 0: the empty inbox, rebuilding each lane's register state. Its
+    // entry is already cached (that's how the class signature was found).
+    for io in ios.iter_mut() {
+        io.set_inputs(&[], &[]);
+    }
+    vm.round(&mut ios);
+    let mut done: Vec<bool> = vec![false; specs.len()];
+    let mut prefixes: Vec<u128> = vec![first_prefix; specs.len()];
+    let mut prev_regs: Vec<[u64; REG_COUNT]> = (0..specs.len()).map(|k| vm.regs(k)).collect();
+    for r in 1..depth {
+        let mut live = 0u64;
+        for (k, (_, pa, pb)) in specs.iter().enumerate() {
+            if !done[k] {
+                ios[k].set_inputs(pa, pb);
+                live += 1;
+            } else {
+                ios[k].reset();
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        vm.round(&mut ios);
+        goc_core::obs_count_nd!("vm.prewarm.spec_rounds", live);
+        for (k, &(i, ref pa, ref pb)) in specs.iter().enumerate() {
+            if done[k] {
+                continue;
+            }
+            let u = &users[i];
+            let fuel = u.machine.fuel_per_round();
+            prefixes[k] = cache::extend_prefix(prefixes[k], pa, pb);
+            let key = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: prefixes[k] };
+            let halted = vm.halted(k).map(<[u8]>::to_vec);
+            let is_halt = halted.is_some();
+            let round_entry =
+                CachedRound { out_a: ios[k].out_a.clone(), out_b: ios[k].out_b.clone(), halted };
+            cache::insert(key, u.machine.program().as_bytes(), round_entry.clone());
+            if is_halt {
+                done[k] = true;
+            } else if vm.regs(k) == prev_regs[k] {
+                // Fixed point under a stationary inbox: every remaining
+                // round replays this one verbatim (same registers, same
+                // inputs) — fill the rest of the chain and park the lane.
+                goc_core::obs_count_nd!("vm.prewarm.fixedpoint", 1u64);
+                let mut p = prefixes[k];
+                for _ in r + 1..depth {
+                    p = cache::extend_prefix(p, pa, pb);
+                    let key = RoundKey { program_hash: u.program_hash, fuel, prefix_hash: p };
+                    cache::insert(key, u.machine.program().as_bytes(), round_entry.clone());
+                }
+                vm.park(k);
+                done[k] = true;
+            } else {
+                prev_regs[k] = vm.regs(k);
+            }
         }
     }
     for io in ios.iter_mut() {

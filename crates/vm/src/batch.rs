@@ -27,7 +27,7 @@
 //! `crates/vm/tests/batch_equivalence.rs` checks property-style.
 
 use crate::instr::REG_COUNT;
-use crate::machine::{DecodedProgram, RoundIo, StepOutcome};
+use crate::machine::{DecodedProgram, RegLane, RoundIo, StepLane, StepOutcome};
 use crate::program::Program;
 use std::cell::Cell;
 use std::sync::Arc;
@@ -67,9 +67,10 @@ pub fn with_batch<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
 
 /// N machines stepped through rounds in lockstep (see module docs).
 ///
-/// Lane state is struct-of-arrays: `regs` is a flat `N × REG_COUNT` array,
-/// fuel/halt/retired are parallel vectors, and `lane_decoded` maps each lane
-/// to its shared [`DecodedProgram`].
+/// Lane state is struct-of-arrays: registers live in `RegColumns` —
+/// per-register columns, so a lockstep opcode touching register `r` across
+/// lanes walks contiguous memory — fuel/halt/retired are parallel vectors,
+/// and `lane_decoded` maps each lane to its shared [`DecodedProgram`].
 ///
 /// # Examples
 ///
@@ -96,14 +97,83 @@ pub struct BatchVm {
     lane_decoded: Vec<u32>,
     /// Per-lane per-round fuel budgets.
     fuel: Vec<u32>,
-    /// Flat `width() × REG_COUNT` register file.
-    regs: Vec<u64>,
+    /// Struct-of-arrays register file: one column per register.
+    regs: RegColumns,
     /// Per-lane halt payloads (`Some` once a lane executed `halt`).
     halted: Vec<Option<Vec<u8>>>,
     /// Per-lane lifetime retired-instruction counts.
     retired: Vec<u64>,
     /// Per-lane parked flags; a parked lane is skipped by [`round`](Self::round).
     parked: Vec<bool>,
+}
+
+/// The struct-of-arrays register file: register `r` of lane `l` lives at
+/// `slots[r * stride + l]`, so lockstep execution of one opcode across lanes
+/// touches one contiguous run per register column instead of
+/// `REG_COUNT`-strided scalars. The backing buffer is recycled through the
+/// candidate arena (`arena::take_reg_slots` / `put_reg_slots`) so batch
+/// growth during enumeration doesn't churn the allocator.
+#[derive(Clone, Debug, Default)]
+struct RegColumns {
+    slots: Vec<u64>,
+    /// Column stride == lane capacity (`>= lanes`).
+    stride: usize,
+    /// Lanes in use.
+    lanes: usize,
+}
+
+impl RegColumns {
+    const MIN_STRIDE: usize = 8;
+
+    /// Adds a zeroed lane, growing the columns when capacity is exhausted,
+    /// and returns its index.
+    fn push_lane(&mut self) -> usize {
+        if self.lanes == self.stride {
+            self.grow();
+        }
+        let lane = self.lanes;
+        for r in 0..REG_COUNT {
+            self.slots[r * self.stride + lane] = 0;
+        }
+        self.lanes += 1;
+        lane
+    }
+
+    /// Doubles the lane capacity, re-laying existing columns into a fresh
+    /// (arena-recycled) buffer.
+    fn grow(&mut self) {
+        let new_stride = (self.stride * 2).max(Self::MIN_STRIDE);
+        let mut slots = crate::arena::take_reg_slots(REG_COUNT * new_stride);
+        for r in 0..REG_COUNT {
+            let src = &self.slots[r * self.stride..r * self.stride + self.lanes];
+            slots[r * new_stride..r * new_stride + self.lanes].copy_from_slice(src);
+        }
+        let old = std::mem::replace(&mut self.slots, slots);
+        crate::arena::put_reg_slots(old);
+        self.stride = new_stride;
+    }
+
+    /// A mutable [`RegLane`] view of one lane — the batch twin of the scalar
+    /// machine's register array, dispatched through the same handlers.
+    #[inline(always)]
+    fn lane_view(&mut self, lane: usize) -> RegLane<'_> {
+        RegLane::strided(&mut self.slots, self.stride, lane)
+    }
+
+    /// Gathers one lane's registers out of the columns.
+    fn snapshot(&self, lane: usize) -> [u64; REG_COUNT] {
+        let mut out = [0u64; REG_COUNT];
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = self.slots[r * self.stride + lane];
+        }
+        out
+    }
+}
+
+impl Drop for RegColumns {
+    fn drop(&mut self) {
+        crate::arena::put_reg_slots(std::mem::take(&mut self.slots));
+    }
 }
 
 impl BatchVm {
@@ -146,7 +216,7 @@ impl BatchVm {
         assert!(fuel > 0, "BatchVm lanes require positive fuel");
         self.lane_decoded.push(decoded_index as u32);
         self.fuel.push(fuel);
-        self.regs.extend_from_slice(&[0u64; REG_COUNT]);
+        self.regs.push_lane();
         self.halted.push(None);
         self.retired.push(0);
         self.parked.push(false);
@@ -165,9 +235,9 @@ impl BatchVm {
         self.decoded[self.lane_decoded[lane] as usize].clone()
     }
 
-    /// `lane`'s registers.
-    pub fn regs(&self, lane: usize) -> &[u64] {
-        &self.regs[lane * REG_COUNT..(lane + 1) * REG_COUNT]
+    /// A copy of `lane`'s registers, gathered from the per-register columns.
+    pub fn regs(&self, lane: usize) -> [u64; REG_COUNT] {
+        self.regs.snapshot(lane)
     }
 
     /// `lane`'s halt payload, if it has halted.
@@ -234,17 +304,14 @@ impl BatchVm {
                 }
                 fuel[lane] -= 1;
                 self.retired[lane] += 1;
-                let regs: &mut [u64; REG_COUNT] = (&mut self.regs
-                    [lane * REG_COUNT..(lane + 1) * REG_COUNT])
-                    .try_into()
-                    .expect("lane register chunk is REG_COUNT wide");
-                let outcome = d.step(
-                    &mut pc[lane],
-                    regs,
-                    &mut ios[lane],
-                    &mut cur_a[lane],
-                    &mut cur_b[lane],
-                );
+                let mut step = StepLane {
+                    pc: &mut pc[lane],
+                    regs: self.regs.lane_view(lane),
+                    io: &mut ios[lane],
+                    cur_a: &mut cur_a[lane],
+                    cur_b: &mut cur_b[lane],
+                };
+                let outcome = d.step(&mut step);
                 match outcome {
                     StepOutcome::Continue => k += 1,
                     StepOutcome::End => {
@@ -289,7 +356,7 @@ mod tests {
                 m.round(&mut io);
                 assert_eq!(ios[lane].out_a, io.out_a, "lane {lane} out_a");
                 assert_eq!(ios[lane].out_b, io.out_b, "lane {lane} out_b");
-                assert_eq!(vm.regs(lane), m.regs().as_slice(), "lane {lane} regs");
+                assert_eq!(vm.regs(lane), *m.regs(), "lane {lane} regs");
                 assert_eq!(vm.halted(lane), m.halted(), "lane {lane} halt");
                 assert_eq!(
                     vm.instructions_retired(lane),

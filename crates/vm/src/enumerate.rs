@@ -393,12 +393,43 @@ impl ProgramEnumerator {
         let mut seen = HashSet::new();
         let mut representatives = Vec::new();
         for index in 0..total {
-            if seen.insert(canonical_signature(&self.program(index))) {
+            let program = self.program(index);
+            let sig = canonical_signature(&program);
+            // Soundness guard: the signature is only merge-safe for
+            // jump-free linear decodings. A program whose execution reaches
+            // a jump must keep the opaque verbatim signature (tag byte 1 +
+            // exact program bytes) — its byte *layout* is semantically
+            // significant, so no two such programs may ever be merged. A
+            // future widening of `canonical_signature` over jumps has to
+            // carry a layout-aware equivalence proof past this assertion.
+            debug_assert!(
+                !linear_decode_reaches_jump(&program)
+                    || sig.split_first() == Some((&1u8, program.as_bytes())),
+                "jumpy program {:?} lost its opaque signature (got {:?})",
+                program.as_bytes(),
+                sig
+            );
+            if seen.insert(sig) {
                 representatives.push(index);
             }
         }
         DedupedProgramEnumerator { inner: self, representatives }
     }
+}
+
+/// `true` when `program`'s linear decoding reaches a jump before any
+/// `halt`/`end` — exactly the programs [`canonical_signature`] must keep
+/// opaque (jumps after a linear `halt`/`end` are unreachable, since nothing
+/// before them can jump past it).
+fn linear_decode_reaches_jump(program: &Program) -> bool {
+    for instr in program.instructions() {
+        match instr {
+            Instr::Jmp(_) | Instr::JmpIfZero(_, _) => return true,
+            Instr::Halt | Instr::EndRound => return false,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// A cheap, sound canonical signature: two programs with equal signatures
@@ -713,6 +744,36 @@ mod tests {
         let got = d.batch(&indices);
         for (k, &i) in indices.iter().enumerate() {
             assert_eq!(got[k].is_some(), d.strategy(i).is_some(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn deduped_never_merges_inequivalent_jumpy_programs() {
+        use crate::machine::{Machine, RoundIo};
+        // Identical except for the jump displacement — and genuinely
+        // inequivalent, because the jumps land on different byte offsets:
+        // +2 lands on the `emit.a 0x41` instruction, +3 lands *inside* it
+        // (0x41 % 16 = 1 re-decodes as `emit.a` with a missing operand).
+        let p1 = Program::from_bytes(vec![0x0b, 0x02, 0x01, 0x41]);
+        let p2 = Program::from_bytes(vec![0x0b, 0x03, 0x01, 0x41]);
+        let first_round = |p: &Program| {
+            let mut m = Machine::with_fuel(p.clone(), 16);
+            let mut io = RoundIo::default();
+            m.round(&mut io);
+            io.out_a
+        };
+        assert_ne!(first_round(&p1), first_round(&p2), "the pair must be inequivalent");
+        assert_ne!(canonical_signature(&p1), canonical_signature(&p2));
+        // A dedup over a class containing both must keep both.
+        let class =
+            ProgramEnumerator::over(vec![0x0b, 0x02, 0x03, 0x01, 0x41]).with_max_len(4).deduped();
+        let kept: Vec<Program> = (0..class.total()).filter_map(|i| class.program(i)).collect();
+        for p in [&p1, &p2] {
+            assert!(
+                kept.iter().any(|k| k.as_bytes() == p.as_bytes()),
+                "jumpy program {:?} was merged away",
+                p.as_bytes()
+            );
         }
     }
 }

@@ -10,12 +10,20 @@
 //! - [`instr`] — the 16-opcode instruction set (registers, channel I/O,
 //!   bounded jumps).
 //! - [`program`] — programs, assembler, disassembler.
-//! - [`machine`] — the fuel-bounded interpreter, scalar and predecoded
-//!   ([`DecodedProgram`]) dispatch.
+//! - [`machine`] — the fuel-bounded interpreter: a predecoded
+//!   ([`DecodedProgram`]) per-opcode dispatch table shared by the scalar,
+//!   batch, and prewarm paths, with the original `match` loop kept as its
+//!   executable specification.
+//! - [`dispatch`] — the `GOC_DISPATCH` gate selecting between the two
+//!   interpreter cores (default: table dispatch).
 //! - [`batch`] — the lockstep batch interpreter ([`BatchVm`]) stepping N
-//!   candidates per round with one shared decode (`GOC_BATCH`, default on).
+//!   candidates per round with one shared decode and struct-of-arrays
+//!   per-register columns (`GOC_BATCH`, default on).
 //! - [`arena`] — thread-local recycled buffers for candidate spawn/eliminate
 //!   churn under batch mode.
+//! - [`predict`] — per-program-class first-round output signatures and the
+//!   top-K continuation predictor behind predicted-prefix prewarm
+//!   speculation.
 //! - [`adapter`] — mounting programs as `goc-core` users/servers, plus a
 //!   library of small useful programs.
 //! - [`cache`] — the candidate-evaluation cache memoising VM rounds by
@@ -47,9 +55,11 @@ pub mod arena;
 pub mod asm;
 pub mod batch;
 pub mod cache;
+pub mod dispatch;
 pub mod enumerate;
 pub mod instr;
 pub mod machine;
+pub mod predict;
 pub mod program;
 
 pub use adapter::{VmServer, VmUser};

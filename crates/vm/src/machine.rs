@@ -9,10 +9,22 @@
 //! the code range, and the fuel bound caps the work per round, so arbitrary
 //! byte strings — e.g. produced by enumeration — execute without panics or
 //! divergence.
+//!
+//! **Two interpreter cores, one semantics.** The default core predecodes the
+//! program once into a [`DecodedProgram`] — a dense opcode index plus
+//! flattened operands per byte offset — and executes through `DISPATCH`, a
+//! `const` table of per-opcode handler functions (unsafe-free fn-pointer
+//! dispatch). Scalar rounds, the lockstep batch interpreter
+//! ([`BatchVm`](crate::batch::BatchVm)), and the prewarm executor all step
+//! through the same table via `StepLane`, so there is exactly one place
+//! opcode semantics live. `GOC_DISPATCH=0` (see [`dispatch`](crate::dispatch))
+//! selects `Machine::round_match`'s original `match` loop instead — kept as
+//! the executable specification the table is differentially tested against.
 
-use crate::instr::{Chan, Instr, REG_COUNT};
+use crate::instr::{Chan, Instr, OPCODE_COUNT, REG_COUNT};
 use crate::program::Program;
 use goc_core::snap::{SnapError, SnapReader, SnapWriter};
+use std::sync::Arc;
 
 /// Register sentinel stored by `read.*` when the inbox is exhausted.
 pub const EXHAUSTED: u64 = 0x100;
@@ -80,6 +92,10 @@ pub struct Machine {
     fuel_per_round: u32,
     halted: Option<Vec<u8>>,
     instructions_retired: u64,
+    /// Lazily built (and `Clone`-shared) decode for table dispatch. Never
+    /// serialized: snapshots carry the program bytes, and a restore into the
+    /// same program keeps the decode valid.
+    decoded: Option<Arc<DecodedProgram>>,
 }
 
 impl Machine {
@@ -101,6 +117,7 @@ impl Machine {
             fuel_per_round,
             halted: None,
             instructions_retired: 0,
+            decoded: None,
         }
     }
 
@@ -133,7 +150,34 @@ impl Machine {
     /// `halt`, code end, or fuel exhaustion, filling `io`'s outboxes.
     ///
     /// A halted machine does nothing (outboxes stay empty).
+    ///
+    /// With [`dispatch::enabled`](crate::dispatch::enabled) (the default)
+    /// the round runs through the predecoded handler table, built lazily on
+    /// first use and shared across rounds; `GOC_DISPATCH=0` selects the
+    /// `match` loop in `round_match`. Both cores are observably identical.
     pub fn round(&mut self, io: &mut RoundIo) {
+        if self.halted.is_some() || self.program.is_empty() {
+            return;
+        }
+        if crate::dispatch::enabled() {
+            let decoded = match &self.decoded {
+                Some(d) => Arc::clone(d),
+                None => {
+                    let d = Arc::new(DecodedProgram::new(&self.program));
+                    self.decoded = Some(Arc::clone(&d));
+                    d
+                }
+            };
+            self.round_decoded(&decoded, io);
+        } else {
+            self.round_match(io);
+        }
+    }
+
+    /// The original scalar `match` interpreter loop — the executable
+    /// specification the dispatch table is tested against, and the round
+    /// core when `GOC_DISPATCH=0`.
+    fn round_match(&mut self, io: &mut RoundIo) {
         if self.halted.is_some() || self.program.is_empty() {
             return;
         }
@@ -245,7 +289,14 @@ impl Machine {
         while pc < code_len && fuel > 0 {
             fuel -= 1;
             self.instructions_retired += 1;
-            match decoded.step(&mut pc, &mut self.regs, io, &mut cur_a, &mut cur_b) {
+            let mut lane = StepLane {
+                pc: &mut pc,
+                regs: RegLane::scalar(&mut self.regs),
+                io: &mut *io,
+                cur_a: &mut cur_a,
+                cur_b: &mut cur_b,
+            };
+            match decoded.step(&mut lane) {
                 StepOutcome::Continue => {}
                 StepOutcome::End => return,
                 StepOutcome::Halt => {
@@ -328,14 +379,257 @@ pub(crate) enum StepOutcome {
     Halt,
 }
 
-/// One predecoded instruction slot (see [`DecodedProgram`]).
+/// A strided view of one lane's registers, so the scalar machine's
+/// `[u64; REG_COUNT]` (stride 1, lane 0) and one lane of the batch
+/// interpreter's per-register columns (stride = column stride) read and
+/// write through the same two accessors — the dispatch handlers see exactly
+/// one register model. Register `r` lives at `slots[r * stride + lane]`.
+pub(crate) struct RegLane<'a> {
+    slots: &'a mut [u64],
+    stride: usize,
+    lane: usize,
+}
+
+impl<'a> RegLane<'a> {
+    /// The scalar view over a machine's own register array.
+    #[inline(always)]
+    pub(crate) fn scalar(regs: &'a mut [u64; REG_COUNT]) -> Self {
+        RegLane { slots: regs, stride: 1, lane: 0 }
+    }
+
+    /// One lane of a struct-of-arrays register file.
+    #[inline(always)]
+    pub(crate) fn strided(slots: &'a mut [u64], stride: usize, lane: usize) -> Self {
+        debug_assert!(lane < stride, "lane {lane} outside stride {stride}");
+        debug_assert!(slots.len() >= REG_COUNT * stride, "register file too small");
+        RegLane { slots, stride, lane }
+    }
+
+    #[inline(always)]
+    fn get(&self, r: u8) -> u64 {
+        self.slots[r as usize * self.stride + self.lane]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, r: u8, v: u64) {
+        self.slots[r as usize * self.stride + self.lane] = v;
+    }
+}
+
+/// The mutable per-round execution state of one lane, threaded through every
+/// dispatch handler. The caller owns fuel and retired-instruction accounting
+/// (charged *before* each step, as the scalar loop does).
+pub(crate) struct StepLane<'a> {
+    pub(crate) pc: &'a mut usize,
+    pub(crate) regs: RegLane<'a>,
+    pub(crate) io: &'a mut RoundIo,
+    pub(crate) cur_a: &'a mut usize,
+    pub(crate) cur_b: &'a mut usize,
+}
+
+impl StepLane<'_> {
+    /// Falls through to `op`'s next pc and continues the round.
+    #[inline(always)]
+    fn advance(&mut self, op: DecodedOp) -> StepOutcome {
+        *self.pc = op.next as usize;
+        StepOutcome::Continue
+    }
+}
+
+/// One predecoded instruction slot (see [`DecodedProgram`]): the dense
+/// opcode index that selects the [`DISPATCH`] handler, plus its operands
+/// flattened out of [`Instr`] (register indices already reduced mod
+/// `REG_COUNT`, channel selectors as 0 = A / 1 = B).
 #[derive(Clone, Copy, Debug)]
 struct DecodedOp {
-    instr: Instr,
+    /// Dense opcode index in `0..OPCODE_COUNT` — the handler-table slot.
+    op: u8,
+    /// First operand: register index, immediate byte, or channel selector.
+    a: u8,
+    /// Second operand (two-operand opcodes only).
+    b: u8,
     /// `pos + encoded length`: the fall-through pc.
     next: u32,
     /// Precomputed, range-reduced target for `jmp` / taken `jz`; 0 otherwise.
     target: u32,
+}
+
+/// Flattens a decoded [`Instr`] into `(dense opcode, operand a, operand b)`.
+/// The dense index mirrors the opcode byte map in [`crate::instr`] exactly.
+fn flatten(instr: Instr) -> (u8, u8, u8) {
+    let chan = |c: Chan| match c {
+        Chan::A => 0u8,
+        Chan::B => 1u8,
+    };
+    match instr {
+        Instr::Halt => (0, 0, 0),
+        Instr::EmitA(x) => (1, x, 0),
+        Instr::EmitB(x) => (2, x, 0),
+        Instr::EmitAReg(r) => (3, r.index() as u8, 0),
+        Instr::EmitBReg(r) => (4, r.index() as u8, 0),
+        Instr::ReadA(r) => (5, r.index() as u8, 0),
+        Instr::ReadB(r) => (6, r.index() as u8, 0),
+        Instr::Const(r, x) => (7, r.index() as u8, x),
+        Instr::Add(r, s) => (8, r.index() as u8, s.index() as u8),
+        Instr::Inc(r) => (9, r.index() as u8, 0),
+        Instr::JmpIfZero(r, _) => (10, r.index() as u8, 0),
+        Instr::Jmp(_) => (11, 0, 0),
+        Instr::CopyA(c) => (12, chan(c), 0),
+        Instr::CopyB(c) => (13, chan(c), 0),
+        Instr::AddConst(r, x) => (14, r.index() as u8, x),
+        Instr::EndRound => (15, 0, 0),
+    }
+}
+
+/// One handler per opcode. Handlers set `*lane.pc` themselves (fall-through
+/// or jump target) and return the round outcome; `Halt`/`End` leave the pc
+/// untouched since the round is over.
+type Handler = fn(DecodedOp, &mut StepLane<'_>) -> StepOutcome;
+
+/// The computed-goto-style dispatch table, indexed by [`DecodedOp::op`].
+/// Order must match [`flatten`] (== the opcode byte map in [`crate::instr`]).
+const DISPATCH: [Handler; OPCODE_COUNT as usize] = [
+    op_halt,
+    op_emit_a,
+    op_emit_b,
+    op_emit_a_reg,
+    op_emit_b_reg,
+    op_read_a,
+    op_read_b,
+    op_const,
+    op_add,
+    op_inc,
+    op_jmp_if_zero,
+    op_jmp,
+    op_copy_a,
+    op_copy_b,
+    op_add_const,
+    op_end_round,
+];
+
+#[inline(always)]
+fn op_halt(_op: DecodedOp, _s: &mut StepLane<'_>) -> StepOutcome {
+    StepOutcome::Halt
+}
+
+#[inline(always)]
+fn op_emit_a(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    s.io.out_a.push(op.a);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_emit_b(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    s.io.out_b.push(op.a);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_emit_a_reg(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    s.io.out_a.push(s.regs.get(op.a) as u8);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_emit_b_reg(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    s.io.out_b.push(s.regs.get(op.a) as u8);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_read_a(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let v = match s.io.in_a.get(*s.cur_a) {
+        Some(&b) => {
+            *s.cur_a += 1;
+            b as u64
+        }
+        None => EXHAUSTED,
+    };
+    s.regs.set(op.a, v);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_read_b(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let v = match s.io.in_b.get(*s.cur_b) {
+        Some(&b) => {
+            *s.cur_b += 1;
+            b as u64
+        }
+        None => EXHAUSTED,
+    };
+    s.regs.set(op.a, v);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_const(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    s.regs.set(op.a, op.b as u64);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_add(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let v = s.regs.get(op.a).wrapping_add(s.regs.get(op.b));
+    s.regs.set(op.a, v);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_inc(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let v = s.regs.get(op.a).wrapping_add(1);
+    s.regs.set(op.a, v);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_jmp_if_zero(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    *s.pc = if s.regs.get(op.a) == 0 { op.target as usize } else { op.next as usize };
+    StepOutcome::Continue
+}
+
+#[inline(always)]
+fn op_jmp(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    *s.pc = op.target as usize;
+    StepOutcome::Continue
+}
+
+#[inline(always)]
+fn op_copy_a(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let io = &mut *s.io;
+    let rest = &io.in_a[(*s.cur_a).min(io.in_a.len())..];
+    if op.a == 0 {
+        io.out_a.extend_from_slice(rest);
+    } else {
+        io.out_b.extend_from_slice(rest);
+    }
+    *s.cur_a = io.in_a.len();
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_copy_b(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let io = &mut *s.io;
+    let rest = io.in_b[(*s.cur_b).min(io.in_b.len())..].to_vec();
+    if op.a == 0 {
+        io.out_a.extend_from_slice(&rest);
+    } else {
+        io.out_b.extend_from_slice(&rest);
+    }
+    *s.cur_b = io.in_b.len();
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_add_const(op: DecodedOp, s: &mut StepLane<'_>) -> StepOutcome {
+    let v = s.regs.get(op.a).wrapping_add(op.b as u64);
+    s.regs.set(op.a, v);
+    s.advance(op)
+}
+
+#[inline(always)]
+fn op_end_round(_op: DecodedOp, _s: &mut StepLane<'_>) -> StepOutcome {
+    StepOutcome::End
 }
 
 /// A program predecoded for jump-table dispatch: one op per **byte offset**
@@ -350,7 +644,8 @@ pub struct DecodedProgram {
 }
 
 impl DecodedProgram {
-    /// Predecodes `program` at every byte offset.
+    /// Predecodes `program` at every byte offset, flattening each [`Instr`]
+    /// into its dense opcode index and raw operands.
     pub fn new(program: &Program) -> Self {
         let code = program.as_bytes();
         let len = code.len();
@@ -363,7 +658,8 @@ impl DecodedProgram {
                     }
                     _ => 0,
                 };
-                DecodedOp { instr, next: (pos + used) as u32, target }
+                let (op, a, b) = flatten(instr);
+                DecodedOp { op, a, b, next: (pos + used) as u32, target }
             })
             .collect();
         DecodedProgram { code: code.into(), ops }
@@ -384,75 +680,47 @@ impl DecodedProgram {
         self.ops.is_empty()
     }
 
-    /// Executes the instruction at `*pc`, mirroring one iteration of
-    /// [`Machine::round`]'s loop body exactly. The caller owns the fuel and
-    /// retired-instruction accounting (charged *before* this call, as the
-    /// scalar loop does).
+    /// Executes the instruction at `*lane.pc` through the dispatch table,
+    /// observably identical to one iteration of the scalar `match` loop.
+    /// The caller owns the fuel and retired-instruction accounting (charged
+    /// *before* this call, as the scalar loop does).
     #[inline(always)]
-    pub(crate) fn step(
-        &self,
-        pc: &mut usize,
-        regs: &mut [u64; REG_COUNT],
-        io: &mut RoundIo,
-        cur_a: &mut usize,
-        cur_b: &mut usize,
-    ) -> StepOutcome {
-        let op = self.ops[*pc];
-        let mut next_pc = op.next as usize;
-        match op.instr {
-            Instr::Halt => return StepOutcome::Halt,
-            Instr::EmitA(b) => io.out_a.push(b),
-            Instr::EmitB(b) => io.out_b.push(b),
-            Instr::EmitAReg(r) => io.out_a.push(regs[r.index()] as u8),
-            Instr::EmitBReg(r) => io.out_b.push(regs[r.index()] as u8),
-            Instr::ReadA(r) => {
-                regs[r.index()] = match io.in_a.get(*cur_a) {
-                    Some(&b) => {
-                        *cur_a += 1;
-                        b as u64
-                    }
-                    None => EXHAUSTED,
-                };
-            }
-            Instr::ReadB(r) => {
-                regs[r.index()] = match io.in_b.get(*cur_b) {
-                    Some(&b) => {
-                        *cur_b += 1;
-                        b as u64
-                    }
-                    None => EXHAUSTED,
-                };
-            }
-            Instr::Const(r, b) => regs[r.index()] = b as u64,
-            Instr::Add(r, s) => regs[r.index()] = regs[r.index()].wrapping_add(regs[s.index()]),
-            Instr::Inc(r) => regs[r.index()] = regs[r.index()].wrapping_add(1),
-            Instr::JmpIfZero(r, _) => {
-                if regs[r.index()] == 0 {
-                    next_pc = op.target as usize;
-                }
-            }
-            Instr::Jmp(_) => next_pc = op.target as usize,
-            Instr::CopyA(dest) => {
-                let rest = &io.in_a[(*cur_a).min(io.in_a.len())..];
-                match dest {
-                    Chan::A => io.out_a.extend_from_slice(rest),
-                    Chan::B => io.out_b.extend_from_slice(rest),
-                }
-                *cur_a = io.in_a.len();
-            }
-            Instr::CopyB(dest) => {
-                let rest = io.in_b[(*cur_b).min(io.in_b.len())..].to_vec();
-                match dest {
-                    Chan::A => io.out_a.extend_from_slice(&rest),
-                    Chan::B => io.out_b.extend_from_slice(&rest),
-                }
-                *cur_b = io.in_b.len();
-            }
-            Instr::AddConst(r, b) => regs[r.index()] = regs[r.index()].wrapping_add(b as u64),
-            Instr::EndRound => return StepOutcome::End,
-        }
-        *pc = next_pc;
-        StepOutcome::Continue
+    pub(crate) fn step(&self, lane: &mut StepLane<'_>) -> StepOutcome {
+        let op = self.ops[*lane.pc];
+        exec_op(op, lane)
+    }
+}
+
+/// Executes one decoded op: semantically `DISPATCH[op.op](op, lane)`, written
+/// as a `match` on the dense opcode index. Both forms compile to an indexed
+/// jump through a constant table, but the `match` keeps the handler bodies
+/// inlinable into the scalar and batch round loops — an indirect call through
+/// the fn-pointer table is an inlining barrier that costs ~1.5x on
+/// burner-heavy settle workloads, where the whole per-step state otherwise
+/// lives in registers. The `const` table stays the canonical opcode → handler
+/// map: the (unreachable by [`flatten`] construction) default arm routes
+/// through it, and `exec_op_agrees_with_dispatch_table` pins each arm to its
+/// table slot.
+#[inline(always)]
+fn exec_op(op: DecodedOp, lane: &mut StepLane<'_>) -> StepOutcome {
+    match op.op {
+        0 => op_halt(op, lane),
+        1 => op_emit_a(op, lane),
+        2 => op_emit_b(op, lane),
+        3 => op_emit_a_reg(op, lane),
+        4 => op_emit_b_reg(op, lane),
+        5 => op_read_a(op, lane),
+        6 => op_read_b(op, lane),
+        7 => op_const(op, lane),
+        8 => op_add(op, lane),
+        9 => op_inc(op, lane),
+        10 => op_jmp_if_zero(op, lane),
+        11 => op_jmp(op, lane),
+        12 => op_copy_a(op, lane),
+        13 => op_copy_b(op, lane),
+        14 => op_add_const(op, lane),
+        15 => op_end_round(op, lane),
+        _ => DISPATCH[op.op as usize](op, lane),
     }
 }
 
@@ -592,5 +860,66 @@ mod tests {
     #[should_panic(expected = "positive fuel")]
     fn zero_fuel_panics() {
         let _ = Machine::with_fuel(Program::default(), 0);
+    }
+
+    #[test]
+    fn dispatch_table_matches_match_loop() {
+        let p = Program::assemble(&[
+            Instr::ReadA(Reg::new(1)),
+            Instr::Const(Reg::new(2), 7),
+            Instr::Add(Reg::new(1), Reg::new(2)),
+            Instr::EmitAReg(Reg::new(1)),
+            Instr::CopyB(Chan::A),
+            Instr::JmpIfZero(Reg::new(3), 3),
+            Instr::EmitB(0xAA),
+        ]);
+        let run = |table: bool| {
+            crate::dispatch::with_dispatch(table, || {
+                let mut m = Machine::with_fuel(p.clone(), 64);
+                let mut outs = Vec::new();
+                for _ in 0..3 {
+                    let mut io = RoundIo::with_inputs(b"hi".as_slice(), b"yo".as_slice());
+                    m.round(&mut io);
+                    outs.push((io.out_a.clone(), io.out_b.clone()));
+                }
+                (outs, *m.regs(), m.instructions_retired(), m.halted.clone())
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn exec_op_agrees_with_dispatch_table() {
+        // `exec_op`'s match arms and the `DISPATCH` slots must decode the
+        // same opcode → handler map: run every opcode through both from an
+        // identical starting state and compare the full observable effect.
+        for idx in 0..OPCODE_COUNT {
+            let op = DecodedOp { op: idx, a: 1, b: 2, next: 7, target: 3 };
+            let run = |dispatch: &dyn Fn(DecodedOp, &mut StepLane<'_>) -> StepOutcome| {
+                let mut pc = 0usize;
+                let mut regs = [0u64; REG_COUNT];
+                regs[1] = 5;
+                regs[2] = 9;
+                let mut io = RoundIo::with_inputs(b"ab".as_slice(), b"cd".as_slice());
+                let mut cur_a = 1usize;
+                let mut cur_b = 0usize;
+                let outcome = {
+                    let mut lane = StepLane {
+                        pc: &mut pc,
+                        regs: RegLane::scalar(&mut regs),
+                        io: &mut io,
+                        cur_a: &mut cur_a,
+                        cur_b: &mut cur_b,
+                    };
+                    dispatch(op, &mut lane)
+                };
+                (outcome, pc, regs, io.out_a, io.out_b, cur_a, cur_b)
+            };
+            assert_eq!(
+                run(&exec_op),
+                run(&DISPATCH[idx as usize]),
+                "opcode {idx}: match arm and table slot disagree"
+            );
+        }
     }
 }

@@ -1,0 +1,164 @@
+//! The dispatch table must be *unobservable*: for any program, fuel, and
+//! inbox history, the table-dispatch core (`GOC_DISPATCH=1`), the scalar
+//! `match` loop (`GOC_DISPATCH=0`), and the lockstep batch interpreter
+//! produce byte-identical outboxes, halt payloads, registers, and
+//! retired-instruction counts. Checked by the seeded `goc-testkit` harness
+//! over random programs × random inboxes × random fuel.
+
+use goc_core::msg::{Message, UserIn};
+use goc_core::rng::GocRng;
+use goc_core::strategy::{StepCtx, UserStrategy};
+use goc_testkit::{check, gens, prop_assert_eq};
+use goc_vm::adapter::VmUser;
+use goc_vm::batch::BatchVm;
+use goc_vm::dispatch::with_dispatch;
+use goc_vm::instr::REG_COUNT;
+use goc_vm::machine::{Machine, RoundIo};
+use goc_vm::program::Program;
+
+/// Everything observable about one machine after one round.
+type RoundState = (Vec<u8>, Vec<u8>, Option<Vec<u8>>, [u64; REG_COUNT], u64);
+
+/// Drives a scalar [`Machine`] over `rounds` under the given dispatch mode.
+fn drive_scalar(
+    table: bool,
+    p: &Program,
+    fuel: u32,
+    rounds: &[(Vec<u8>, Vec<u8>)],
+) -> Vec<RoundState> {
+    with_dispatch(table, || {
+        let mut m = Machine::with_fuel(p.clone(), fuel);
+        rounds
+            .iter()
+            .map(|(a, b)| {
+                let mut io = RoundIo::with_inputs(a.clone(), b.clone());
+                m.round(&mut io);
+                (
+                    io.out_a,
+                    io.out_b,
+                    m.halted().map(<[u8]>::to_vec),
+                    *m.regs(),
+                    m.instructions_retired(),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Drives every program as one lane of a [`BatchVm`] over the same rounds.
+fn drive_batch(
+    programs: &[Program],
+    fuel: u32,
+    rounds: &[(Vec<u8>, Vec<u8>)],
+) -> Vec<Vec<RoundState>> {
+    let mut vm = BatchVm::new();
+    for p in programs {
+        vm.push(p, fuel);
+    }
+    let mut out: Vec<Vec<RoundState>> = vec![Vec::new(); programs.len()];
+    for (a, b) in rounds {
+        let mut ios: Vec<RoundIo> =
+            programs.iter().map(|_| RoundIo::with_inputs(a.clone(), b.clone())).collect();
+        vm.round(&mut ios);
+        for (lane, states) in out.iter_mut().enumerate() {
+            states.push((
+                ios[lane].out_a.clone(),
+                ios[lane].out_b.clone(),
+                vm.halted(lane).map(<[u8]>::to_vec),
+                vm.regs(lane),
+                vm.instructions_retired(lane),
+            ));
+        }
+    }
+    out
+}
+
+/// Table dispatch ≡ `match` dispatch ≡ batch execution, observably, for
+/// random programs × random inboxes × random fuel.
+#[test]
+fn table_match_and_batch_dispatch_agree() {
+    let round_inputs = gens::tuple2(gens::bytes(0, 6), gens::bytes(0, 6));
+    let trial = gens::tuple3(
+        gens::vec_of(gens::bytes(0, 14), 1, 6),
+        gens::u32_in(8, 512),
+        gens::vec_of(round_inputs, 1, 8),
+    );
+    check("table_match_and_batch_dispatch_agree", trial, |(codes, fuel, rounds)| {
+        let programs: Vec<Program> =
+            codes.iter().map(|c| Program::from_bytes(c.clone())).collect();
+        let batched = drive_batch(&programs, *fuel, rounds);
+        for (i, p) in programs.iter().enumerate() {
+            let via_match = drive_scalar(false, p, *fuel, rounds);
+            let via_table = drive_scalar(true, p, *fuel, rounds);
+            prop_assert_eq!(
+                &via_table,
+                &via_match,
+                "table vs match diverged on program {i} ({:?})",
+                p.as_bytes()
+            );
+            prop_assert_eq!(
+                &batched[i],
+                &via_match,
+                "batch vs match diverged on program {i} ({:?})",
+                p.as_bytes()
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Drives a [`VmUser`] over `inputs`, collecting per-round outputs and halts.
+fn drive_user(user: &mut dyn UserStrategy, inputs: &[(Vec<u8>, Vec<u8>)]) -> Vec<RoundState> {
+    let mut rng = GocRng::seed_from_u64(0);
+    let mut out = Vec::new();
+    for (round, (a, b)) in inputs.iter().enumerate() {
+        let mut ctx = StepCtx::new(round as u64, &mut rng);
+        let o = user.step(
+            &mut ctx,
+            &UserIn {
+                from_server: Message::from_bytes(a.clone()),
+                from_world: Message::from_bytes(b.clone()),
+            },
+        );
+        out.push((
+            o.to_server.as_bytes().to_vec(),
+            o.to_world.as_bytes().to_vec(),
+            user.halted().map(|h| h.output.as_bytes().to_vec()),
+            [0u64; REG_COUNT], // registers may lag under the cache; not compared here
+            0,
+        ));
+    }
+    out
+}
+
+/// The flag is also inert one layer up: a mounted [`VmUser`] (cache on and
+/// off) steps identically whatever `GOC_DISPATCH` says.
+#[test]
+fn vm_user_is_invariant_across_dispatch_modes() {
+    let round_inputs = gens::tuple2(gens::bytes(0, 5), gens::bytes(0, 5));
+    let trial = gens::tuple3(
+        gens::bytes(0, 12),
+        gens::u32_in(16, 256),
+        gens::vec_of(round_inputs, 1, 10),
+    );
+    check("vm_user_is_invariant_across_dispatch_modes", trial, |(code, fuel, inputs)| {
+        for cache in [false, true] {
+            let run = |table: bool| {
+                with_dispatch(table, || {
+                    let program = Program::from_bytes(code.clone());
+                    let mut user =
+                        VmUser::with_fuel(program, *fuel).with_cache_enabled(cache);
+                    drive_user(&mut user, inputs)
+                })
+            };
+            let via_match = run(false);
+            let via_table = run(true);
+            prop_assert_eq!(
+                &via_table,
+                &via_match,
+                "VmUser diverged across dispatch modes (cache={cache})"
+            );
+        }
+        Ok(())
+    });
+}

@@ -113,6 +113,67 @@ fn prewarmed_candidates_serve_nonempty_histories_correctly() {
     });
 }
 
+/// Predicted-prefix speculation records value-identical entries: teach the
+/// predictor a continuation for an echoer's first-output class, prewarm,
+/// and every entry along the speculated stationary chain must equal what
+/// scalar execution computes for that exact history.
+#[test]
+fn predicted_prefix_entries_match_scalar_execution() {
+    use goc_vm::instr::{Chan, Instr};
+    use goc_vm::machine::{Machine, RoundIo};
+    use goc_vm::predict;
+
+    // An echoer with a distinctive first round: says "Q7", then copies the
+    // server's reply back every round. Its later rounds depend on the inbox,
+    // so the empty chain alone cannot warm it against a talkative peer.
+    let program = Program::assemble(&[
+        Instr::EmitA(b'Q'),
+        Instr::EmitA(b'7'),
+        Instr::CopyA(Chan::A),
+        Instr::EndRound,
+    ]);
+    let fuel = 64u32;
+    let depth = 8usize;
+    // The class key is the signature of the round-0 outputs on the
+    // canonical all-empty inbox.
+    let sig = {
+        let mut m = Machine::with_fuel(program.clone(), fuel);
+        let mut io = RoundIo::default();
+        m.round(&mut io);
+        predict::signature(&io.out_a, &io.out_b)
+    };
+    // Teach the predictor (repeatedly, so concurrent tests recording into a
+    // colliding class cannot push this continuation out of the top-K).
+    for _ in 0..5 {
+        predict::record_outcome(sig, b"ping", b"");
+    }
+    let mut warmed = VmUser::with_fuel(program.clone(), fuel).with_cache_enabled(true);
+    with_prewarm(true, || prewarm_deep([&mut warmed], depth));
+    // Ground truth: a scalar user over the speculated history — one empty
+    // round, then the stationary predicted inbox.
+    let mut inputs = vec![(Vec::new(), Vec::new())];
+    inputs.extend(std::iter::repeat_n((b"ping".to_vec(), Vec::new()), depth - 1));
+    let mut scalar = VmUser::with_fuel(program.clone(), fuel).with_cache_enabled(false);
+    let truth = drive(&mut scalar, &inputs);
+    let mut prefix = cache::PREFIX_EMPTY;
+    for (r, ((in_a, in_b), (out_a, out_b, halted))) in inputs.iter().zip(&truth).enumerate() {
+        prefix = cache::extend_prefix(prefix, in_a, in_b);
+        let key = cache::RoundKey {
+            program_hash: cache::program_hash(program.as_bytes()),
+            fuel,
+            prefix_hash: prefix,
+        };
+        let entry = cache::lookup(&key, program.as_bytes())
+            .unwrap_or_else(|| panic!("round {r} of the predicted chain is not memoised"));
+        assert_eq!(&entry.out_a, out_a, "out_a at round {r}");
+        assert_eq!(&entry.out_b, out_b, "out_b at round {r}");
+        assert_eq!(&entry.halted, halted, "halt at round {r}");
+    }
+    // Serving the warmed user that exact history must also be correct.
+    let got = drive(&mut warmed, &inputs);
+    assert_eq!(got, truth, "warmed candidate diverged on the predicted history");
+}
+
 /// `ProgramEnumerator::batch` (with `prefetch`) yields behaviourally
 /// identical candidates across `GOC_PREWARM` off/on × `GOC_THREADS` 1/4.
 #[test]
