@@ -222,6 +222,42 @@ if [ "$from_file" != "$uninterrupted" ]; then
 fi
 printf 'snapshot file round-trip: %s\n' "$from_file"
 
+echo "== serve gate: 10k sessions over a real socket settle byte-identically =="
+# goc-serve hosts sessions behind the snap-disciplined wire format; goc-load
+# drives 10,000 of them (fixed seed, pipelined over 8 connections) and writes
+# one sorted outcome line per session. The same fleet run in-process must
+# produce the *same bytes* — the socket boundary, the shard scheduler, and
+# the connection pipelining are all observationally inert. --shutdown also
+# exercises the daemon's drain path (shards joined, worker pool drained).
+serve_sock="target/goc-ci-serve.sock"
+rm -f "$serve_sock" target/goc-serve-socket.txt target/goc-serve-inproc.txt \
+      target/goc-serve-load.jsonl
+./target/release/goc-serve --listen "unix:$serve_sock" --shards 4 --quiet &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ] || { echo "CI FAIL: goc-serve never bound $serve_sock"; kill "$serve_pid" 2>/dev/null || true; exit 1; }
+./target/release/goc-load --mode socket --connect "unix:$serve_sock" \
+  --sessions 10000 --conns 8 --seed 42 --scenario mix \
+  --out target/goc-serve-socket.txt --json target/goc-serve-load.jsonl --shutdown \
+  || { echo "CI FAIL: goc-load reported session failures over the socket"; kill "$serve_pid" 2>/dev/null || true; exit 1; }
+wait "$serve_pid" || { echo "CI FAIL: goc-serve exited non-zero"; exit 1; }
+./target/release/goc-load --mode inproc \
+  --sessions 10000 --seed 42 --scenario mix \
+  --out target/goc-serve-inproc.txt --json target/goc-serve-load.jsonl \
+  || { echo "CI FAIL: goc-load in-process arm reported failures"; exit 1; }
+cmp target/goc-serve-socket.txt target/goc-serve-inproc.txt \
+  || { echo "CI FAIL: socket settle differs from in-process settle"; exit 1; }
+serve_sum=$(cargo run --release --offline -p goc-bench --bin goc-report -- \
+  --serve-summary target/goc-serve-load.jsonl)
+printf '%s\n' "$serve_sum"
+grep -q "failures 0" <<<"$serve_sum" \
+  || { echo "CI FAIL: serve summary reports session failures"; exit 1; }
+! grep -Eq "failures [1-9]" <<<"$serve_sum" \
+  || { echo "CI FAIL: serve summary reports session failures"; exit 1; }
+grep -q "p99" <<<"$serve_sum" \
+  || { echo "CI FAIL: serve summary missing latency percentiles"; exit 1; }
+echo "10000 sessions settle byte-identically over unix:$serve_sock (0 failures)"
+
 echo "== bench summary consumes the JSON lines =="
 summary=$(cargo run --release --offline -p goc-bench --bin goc-report -- --bench-summary)
 printf '%s\n' "$summary"

@@ -11,6 +11,10 @@
 //! - `--trace-summary [PATH]`: print span/event/metric aggregates from a
 //!   `GOC_TRACE` JSONL file (default `target/goc-trace.jsonl`); record one
 //!   with `GOC_TRACE=target/goc-trace.jsonl goc-report --quick`.
+//! - `--serve-summary PATH`: render the latency/throughput record a
+//!   `goc-load --json PATH` run wrote — session/failure counts plus
+//!   p50/p99 `Drive` round-trip latency (the CI serve gate greps the
+//!   `failures` line).
 //! - `--compare OLD.jsonl NEW.jsonl`: per-benchmark median and fastest-sample
 //!   deltas between two JSONL files (e.g. a committed snapshot vs a fresh
 //!   run); lines whose fastest sample is more than 10% slower are marked
@@ -45,6 +49,18 @@ fn main() {
             }
         }
     }
+    if let Some(i) = args.iter().position(|a| a == "--serve-summary") {
+        match args.get(i + 1) {
+            Some(path) => {
+                serve_summary(path);
+                return;
+            }
+            None => {
+                eprintln!("goc-report: --serve-summary needs a goc-load JSONL path");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(i) = args.iter().position(|a| a == "--trace-summary") {
         let path = args
             .get(i + 1)
@@ -60,6 +76,60 @@ fn main() {
     // totals (process-scoped metrics are excluded by design so the file
     // stays byte-identical across GOC_THREADS).
     goc_core::obs::flush_metrics();
+}
+
+/// Renders the latency/throughput record `goc-load --json` wrote: one
+/// `serve_load` line per run, the failure count on its own greppable line,
+/// and the p50/p99 `Drive` round-trip latencies.
+fn serve_summary(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "goc-report: cannot read {path}: {e}\n\
+                 record a run first: goc-load --json {path} ..."
+            );
+            std::process::exit(1);
+        }
+    };
+    // The record is flat single-line JSON from our own generator; a tiny
+    // field scanner keeps this binary free of a JSON dependency.
+    let field = |line: &str, key: &str| -> Option<String> {
+        let needle = format!("\"{key}\":");
+        let at = line.find(&needle)? + needle.len();
+        let rest = &line[at..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    };
+    let mut seen = 0u32;
+    println!("serve summary ({path})");
+    for line in text.lines().filter(|l| l.contains("\"id\":\"serve_load\"")) {
+        seen += 1;
+        let get = |key: &str| field(line, key).unwrap_or_else(|| "?".to_string());
+        println!(
+            "  serve_load: mode {}, scenario {}, {} sessions over {} conns, \
+             quantum {}, horizon {}",
+            get("mode"),
+            get("scenario"),
+            get("sessions"),
+            get("conns"),
+            get("quantum"),
+            get("horizon"),
+        );
+        println!("  failures {}", get("failures"));
+        println!(
+            "  latency: p50 {} us, p99 {} us over {} drives in {} ms",
+            get("p50_us"),
+            get("p99_us"),
+            get("drives"),
+            get("wall_ms"),
+        );
+    }
+    if seen == 0 {
+        eprintln!("goc-report: no serve_load records in {path}");
+        std::process::exit(1);
+    }
 }
 
 /// Prints aggregates of a `GOC_TRACE` JSONL file (spans, events, exported

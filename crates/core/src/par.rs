@@ -154,15 +154,30 @@ pub mod pool {
 
     type Task = Box<dyn FnOnce() + Send>;
 
+    /// A queued background job: the runnable body plus a handle on its
+    /// completion state, kept separately so [`shutdown`] can complete the
+    /// handle of a job it discards without running the body.
+    struct BgJob {
+        state: Arc<JobState>,
+        body: Task,
+    }
+
     struct Queues {
         foreground: VecDeque<Task>,
-        background: VecDeque<Task>,
+        background: VecDeque<BgJob>,
+        /// Background jobs currently executing on a worker. [`drain`] and
+        /// [`shutdown`] wait for this to reach zero — a job mid-write is
+        /// never abandoned, only completed.
+        background_active: usize,
     }
 
     struct Pool {
         queues: Mutex<Queues>,
         /// Signalled whenever a task is queued; workers park here.
         available: Condvar,
+        /// Signalled when the background lane goes idle (queue empty, no
+        /// job executing); [`drain`]/[`shutdown`] park here.
+        bg_idle: Condvar,
         /// Number of persistent workers spawned so far.
         workers: AtomicUsize,
     }
@@ -173,8 +188,10 @@ pub mod pool {
             queues: Mutex::new(Queues {
                 foreground: VecDeque::new(),
                 background: VecDeque::new(),
+                background_active: 0,
             }),
             available: Condvar::new(),
+            bg_idle: Condvar::new(),
             workers: AtomicUsize::new(0),
         })
     }
@@ -210,15 +227,20 @@ pub mod pool {
 
     fn worker_loop() {
         let p = pool();
+        enum Picked {
+            Fg(Task),
+            Bg(BgJob),
+        }
         loop {
-            let task = {
+            let picked = {
                 let mut q = lock_queues(p);
                 loop {
                     if let Some(t) = q.foreground.pop_front() {
-                        break t;
+                        break Picked::Fg(t);
                     }
-                    if let Some(t) = q.background.pop_front() {
-                        break t;
+                    if let Some(j) = q.background.pop_front() {
+                        q.background_active += 1;
+                        break Picked::Bg(j);
                     }
                     q = p.available.wait(q).unwrap_or_else(PoisonError::into_inner);
                 }
@@ -226,14 +248,36 @@ pub mod pool {
             // Nested par_map calls run sequentially on pool workers, and a
             // panicking task must not take the persistent thread down — the
             // payload is delivered through the task's own completion state.
-            let _ = catch_unwind(AssertUnwindSafe(|| super::with_thread_count(1, task)));
+            match picked {
+                Picked::Fg(task) => {
+                    let _ = catch_unwind(AssertUnwindSafe(|| super::with_thread_count(1, task)));
+                }
+                Picked::Bg(job) => {
+                    let _ =
+                        catch_unwind(AssertUnwindSafe(|| super::with_thread_count(1, job.body)));
+                    let mut q = lock_queues(p);
+                    q.background_active -= 1;
+                    if q.background.is_empty() && q.background_active == 0 {
+                        p.bg_idle.notify_all();
+                    }
+                }
+            }
         }
     }
 
     /// Completion state of one background job.
+    #[derive(Default)]
+    struct JobDone {
+        finished: bool,
+        /// The job was removed from the queue by [`shutdown`] without
+        /// running.
+        discarded: bool,
+        /// First panic payload, re-raised at [`JobHandle::join`].
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
     struct JobState {
-        /// `(finished, first panic payload)`.
-        done: Mutex<(bool, Option<Box<dyn Any + Send>>)>,
+        done: Mutex<JobDone>,
         cv: Condvar,
     }
 
@@ -248,13 +292,14 @@ pub mod pool {
     }
 
     impl JobHandle {
-        /// Blocks until the job has finished; re-raises its panic.
+        /// Blocks until the job has finished (or was discarded by
+        /// [`shutdown`]); re-raises its panic.
         pub fn join(self) {
             let mut g = self.state.done.lock().unwrap_or_else(PoisonError::into_inner);
-            while !g.0 {
+            while !g.finished {
                 g = self.state.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
-            if let Some(payload) = g.1.take() {
+            if let Some(payload) = g.panic.take() {
                 drop(g);
                 resume_unwind(payload);
             }
@@ -262,34 +307,110 @@ pub mod pool {
 
         /// Whether the job has finished (without blocking).
         pub fn is_finished(&self) -> bool {
-            self.state.done.lock().unwrap_or_else(PoisonError::into_inner).0
+            self.state.done.lock().unwrap_or_else(PoisonError::into_inner).finished
+        }
+
+        /// Whether the job was discarded by [`shutdown`] before it ran.
+        /// Background work is advisory (cache prewarm), so a discarded job
+        /// completes its handle without running — callers that *require*
+        /// the side effect should check this after [`join`].
+        ///
+        /// [`join`]: JobHandle::join
+        pub fn was_discarded(&self) -> bool {
+            self.state.done.lock().unwrap_or_else(PoisonError::into_inner).discarded
         }
     }
 
-    /// Queues `f` on the background lane of the pool, growing it to at
-    /// least one worker. Background tasks run only when no foreground
+    /// Queues `f` on the background lane of the pool, growing it to the
+    /// effective [`thread_count`](super::thread_count) target so queued
+    /// jobs overlap instead of serializing on a single worker — a daemon
+    /// enqueueing many prewarm jobs gets the parallelism `GOC_THREADS`
+    /// promises without every call site remembering
+    /// [`ensure_workers`]. Background tasks run only when no foreground
     /// (`par_map`) shard is queued, under `with_thread_count(1, ..)`.
     pub fn submit(f: impl FnOnce() + Send + 'static) -> JobHandle {
-        ensure_workers(1);
-        let state = Arc::new(JobState { done: Mutex::new((false, None)), cv: Condvar::new() });
+        ensure_workers(super::thread_count());
+        let state = Arc::new(JobState { done: Mutex::new(JobDone::default()), cv: Condvar::new() });
         let task_state = Arc::clone(&state);
-        let task: Task = Box::new(move || {
+        let body: Task = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(f));
             let mut g = task_state.done.lock().unwrap_or_else(PoisonError::into_inner);
-            g.0 = true;
+            g.finished = true;
             if let Err(payload) = result {
-                g.1 = Some(payload);
+                g.panic = Some(payload);
             }
             task_state.cv.notify_all();
         });
         let p = pool();
         {
             let mut q = lock_queues(p);
-            q.background.push_back(task);
+            q.background.push_back(BgJob { state: Arc::clone(&state), body });
         }
         crate::obs_count_nd!("par.pool.jobs", 1u64);
         p.available.notify_one();
         JobHandle { state }
+    }
+
+    /// Blocks until the background lane is **empty and quiescent**: every
+    /// job queued so far (including jobs queued by other threads while this
+    /// call waits) has run to completion and no background job is
+    /// executing. Foreground (`par_map`) work is unaffected.
+    ///
+    /// This is the orderly half of the teardown pair — `goc-serve` calls it
+    /// when stopping a shard and the CLI calls it on exit, so a prewarm job
+    /// mid-write into a shared cache is completed rather than lost with the
+    /// process. The complement is [`shutdown`], which discards the queue.
+    pub fn drain() {
+        let p = pool();
+        {
+            // Queued jobs need a worker to ever complete; `submit`
+            // guarantees one exists whenever it queues, but be defensive —
+            // a hang here would be far worse than one spawn.
+            let q = lock_queues(p);
+            let queued = !q.background.is_empty();
+            drop(q);
+            if queued {
+                ensure_workers(1);
+            }
+        }
+        let mut q = lock_queues(p);
+        while !(q.background.is_empty() && q.background_active == 0) {
+            q = p.bg_idle.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Discards every **queued** background job — their handles complete
+    /// immediately, marked [`was_discarded`](JobHandle::was_discarded),
+    /// without the body running — then waits for jobs already executing to
+    /// finish (a job mid-write is never interrupted). Returns the number of
+    /// jobs discarded.
+    ///
+    /// Deterministic teardown contract: after `shutdown` returns, no
+    /// background job is running or will ever run from the pre-call queue,
+    /// and every handle is complete. The pool itself stays usable — later
+    /// [`submit`]/[`par_map`] calls behave normally.
+    pub fn shutdown() -> usize {
+        let p = pool();
+        let mut q = lock_queues(p);
+        let dropped: Vec<BgJob> = q.background.drain(..).collect();
+        for job in &dropped {
+            let mut g = job.state.done.lock().unwrap_or_else(PoisonError::into_inner);
+            g.finished = true;
+            g.discarded = true;
+            job.state.cv.notify_all();
+        }
+        while q.background_active > 0 {
+            q = p.bg_idle.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(q);
+        // Other drain()/shutdown() waiters see the lane idle now.
+        p.bg_idle.notify_all();
+        let n = dropped.len();
+        // Job bodies may own arbitrary state; run their destructors outside
+        // the queue lock.
+        drop(dropped);
+        crate::obs_count_nd!("par.pool.discarded", n as u64);
+        n
     }
 
     /// Shared countdown for one scoped (foreground) fan-out.
@@ -526,10 +647,21 @@ mod tests {
         assert!(pool::worker_count() >= after_first);
     }
 
+    /// Serializes the tests that touch the process-global background lane:
+    /// `shutdown()` discards *every* queued background job, so a test
+    /// running it concurrently with another test's `submit`/`join` pair
+    /// would discard that test's jobs out from under it.
+    static BG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn bg_lock() -> std::sync::MutexGuard<'static, ()> {
+        BG_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn background_jobs_run_and_join() {
         use std::sync::atomic::AtomicU64;
         static HITS: AtomicU64 = AtomicU64::new(0);
+        let _g = bg_lock();
         let handles: Vec<_> =
             (0..8).map(|_| pool::submit(|| { HITS.fetch_add(1, Ordering::Relaxed); })).collect();
         for h in handles {
@@ -540,6 +672,7 @@ mod tests {
 
     #[test]
     fn background_job_panic_is_delivered_at_join_not_in_the_pool() {
+        let _g = bg_lock();
         let ok = pool::submit(|| {});
         let bad = pool::submit(|| panic!("background boom"));
         ok.join();
@@ -548,6 +681,117 @@ mod tests {
         // The pool survives: later work still runs.
         let still = pool::submit(|| {});
         still.join();
+        assert_eq!(with_thread_count(2, || par_map(16, |i| i)).len(), 16);
+    }
+
+    #[test]
+    fn submit_honors_the_effective_thread_target() {
+        // Regression: `submit` used to guarantee only one worker, so queued
+        // background jobs serialized unless a caller happened to call
+        // `ensure_workers(n)` first. Eight jobs rendezvous: each waits for
+        // all eight to have started, which is only possible if the pool
+        // grew to (at least) the thread-local target of 8.
+        use std::sync::atomic::AtomicUsize;
+        static STARTED: AtomicUsize = AtomicUsize::new(0);
+        let _g = bg_lock();
+        let handles: Vec<_> = with_thread_count(8, || {
+            (0..8)
+                .map(|_| {
+                    pool::submit(|| {
+                        STARTED.fetch_add(1, Ordering::SeqCst);
+                        let deadline = std::time::Instant::now()
+                            + std::time::Duration::from_secs(30);
+                        while STARTED.load(Ordering::SeqCst) < 8 {
+                            assert!(
+                                std::time::Instant::now() < deadline,
+                                "background jobs serialized: the pool never \
+                                 grew to the thread target"
+                            );
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect()
+        });
+        for h in handles {
+            h.join();
+        }
+        assert!(pool::worker_count() >= 8);
+    }
+
+    #[test]
+    fn drain_completes_every_queued_background_job() {
+        use std::sync::atomic::AtomicUsize;
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let _g = bg_lock();
+        let handles: Vec<_> = (0..32)
+            .map(|_| pool::submit(|| { RAN.fetch_add(1, Ordering::SeqCst); }))
+            .collect();
+        pool::drain();
+        // After drain, every job has run to completion — nothing is lost
+        // and nothing is still mid-write.
+        assert!(handles.iter().all(|h| h.is_finished()));
+        assert!(handles.iter().all(|h| !h.was_discarded()));
+        assert!(RAN.load(Ordering::SeqCst) >= 32);
+        for h in handles {
+            h.join();
+        }
+    }
+
+    #[test]
+    fn shutdown_discards_queued_jobs_and_finishes_active_ones() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        static RELEASE: AtomicBool = AtomicBool::new(false);
+        static MARKERS_RAN: AtomicUsize = AtomicUsize::new(0);
+        let _g = bg_lock();
+        RELEASE.store(false, Ordering::SeqCst);
+        // Saturate every live worker (with a wide margin for workers other
+        // tests may spawn concurrently) with jobs that park until released,
+        // so the marker jobs queued behind them cannot start.
+        let blockers: Vec<_> = (0..pool::worker_count() + 64)
+            .map(|_| {
+                pool::submit(|| {
+                    let deadline =
+                        std::time::Instant::now() + std::time::Duration::from_secs(30);
+                    while !RELEASE.load(Ordering::SeqCst) {
+                        assert!(std::time::Instant::now() < deadline, "release never came");
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        let markers: Vec<_> = (0..8)
+            .map(|_| pool::submit(|| { MARKERS_RAN.fetch_add(1, Ordering::SeqCst); }))
+            .collect();
+        // shutdown() blocks on the *active* blockers, so run it on a helper
+        // thread, wait until it has cleared the queue (every marker handle
+        // completes as discarded), then release the active jobs.
+        let shut = std::thread::spawn(pool::shutdown);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !markers.iter().all(|h| h.is_finished()) {
+            assert!(std::time::Instant::now() < deadline, "shutdown never cleared the queue");
+            std::thread::yield_now();
+        }
+        RELEASE.store(true, Ordering::SeqCst);
+        let discarded = shut.join().expect("shutdown thread");
+        // Every marker was queued behind the blockers, so none ran: the
+        // discard is deterministic, not racy best-effort.
+        assert_eq!(MARKERS_RAN.load(Ordering::SeqCst), 0, "a discarded job ran anyway");
+        assert!(markers.iter().all(|h| h.was_discarded()));
+        assert!(discarded >= markers.len(), "shutdown discarded {discarded} < 8 jobs");
+        for h in markers {
+            h.join(); // completes immediately, no panic
+        }
+        for h in blockers {
+            h.join(); // active ones ran to completion; queued ones discarded
+        }
+        // The pool stays usable after shutdown.
+        let again = pool::submit(|| {});
+        while !again.is_finished() {
+            std::thread::yield_now();
+        }
+        assert!(!again.was_discarded());
+        again.join();
         assert_eq!(with_thread_count(2, || par_map(16, |i| i)).len(), 16);
     }
 

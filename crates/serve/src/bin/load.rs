@@ -1,0 +1,443 @@
+//! `goc-load` — the load generator and differential reference for
+//! `goc-serve`.
+//!
+//! ```text
+//! goc-load --mode socket --connect tcp:HOST:PORT|unix:PATH \
+//!          --sessions N [--conns C] [--seed S] [--scenario magic|magic-compact|mix] \
+//!          [--quantum N] [--horizon N] [--out FILE] [--json FILE] [--shutdown]
+//! goc-load --mode inproc  ...same session flags...
+//! ```
+//!
+//! Both modes compute the same deterministic per-session outcome lines
+//! (sorted by session id); `--mode socket` earns them by driving a daemon
+//! over real sockets in `--quantum`-round slices, `--mode inproc` by
+//! running the identical `Session`s in this process. `cmp`-equality of the
+//! two `--out` files is the CI gate's proof that the network boundary is
+//! observationally inert.
+//!
+//! Socket mode additionally records one latency sample per `Drive`
+//! round-trip and reports p50/p99 plus the failure count as a JSONL
+//! record (`--json`), which `goc-report --serve-summary` renders.
+
+use goc_serve::daemon::Addr;
+use goc_serve::session::{session_seed, Session};
+use goc_serve::wire::Frame;
+use goc_serve::Client;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+usage: goc-load --mode socket|inproc [--connect ADDR] --sessions N [--conns C]
+                [--seed S] [--scenario magic|magic-compact|mix]
+                [--quantum N] [--horizon N] [--out FILE] [--json FILE] [--shutdown]
+";
+
+/// How many requests a connection keeps in flight before reading replies;
+/// bounds both client memory and the risk of filling the daemon's socket
+/// send buffer while we are not reading.
+const PIPELINE_WINDOW: usize = 256;
+
+#[derive(Clone)]
+struct Opts {
+    mode: String,
+    connect: Option<Addr>,
+    sessions: u64,
+    conns: usize,
+    seed: u64,
+    scenario: String,
+    quantum: u64,
+    horizon: u64,
+    out: Option<String>,
+    json: Option<String>,
+    shutdown: bool,
+}
+
+fn scenario_for(opts_scenario: &str, id: u64) -> &'static str {
+    match opts_scenario {
+        "magic" => "magic",
+        "magic-compact" => "magic-compact",
+        // The mix alternates flavours so both halt disciplines are under
+        // load at once.
+        _ => {
+            if id % 2 == 0 {
+                "magic"
+            } else {
+                "magic-compact"
+            }
+        }
+    }
+}
+
+/// What one worker reports back: outcome lines keyed by session id,
+/// latency samples (µs), drive count, and failures.
+struct WorkerReport {
+    lines: Vec<(u64, String)>,
+    latencies_us: Vec<u64>,
+    drives: u64,
+    failures: u64,
+}
+
+fn outcome_line(id: u64, scenario: &str, seed: u64, round: u64, halted: bool, heard: u64) -> String {
+    format!("session {id} {scenario} seed {seed}: round {round}, halted {halted}, heard {heard}")
+}
+
+/// The in-process reference arm: run every session locally to the same
+/// horizon/halt discipline the daemon applies.
+fn run_inproc_worker(opts: &Opts, ids: Vec<u64>) -> WorkerReport {
+    let mut report =
+        WorkerReport { lines: Vec::with_capacity(ids.len()), latencies_us: Vec::new(), drives: 0, failures: 0 };
+    for id in ids {
+        let scenario = scenario_for(&opts.scenario, id);
+        let seed = session_seed(opts.seed, id);
+        match Session::build(scenario, seed) {
+            Some(mut s) => {
+                // One step_to is equivalent to the daemon's quantum-sliced
+                // drives: the halt check runs every round either way.
+                s.step_to(opts.horizon);
+                report.lines.push((
+                    id,
+                    outcome_line(id, scenario, seed, s.round(), s.halted(), s.heard()),
+                ));
+            }
+            None => {
+                report.failures += 1;
+                report.lines.push((id, format!("session {id}: FAILED to build {scenario}")));
+            }
+        }
+    }
+    report
+}
+
+/// Tracks one networked session through its sweeps.
+struct Live {
+    scenario: &'static str,
+    seed: u64,
+    round: u64,
+    halted: bool,
+    heard: u64,
+    settled: bool,
+    failed: bool,
+}
+
+/// The socket arm: open every session, then sweep `Drive` quanta over the
+/// unsettled ones (pipelined, replies matched by session id) until all
+/// settle or fail.
+fn run_socket_worker(opts: &Opts, addr: &Addr, ids: Vec<u64>) -> WorkerReport {
+    let mut report =
+        WorkerReport { lines: Vec::with_capacity(ids.len()), latencies_us: Vec::new(), drives: 0, failures: 0 };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            // The whole worker's sessions fail loudly; cmp + the failure
+            // count both catch it.
+            for id in ids {
+                report.failures += 1;
+                report.lines.push((id, format!("session {id}: FAILED to connect: {e}")));
+            }
+            return report;
+        }
+    };
+    let mut live: HashMap<u64, Live> = ids
+        .iter()
+        .map(|&id| {
+            let scenario = scenario_for(&opts.scenario, id);
+            (
+                id,
+                Live {
+                    scenario,
+                    seed: session_seed(opts.seed, id),
+                    round: 0,
+                    halted: false,
+                    heard: 0,
+                    settled: false,
+                    failed: false,
+                },
+            )
+        })
+        .collect();
+
+    // Pipelined request/reply pump: `send` closures enqueue, replies are
+    // matched by session id whenever the window fills.
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let stop_on_halt = |scenario: &str| scenario == "magic";
+
+    macro_rules! recv_one {
+        () => {{
+            match client.recv() {
+                Ok(Frame::Status { session, round, halted, heard }) => {
+                    if let Some(sent) = in_flight.remove(&session) {
+                        report
+                            .latencies_us
+                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    if let Some(l) = live.get_mut(&session) {
+                        l.round = round;
+                        l.halted = halted;
+                        l.heard = heard;
+                        if round >= opts.horizon || (stop_on_halt(l.scenario) && halted) {
+                            l.settled = true;
+                        }
+                    }
+                    true
+                }
+                Ok(Frame::Error { session, message }) => {
+                    in_flight.remove(&session);
+                    if let Some(l) = live.get_mut(&session) {
+                        if !l.failed {
+                            l.failed = true;
+                            l.settled = true;
+                            report.failures += 1;
+                            report
+                                .lines
+                                .push((session, format!("session {session}: FAILED: {message}")));
+                        }
+                    }
+                    true
+                }
+                Ok(_) | Err(_) => {
+                    // A torn connection fails every outstanding session.
+                    for (&id, l) in live.iter_mut() {
+                        if !l.settled {
+                            l.failed = true;
+                            l.settled = true;
+                            report.failures += 1;
+                            report.lines.push((id, format!("session {id}: FAILED: connection lost")));
+                        }
+                    }
+                    false
+                }
+            }
+        }};
+    }
+
+    // Phase 1: open everything (the "concurrent" in concurrent sessions —
+    // every session exists in the daemon before any settles).
+    let mut ok = true;
+    for &id in &ids {
+        let l = &live[&id];
+        if client
+            .send(&Frame::Open { session: id, scenario: l.scenario.to_string(), seed: l.seed })
+            .is_err()
+        {
+            ok = false;
+            break;
+        }
+        in_flight.insert(id, Instant::now());
+        if in_flight.len() >= PIPELINE_WINDOW && !recv_one!() {
+            ok = false;
+            break;
+        }
+    }
+    while ok && !in_flight.is_empty() {
+        if !recv_one!() {
+            ok = false;
+        }
+    }
+
+    // Phase 2: sweep drives until everything settles.
+    while ok {
+        let pending: Vec<u64> = ids
+            .iter()
+            .copied()
+            .filter(|id| live.get(id).map(|l| !l.settled).unwrap_or(false))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        for id in pending {
+            if live[&id].settled {
+                continue; // settled by a reply received within this sweep
+            }
+            // Clamp the final slice so a networked session never overshoots
+            // the horizon the in-process reference stops at exactly.
+            let rounds = opts.quantum.min(opts.horizon.saturating_sub(live[&id].round)).max(1);
+            if client.send(&Frame::Drive { session: id, rounds }).is_err() {
+                ok = false;
+                break;
+            }
+            report.drives += 1;
+            in_flight.insert(id, Instant::now());
+            if in_flight.len() >= PIPELINE_WINDOW && !recv_one!() {
+                ok = false;
+                break;
+            }
+        }
+        while ok && !in_flight.is_empty() {
+            if !recv_one!() {
+                ok = false;
+            }
+        }
+    }
+
+    // Phase 3: close and report.
+    for &id in &ids {
+        let l = &live[&id];
+        if !l.failed {
+            report
+                .lines
+                .push((id, outcome_line(id, l.scenario, l.seed, l.round, l.halted, l.heard)));
+            let _ = client.close(id);
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |key: &str| -> Option<&str> {
+        let flag = format!("--{key}");
+        args.iter().position(|a| a == &flag).and_then(|p| args.get(p + 1)).map(String::as_str)
+    };
+    let num = |key: &str, default: u64| -> u64 {
+        flag(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    };
+    let mode = flag("mode").unwrap_or("socket").to_string();
+    if mode != "socket" && mode != "inproc" {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let connect = match flag("connect") {
+        Some(a) => match Addr::parse(a) {
+            Ok(a) => Some(a),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if mode == "socket" && connect.is_none() {
+        eprintln!("--mode socket requires --connect");
+        return ExitCode::FAILURE;
+    }
+    let opts = Opts {
+        mode: mode.clone(),
+        connect,
+        sessions: num("sessions", 100),
+        conns: num("conns", 8) as usize,
+        seed: num("seed", 42),
+        scenario: flag("scenario").unwrap_or("mix").to_string(),
+        quantum: num("quantum", 64),
+        horizon: num("horizon", 256),
+        out: flag("out").map(String::from),
+        json: flag("json").map(String::from),
+        shutdown: args.iter().any(|a| a == "--shutdown"),
+    };
+
+    let started = Instant::now();
+    let conns = opts.conns.clamp(1, opts.sessions.max(1) as usize);
+    // Contiguous id ranges per worker: deterministic partition, and each
+    // session id still lands on its `id % nshards` shard server-side.
+    let chunk = opts.sessions.div_ceil(conns as u64);
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(conns);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(conns);
+        for w in 0..conns as u64 {
+            let lo = w * chunk;
+            let hi = (lo + chunk).min(opts.sessions);
+            if lo >= hi {
+                continue;
+            }
+            let ids: Vec<u64> = (lo..hi).collect();
+            let opts = &opts;
+            handles.push(scope.spawn(move || match opts.mode.as_str() {
+                "socket" => {
+                    run_socket_worker(opts, opts.connect.as_ref().expect("checked above"), ids)
+                }
+                _ => run_inproc_worker(opts, ids),
+            }));
+        }
+        for h in handles {
+            reports.push(h.join().expect("load worker panicked"));
+        }
+    });
+    let wall_ms = started.elapsed().as_millis();
+
+    let mut lines: Vec<(u64, String)> = Vec::with_capacity(opts.sessions as usize);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut drives = 0u64;
+    let mut failures = 0u64;
+    for mut r in reports {
+        lines.append(&mut r.lines);
+        latencies.append(&mut r.latencies_us);
+        drives += r.drives;
+        failures += r.failures;
+    }
+    lines.sort();
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    if let Some(path) = &opts.out {
+        let mut body = String::with_capacity(lines.len() * 64);
+        for (_, line) in &lines {
+            body.push_str(line);
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.json {
+        let record = format!(
+            "{{\"id\":\"serve_load\",\"mode\":\"{}\",\"scenario\":\"{}\",\"sessions\":{},\
+\"conns\":{},\"quantum\":{},\"horizon\":{},\"drives\":{},\"failures\":{},\
+\"p50_us\":{},\"p99_us\":{},\"wall_ms\":{}}}\n",
+            opts.mode,
+            opts.scenario,
+            opts.sessions,
+            conns,
+            opts.quantum,
+            opts.horizon,
+            drives,
+            failures,
+            p50,
+            p99,
+            wall_ms
+        );
+        // Append, like target/goc-bench.jsonl: one run per line, so a
+        // socket arm and its in-process control can share a summary file.
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(record.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "goc-load: mode {}, {} sessions, {} drives, {} failures, p50 {} us, p99 {} us, {} ms",
+        opts.mode, opts.sessions, drives, failures, p50, p99, wall_ms
+    );
+    let _ = std::io::stdout().flush();
+
+    if opts.shutdown {
+        if let Some(addr) = &opts.connect {
+            match Client::connect(addr).and_then(|mut c| c.shutdown()) {
+                Ok(()) => {}
+                Err(e) => {
+                    eprintln!("shutdown failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

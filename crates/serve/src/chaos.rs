@@ -1,0 +1,88 @@
+//! Chaos middleware: the `goc_core::channel` fault stacks mounted on the
+//! socket path.
+//!
+//! The daemon treats each inbound frame *body* as a [`Message`] and passes
+//! it through a real [`Noisy`] channel before decoding. Applying faults
+//! after framing (rather than to the raw byte stream) keeps the stream
+//! synchronized — a dropped frame is a skipped request, a corrupted frame
+//! is a total-decode failure answered with an `Error` reply — so chaos
+//! exercises exactly the hostile-input surface the adversarial decode
+//! suite hardens, using the same deterministic fault machinery the
+//! conformance sweeps trust.
+
+use goc_core::channel::{Channel, Noisy};
+use goc_core::prelude::*;
+use goc_core::strategy::StepCtx;
+
+/// Parsed `--chaos drop=P,corrupt=P,seed=N` specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Probability a frame is dropped (request silently skipped).
+    pub drop_p: f64,
+    /// Probability a surviving frame is corrupted (XOR byte mask).
+    pub corrupt_p: f64,
+    /// Base seed for the deterministic fault stream.
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Parses `key=value` pairs separated by commas; keys `drop`,
+    /// `corrupt`, `seed`. Missing keys default to 0.
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        let mut spec = ChaosSpec { drop_p: 0.0, corrupt_p: 0.0, seed: 0 };
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("chaos: `{part}` is not key=value"))?;
+            match key {
+                "drop" => {
+                    spec.drop_p =
+                        value.parse().map_err(|_| format!("chaos: bad drop `{value}`"))?
+                }
+                "corrupt" => {
+                    spec.corrupt_p =
+                        value.parse().map_err(|_| format!("chaos: bad corrupt `{value}`"))?
+                }
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| format!("chaos: bad seed `{value}`"))?
+                }
+                other => return Err(format!("chaos: unknown key `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// A per-connection fault stream: one [`Noisy`] channel plus its private
+/// rng, forked from the spec seed by connection index so every connection
+/// sees an independent but replayable fault schedule.
+#[derive(Debug)]
+pub struct FrameChaos {
+    chan: Noisy,
+    rng: GocRng,
+    round: u64,
+}
+
+impl FrameChaos {
+    /// Builds the fault stream for connection `conn_index`.
+    pub fn new(spec: &ChaosSpec, conn_index: u64) -> FrameChaos {
+        FrameChaos {
+            chan: Noisy::new(spec.drop_p, spec.corrupt_p),
+            rng: GocRng::seed_from_u64(spec.seed).fork(conn_index),
+            round: 0,
+        }
+    }
+
+    /// Passes one frame body through the channel. `None` means the frame
+    /// was dropped; `Some` is the (possibly corrupted) body to decode.
+    pub fn apply(&mut self, body: Vec<u8>) -> Option<Vec<u8>> {
+        let msg = Message::from_bytes(&body);
+        let mut ctx = StepCtx::new(self.round, &mut self.rng);
+        self.round += 1;
+        let out = self.chan.transmit(&mut ctx, msg);
+        if out.is_silence() {
+            None
+        } else {
+            Some(out.as_bytes().to_vec())
+        }
+    }
+}

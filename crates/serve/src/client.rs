@@ -1,0 +1,121 @@
+//! A blocking client for the `goc-serve` wire protocol.
+//!
+//! One [`Client`] is one connection; many sessions can multiplex over it
+//! (every request and reply carries its session id). Requests to distinct
+//! sessions may be pipelined — send a batch, then collect the replies and
+//! match them by id — which is how `goc-load` keeps thousands of sessions
+//! in flight over a handful of sockets.
+
+use crate::daemon::{Addr, Stream};
+use crate::wire::{self, Frame, WireError};
+use std::io::BufReader;
+
+/// A connected, handshaken client.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the handshake both ways.
+    pub fn connect(addr: &Addr) -> Result<Client, WireError> {
+        let stream = Stream::connect(addr)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        wire::write_handshake(&mut writer)?;
+        wire::read_handshake(&mut reader)?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one frame.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        wire::write_frame(&mut self.writer, frame)
+    }
+
+    /// Receives one frame.
+    pub fn recv(&mut self) -> Result<Frame, WireError> {
+        wire::read_frame(&mut self.reader)
+    }
+
+    /// Sends one frame and waits for one reply (no pipelining).
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Opens a session; returns its initial `(round, halted, heard)`.
+    pub fn open(
+        &mut self,
+        session: u64,
+        scenario: &str,
+        seed: u64,
+    ) -> Result<(u64, bool, u64), WireError> {
+        expect_status(
+            session,
+            self.request(&Frame::Open { session, scenario: to_owned(scenario), seed })?,
+        )
+    }
+
+    /// Drives a session and returns the resulting status triple.
+    pub fn drive(&mut self, session: u64, rounds: u64) -> Result<(u64, bool, u64), WireError> {
+        expect_status(session, self.request(&Frame::Drive { session, rounds })?)
+    }
+
+    /// Fetches a session's serialized checkpoint.
+    pub fn snap(&mut self, session: u64) -> Result<Vec<u8>, WireError> {
+        match self.request(&Frame::Snap { session })? {
+            Frame::SnapData { session: s, snap } if s == session => Ok(snap),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Creates a session from a checkpoint saved under `(scenario, seed)`.
+    pub fn restore(
+        &mut self,
+        session: u64,
+        scenario: &str,
+        seed: u64,
+        snap: Vec<u8>,
+    ) -> Result<(u64, bool, u64), WireError> {
+        expect_status(
+            session,
+            self.request(&Frame::Restore { session, scenario: to_owned(scenario), seed, snap })?,
+        )
+    }
+
+    /// Closes a session.
+    pub fn close(&mut self, session: u64) -> Result<(), WireError> {
+        match self.request(&Frame::Close { session })? {
+            Frame::Closed { session: s } if s == session => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; resolves on its `Bye`.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.request(&Frame::Shutdown)? {
+            Frame::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn to_owned(s: &str) -> String {
+    s.to_string()
+}
+
+fn expect_status(session: u64, frame: Frame) -> Result<(u64, bool, u64), WireError> {
+    match frame {
+        Frame::Status { session: s, round, halted, heard } if s == session => {
+            Ok((round, halted, heard))
+        }
+        other => Err(unexpected(other)),
+    }
+}
+
+fn unexpected(frame: Frame) -> WireError {
+    WireError::Protocol(match frame {
+        Frame::Error { session, message } => format!("server error (session {session}): {message}"),
+        other => format!("unexpected reply {other:?}"),
+    })
+}

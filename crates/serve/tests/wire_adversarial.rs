@@ -1,0 +1,282 @@
+//! Adversarial decode totality for the `goc-serve` wire framing.
+//!
+//! A frame crosses a trust boundary harder than a snapshot file: any
+//! process that can reach the socket can write arbitrary bytes. These
+//! tests mirror `crates/core/tests/snap_adversarial.rs` for the framing
+//! layer — truncations, byte stomps, hostile declared lengths, splices,
+//! raw garbage — and assert the same contract: **decoding is total**.
+//! Every body either decodes to a [`Frame`] or returns a [`WireError`],
+//! never a panic; and no declared length costs the server more memory
+//! than the bytes actually on the wire.
+
+use goc_serve::wire::{
+    self, read_frame_body, Frame, WireError, MAX_FRAME, WIRE_MAGIC, WIRE_VERSION,
+};
+use goc_testkit::{check, gens, CaseError};
+
+/// One frame of every variant, with bodies exercising every field shape
+/// (ids, strings, blobs, bools), plus edge values.
+fn corpus() -> Vec<Frame> {
+    vec![
+        Frame::Open { session: 0, scenario: "magic".to_string(), seed: 42 },
+        Frame::Open { session: u64::MAX, scenario: String::new(), seed: u64::MAX },
+        Frame::Drive { session: 7, rounds: 64 },
+        Frame::Snap { session: 1 },
+        Frame::Restore {
+            session: 9,
+            scenario: "magic-compact".to_string(),
+            seed: 3,
+            snap: vec![0xAB; 257],
+        },
+        Frame::Restore { session: 0, scenario: "m".to_string(), seed: 0, snap: Vec::new() },
+        Frame::Close { session: 3 },
+        Frame::Shutdown,
+        Frame::Status { session: 5, round: 500, halted: true, heard: 12 },
+        Frame::SnapData { session: 5, snap: (0..=255u8).collect() },
+        Frame::Closed { session: 2 },
+        Frame::Error { session: 0, message: "bad frame: tag 200".to_string() },
+        Frame::Bye,
+    ]
+}
+
+/// The totality oracle: decoding must not panic; on success the decoded
+/// frame must survive a re-encode/re-decode round trip (no value that
+/// later violates the codec's own invariants).
+fn decode_is_total(body: &[u8]) -> Result<bool, String> {
+    match Frame::decode(body) {
+        Err(_) => Ok(false),
+        Ok(frame) => {
+            let re = frame.encode();
+            let again = Frame::decode(&re)
+                .map_err(|e| format!("decoded frame fails to re-decode: {e}"))?;
+            if again != frame {
+                return Err(format!("re-decode mismatch: {frame:?} vs {again:?}"));
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Every corpus frame round-trips exactly.
+#[test]
+fn corpus_roundtrips() {
+    for frame in corpus() {
+        let body = frame.encode();
+        let back = Frame::decode(&body).expect("honest body must decode");
+        assert_eq!(back, frame);
+    }
+}
+
+/// Every strict prefix of every corpus body fails to decode: truncation
+/// never yields a shorter valid frame.
+#[test]
+fn truncations_always_err() {
+    for frame in corpus() {
+        let body = frame.encode();
+        for len in 0..body.len() {
+            assert!(
+                Frame::decode(&body[..len]).is_err(),
+                "{frame:?}: {len}-byte prefix of a {}-byte body decoded",
+                body.len()
+            );
+        }
+    }
+}
+
+/// Trailing bytes after a valid body fail: a splice of two frames cannot
+/// masquerade as its first half.
+#[test]
+fn trailing_bytes_always_err() {
+    for frame in corpus() {
+        let mut body = frame.encode();
+        body.push(0);
+        assert!(Frame::decode(&body).is_err(), "{frame:?}: trailing byte accepted");
+    }
+}
+
+/// Stomping any single byte to `0xFF` decodes totally. The sweep hits
+/// every tag, length prefix and field byte in every variant.
+#[test]
+fn byte_stomps_decode_totally() {
+    for frame in corpus() {
+        let body = frame.encode();
+        for i in 0..body.len() {
+            if body[i] == 0xFF {
+                continue;
+            }
+            let mut hostile = body.clone();
+            hostile[i] = 0xFF;
+            decode_is_total(&hostile)
+                .unwrap_or_else(|e| panic!("{frame:?}: stomp at byte {i}: {e}"));
+        }
+    }
+}
+
+/// A declared string/blob length larger than the remaining body is an
+/// error, not an allocation: the reader gates every length against what
+/// is actually present.
+#[test]
+fn hostile_interior_lengths_err_without_allocating() {
+    // A Restore body whose snap-length word is inflated to ~4 GiB.
+    let frame = Frame::Restore {
+        session: 1,
+        scenario: "magic".to_string(),
+        seed: 2,
+        snap: vec![1, 2, 3, 4],
+    };
+    let body = frame.encode();
+    // The snap blob is the final field: its length prefix sits 8 bytes
+    // before the end (u64 length, snap codec) followed by 4 payload bytes.
+    let len_pos = body.len() - 4 - 8;
+    let mut hostile = body.clone();
+    hostile[len_pos..len_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    match Frame::decode(&hostile) {
+        Err(WireError::Snap(_)) => {}
+        other => panic!("inflated length must be a decode error, got {other:?}"),
+    }
+}
+
+/// Random single-bit flips decode totally (property-tested with
+/// shrinking: a failure reports the minimal flip).
+#[test]
+fn bit_flips_decode_totally() {
+    let bodies: Vec<Vec<u8>> = corpus().iter().map(Frame::encode).collect();
+    let max_len = bodies.iter().map(Vec::len).max().unwrap();
+    check(
+        "wire_bit_flip_totality",
+        gens::tuple3(
+            gens::usize_in(0, bodies.len() - 1),
+            gens::usize_in(0, max_len - 1),
+            gens::u8_in(0, 7),
+        ),
+        |&(which, byte, bit): &(usize, usize, u8)| {
+            let base = &bodies[which];
+            let byte = byte % base.len();
+            let mut hostile = base.clone();
+            hostile[byte] ^= 1 << bit;
+            decode_is_total(&hostile).map_err(CaseError::fail)?;
+            Ok(())
+        },
+    );
+}
+
+/// Splicing chunks between two honest bodies decodes totally.
+#[test]
+fn chunk_splices_decode_totally() {
+    let a = Frame::Restore {
+        session: 11,
+        scenario: "magic-compact".to_string(),
+        seed: 5,
+        snap: vec![0x5A; 64],
+    }
+    .encode();
+    let b = Frame::Error { session: 3, message: "x".repeat(64) }.encode();
+    check(
+        "wire_splice_totality",
+        gens::tuple3(
+            gens::usize_in(0, a.len() - 1),
+            gens::usize_in(0, b.len() - 1),
+            gens::usize_in(1, 32),
+        ),
+        |&(start_a, start_b, span): &(usize, usize, usize)| {
+            let mut hostile = a.clone();
+            for o in 0..span {
+                if start_a + o < hostile.len() && start_b + o < b.len() {
+                    hostile[start_a + o] = b[start_b + o];
+                }
+            }
+            decode_is_total(&hostile).map_err(CaseError::fail)?;
+            Ok(())
+        },
+    );
+}
+
+/// Outright random garbage decodes totally.
+#[test]
+fn garbage_decodes_totally() {
+    check("wire_garbage_totality", gens::bytes(0, 512), |junk: &Vec<u8>| {
+        decode_is_total(junk).map_err(CaseError::fail)?;
+        Ok(())
+    });
+}
+
+/// The stream framing: a declared frame length beyond [`MAX_FRAME`] (or
+/// zero) is rejected from the 4-byte prefix alone — before any body
+/// allocation, which is what makes a hostile 4 GiB declaration cost the
+/// server 4 bytes of reading.
+#[test]
+fn hostile_stream_lengths_are_gated() {
+    for declared in [0u32, (MAX_FRAME as u32) + 1, u32::MAX] {
+        let mut stream: &[u8] = &{
+            let mut v = declared.to_le_bytes().to_vec();
+            v.extend_from_slice(&[0u8; 16]); // far fewer bytes than declared
+            v
+        };
+        match read_frame_body(&mut stream) {
+            Err(WireError::FrameTooLarge(n)) => assert_eq!(n, declared as usize),
+            other => panic!("declared length {declared}: expected FrameTooLarge, got {other:?}"),
+        }
+    }
+}
+
+/// A body that fails to decode does not desynchronize the stream: the
+/// next length-prefixed frame still reads and decodes cleanly.
+#[test]
+fn bad_body_does_not_desync_the_stream() {
+    let good = Frame::Drive { session: 1, rounds: 8 };
+    let mut stream_bytes = Vec::new();
+    wire::write_frame_body(&mut stream_bytes, &[0xEE; 13]).unwrap(); // hostile body
+    wire::write_frame(&mut stream_bytes, &good).unwrap();
+    let mut stream: &[u8] = &stream_bytes;
+    let first = read_frame_body(&mut stream).expect("framing reads the hostile body");
+    assert!(Frame::decode(&first).is_err(), "0xEE bytes must not decode");
+    let second = read_frame_body(&mut stream).expect("stream stays in sync");
+    assert_eq!(Frame::decode(&second).expect("honest frame decodes"), good);
+}
+
+/// EOF between frames is a clean close; EOF inside a frame is not.
+#[test]
+fn eof_positions_are_distinguished() {
+    let mut empty: &[u8] = &[];
+    assert!(matches!(read_frame_body(&mut empty), Err(WireError::Closed)));
+    let full = {
+        let mut v = Vec::new();
+        wire::write_frame(&mut v, &Frame::Bye).unwrap();
+        v
+    };
+    for cut in 1..full.len() {
+        let mut truncated: &[u8] = &full[..cut];
+        match read_frame_body(&mut truncated) {
+            Err(WireError::Io(_)) => {}
+            other => panic!("cut at {cut}: expected a mid-frame Io error, got {other:?}"),
+        }
+    }
+}
+
+/// Handshake rejection: bad magic and unknown versions are refused with
+/// the specific error, and the good handshake round-trips.
+#[test]
+fn handshake_validates_magic_and_version() {
+    let mut good = Vec::new();
+    wire::write_handshake(&mut good).unwrap();
+    assert_eq!(good.len(), 6);
+    assert_eq!(&good[..4], &WIRE_MAGIC);
+    wire::read_handshake(&mut good.as_slice()).expect("own handshake accepted");
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0x20;
+    assert!(matches!(
+        wire::read_handshake(&mut bad_magic.as_slice()),
+        Err(WireError::BadMagic(_))
+    ));
+
+    let mut bad_version = good.clone();
+    bad_version[4] = (WIRE_VERSION + 1) as u8;
+    assert!(matches!(
+        wire::read_handshake(&mut bad_version.as_slice()),
+        Err(WireError::UnsupportedVersion(_))
+    ));
+
+    let mut short: &[u8] = &good[..3];
+    assert!(wire::read_handshake(&mut short).is_err());
+}

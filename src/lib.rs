@@ -17,6 +17,8 @@
 //!   transmission, navigation.
 //! - [`learning`] ([`goc_learning`]) — multi-session goals as on-line
 //!   learning (Juba–Vempala).
+//! - [`serve`] ([`goc_serve`]) — sessions as a service: the sharded
+//!   daemon, its snap-disciplined wire format, and the load generator.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 pub use goc_core as core;
 pub use goc_goals as goals;
 pub use goc_learning as learning;
+pub use goc_serve as serve;
 pub use goc_vm as vm;
 
 /// The most commonly used items across all crates.

@@ -16,6 +16,7 @@ use goc::core::multi::{addressed_class, CompositeServer};
 use goc::core::sensing::Deadline;
 use goc::core::strategy::{EchoServer, SilentServer};
 use goc::core::toy;
+use goc::serve::Session;
 use goc::goals::codec::Encoding;
 use goc::goals::computation as comp;
 use goc::goals::navigation as nav;
@@ -49,6 +50,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     };
+    // The CLI exit path mirrors the daemon's teardown discipline: any
+    // background jobs the run queued (prewarm etc.) complete before the
+    // process reports done, so nothing is lost mid-write.
+    goc::core::par::pool::drain();
     // Close out a `GOC_TRACE` file with the deterministic metric totals;
     // a no-op (two relaxed loads) when tracing is off.
     goc::core::obs::flush_metrics();
@@ -251,80 +256,6 @@ fn flag_str<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
     args.iter().position(|a| a == &flag).and_then(|p| args.get(p + 1)).map(String::as_str)
 }
 
-/// Builds a snapshot-capable scenario's execution skeleton. Restoring a
-/// snapshot needs the *same constructors and seed* as the saved run (see
-/// `goc_core::snap`), so these scenarios are deliberately deterministic
-/// functions of `(name, seed)`.
-///
-/// Returns `(execution, stop_on_halt, label)`; `stop_on_halt` is true for
-/// finite-goal scenarios (the driver stops once the user halts) and false
-/// for compact ones (the system runs the full horizon regardless).
-fn build_snap_scenario(
-    name: &str,
-    seed: u64,
-) -> Option<(Execution<toy::MagicWorld>, bool, String)> {
-    let mut rng = GocRng::seed_from_u64(seed);
-    match name {
-        "magic" => {
-            let goal = toy::MagicWordGoal::new("xyzzy");
-            let user = LevinUniversalUser::round_robin(
-                Box::new(toy::caesar_class("xyzzy", 16, false)),
-                Box::new(toy::ack_sensing()),
-                8,
-            );
-            let shift = (rng.below(16)) as u8;
-            let exec = Execution::new(
-                goal.spawn_world(&mut rng),
-                Box::new(toy::RelayServer::with_shift(shift)),
-                Box::new(user),
-                rng,
-            );
-            Some((exec, true, format!("magic word via Caesar relay (+{shift})")))
-        }
-        "magic-compact" => {
-            let goal = toy::CompactMagicWordGoal::new("xyzzy", 16);
-            let user = CompactUniversalUser::new(
-                Box::new(toy::caesar_class("xyzzy", 16, true)),
-                Box::new(Deadline::new(toy::ack_sensing(), 16)),
-            );
-            let shift = (rng.below(16)) as u8;
-            let exec = Execution::new(
-                goal.spawn_world(&mut rng),
-                Box::new(toy::RelayServer::with_shift(shift)),
-                Box::new(user),
-                rng,
-            );
-            Some((exec, false, format!("compact magic word via Caesar relay (+{shift})")))
-        }
-        _ => None,
-    }
-}
-
-/// Steps `exec` until round `target` (or, when `stop_on_halt`, until the
-/// user halts) through the same manual loop every snapshot path uses, so
-/// interrupted and uninterrupted runs are round-for-round comparable.
-fn step_to(exec: &mut Execution<toy::MagicWorld>, target: u64, stop_on_halt: bool) {
-    while exec.round() < target {
-        if stop_on_halt && exec.user().halted().is_some() {
-            break;
-        }
-        exec.step();
-    }
-}
-
-/// The deterministic end-of-run summary both `resume` modes print; byte
-/// equality of this line (plus `GOC_TRACE` output) is what CI's differential
-/// gate compares between interrupted and uninterrupted runs.
-fn print_outcome(label: &str, exec: &Execution<toy::MagicWorld>) {
-    let heard = exec.world_states().last().map(|s| s.heard_count).unwrap_or(0);
-    println!(
-        "{label}: round {}, halted {}, heard {}",
-        exec.round(),
-        exec.user().halted().is_some(),
-        heard
-    );
-}
-
 fn cmd_snapshot(args: &[String]) -> ExitCode {
     let (positional, flag) = parse_flags(args);
     let Some(&scenario) = positional.first() else {
@@ -334,12 +265,15 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
     let seed = flag("seed", 42);
     let round = flag("round", 500);
     let out = flag_str(args, "out").unwrap_or("goc.snap");
-    let Some((mut exec, stop_on_halt, label)) = build_snap_scenario(scenario, seed) else {
+    // Snapshot scenarios live in `goc_serve::session`: the CLI, the daemon
+    // shards, and `goc-load` all build sessions through the same
+    // constructors, which is what keeps their outcomes byte-comparable.
+    let Some(mut session) = Session::build(scenario, seed) else {
         eprintln!("unknown snapshot scenario `{scenario}`; try: magic, magic-compact");
         return ExitCode::FAILURE;
     };
-    step_to(&mut exec, round, stop_on_halt);
-    let bytes = match exec.save_to_vec() {
+    session.step_to(round);
+    let bytes = match session.save_to_vec() {
         Ok(b) => b,
         Err(e) => {
             eprintln!("snapshot failed: {e}");
@@ -350,7 +284,12 @@ fn cmd_snapshot(args: &[String]) -> ExitCode {
         eprintln!("{out}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("{label}: saved {} bytes at round {} to {out}", bytes.len(), exec.round());
+    println!(
+        "{}: saved {} bytes at round {} to {out}",
+        session.label(),
+        bytes.len(),
+        session.round()
+    );
     ExitCode::SUCCESS
 }
 
@@ -364,7 +303,7 @@ fn cmd_resume(args: &[String]) -> ExitCode {
     };
     let seed = flag("seed", 42);
     let horizon = flag("horizon", 20_000);
-    let Some((mut exec, stop_on_halt, label)) = build_snap_scenario(scenario, seed) else {
+    let Some(mut session) = Session::build(scenario, seed) else {
         eprintln!("unknown snapshot scenario `{scenario}`; try: magic, magic-compact");
         return ExitCode::FAILURE;
     };
@@ -383,8 +322,8 @@ fn cmd_resume(args: &[String]) -> ExitCode {
         // identical code path without any pre-checkpoint rounds, so the two
         // invocations are byte-comparable on stdout and `GOC_TRACE`.
         let checkpoint = flag("checkpoint", 0);
-        step_to(&mut exec, checkpoint, stop_on_halt);
-        match exec.save_to_vec() {
+        session.step_to(checkpoint);
+        match session.save_to_vec() {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("snapshot failed: {e}");
@@ -392,15 +331,18 @@ fn cmd_resume(args: &[String]) -> ExitCode {
             }
         }
     };
-    let Some((mut resumed, _, _)) = build_snap_scenario(scenario, seed) else {
+    let Some(mut resumed) = Session::build(scenario, seed) else {
         unreachable!("scenario validated above");
     };
     if let Err(e) = resumed.restore(&bytes) {
         eprintln!("restore failed: {e}");
         return ExitCode::FAILURE;
     }
-    step_to(&mut resumed, horizon, stop_on_halt);
-    print_outcome(&label, &resumed);
+    resumed.step_to(horizon);
+    // The deterministic end-of-run summary; byte equality of this line
+    // (plus `GOC_TRACE` output) is what CI's differential gate compares
+    // between interrupted and uninterrupted runs.
+    println!("{}", resumed.outcome_line());
     ExitCode::SUCCESS
 }
 
